@@ -1,0 +1,39 @@
+"""E-D: dedicated-mode validation of the SOR structural model.
+
+Paper artifact: the Section 2.2.1 claim that "in a dedicated setting,
+the structural model defined in this section predicted overall
+application execution times to within 2% of actual execution time."
+"""
+
+from conftest import emit
+
+from repro.experiments.dedicated import run_dedicated_validation
+from repro.experiments.report import write_csv
+from repro.util.tables import format_table
+
+SIZES = (1000, 1200, 1400, 1600, 1800, 2000)
+
+
+def test_dedicated_model_accuracy(benchmark, out_dir):
+    rows = benchmark(run_dedicated_validation, sizes=SIZES)
+
+    emit(
+        "Dedicated validation: model vs simulated execution",
+        format_table(
+            ["N", "predicted_s", "actual_s", "error"],
+            [[r.problem_size, r.predicted, r.actual, f"{r.error:.2%}"] for r in rows],
+        ),
+    )
+    write_csv(
+        out_dir / "dedicated.csv",
+        ["problem_size", "predicted", "actual", "error"],
+        [[r.problem_size, r.predicted, r.actual, r.error] for r in rows],
+    )
+
+    # The paper's 2% claim.
+    for r in rows:
+        assert r.error < 0.02, f"N={r.problem_size}: {r.error:.2%}"
+    # Quadratic growth: times scale roughly with N^2.
+    t_ratio = rows[-1].actual / rows[0].actual
+    n_ratio = (SIZES[-1] / SIZES[0]) ** 2
+    assert abs(t_ratio - n_ratio) / n_ratio < 0.1

@@ -1,0 +1,50 @@
+"""E-F1/2: regenerate Figures 1 and 2 (dedicated sort-benchmark runtimes).
+
+Paper artifact: histogram of runtimes for a sorting code on a dedicated
+workstation with the corresponding normal PDF (Figure 1) and CDF
+(Figure 2).  Shape to hold: the runtimes are well approximated by the
+fitted normal (small KS distance, near-zero skewness).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.figures import figure1_2
+from repro.experiments.report import write_csv
+from repro.util.stats import normal_cdf
+from repro.util.tables import format_table
+
+
+def test_figure1_2(benchmark, out_dir):
+    fig = benchmark(figure1_2, n_runs=300, rng=0)
+
+    pdf_rows = [
+        [c, 100.0 * m, float(fig.fit.value.pdf(c))]
+        for c, m in zip(fig.histogram.centers, fig.histogram.mass)
+    ]
+    emit(
+        "Figure 1: runtime histogram vs fitted normal PDF",
+        format_table(["runtime_s", "% of values", "normal pdf"], pdf_rows),
+    )
+    write_csv(out_dir / "figure1.csv", ["runtime", "percent", "normal_pdf"], pdf_rows)
+
+    # CDF series (decimated for display).
+    dec = slice(None, None, max(len(fig.cdf_x) // 20, 1))
+    cdf_rows = [
+        [x, 100.0 * p, 100.0 * float(normal_cdf(x, fig.fit.value.mean, fig.fit.value.std))]
+        for x, p in zip(fig.cdf_x[dec], fig.cdf_y[dec])
+    ]
+    emit(
+        "Figure 2: empirical CDF vs normal CDF",
+        format_table(["runtime_s", "empirical %", "normal %"], cdf_rows),
+    )
+    write_csv(out_dir / "figure2.csv", ["runtime", "empirical_pct", "normal_pct"], cdf_rows)
+
+    # Shape: dedicated runtimes are near-normal.
+    assert fig.fit.looks_normal()
+    assert abs(fig.fit.skewness) < 0.4
+    assert fig.fit.value.mean == float(np.asarray(fig.samples).mean())
+    # ~95% of samples inside the 2-sigma summary, as a normal should give.
+    lo, hi = fig.fit.value.interval
+    inside = float(np.mean((fig.samples >= lo) & (fig.samples <= hi)))
+    assert 0.92 <= inside <= 0.99

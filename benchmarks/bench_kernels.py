@@ -1,0 +1,38 @@
+"""Raw-substrate microbenchmarks (classic pytest-benchmark timing).
+
+Not a paper artifact: these track the performance of the hot substrate
+paths — the vectorised SOR kernel (the measured ``BM(Elt)``), the
+capacity inversion that every simulated phase calls, and one full
+simulated production execution.
+"""
+
+import numpy as np
+
+from repro.cluster.capacity import completion_time
+from repro.sor.grid import SORGrid
+from repro.sor.kernel import sor_iteration
+from repro.sor.distributed import simulate_sor
+from repro.workload.platforms import platform2
+from repro.workload.traces import Trace
+
+
+def test_sor_kernel_throughput(benchmark):
+    grid = SORGrid.laplace_problem(600)
+    u = grid.initial_field()
+    updated = benchmark(sor_iteration, u, grid.omega)
+    assert updated == grid.interior_points
+
+
+def test_capacity_inversion_speed(benchmark):
+    rng = np.random.default_rng(0)
+    trace = Trace.from_samples(0.0, 5.0, rng.uniform(0.1, 1.0, 5000))
+    t = benchmark(completion_time, 12_345.0, 7.0, trace, 3.0)
+    assert t > 3.0
+
+
+def test_full_simulated_execution(benchmark):
+    plat = platform2(duration=600.0, rng=5)
+    result = benchmark(
+        simulate_sor, plat.machines, plat.network, 1000, 10, start_time=100.0
+    )
+    assert result.elapsed > 0

@@ -1,0 +1,49 @@
+"""E-M (boundary study): the paper's in-core scope condition.
+
+Paper artifact: Section 3.1's caveat — predictions hold "for problem
+sizes which fit within main memory".  This bench crosses the boundary on
+a small-memory platform: in-core predictions stay within the 2% regime;
+past the boundary the memory-unaware model collapses (thrashing), while
+a paging-aware benchmark parameter restores accuracy.
+"""
+
+from conftest import emit
+
+from repro.experiments.memory import run_memory_limit_study
+from repro.experiments.report import write_csv
+from repro.util.tables import format_table
+
+
+def test_memory_limit(benchmark, out_dir):
+    rows = benchmark(run_memory_limit_study)
+
+    emit(
+        "Memory boundary: naive vs paging-aware model error",
+        format_table(
+            ["N", "in core", "actual_s", "naive err", "aware err"],
+            [
+                [r.problem_size, "yes" if r.in_core else "NO", r.actual,
+                 f"{r.naive_error:.1%}", f"{r.aware_error:.1%}"]
+                for r in rows
+            ],
+        ),
+    )
+    write_csv(
+        out_dir / "memory_limit.csv",
+        ["problem_size", "in_core", "actual", "naive_error", "aware_error"],
+        [[r.problem_size, r.in_core, r.actual, r.naive_error, r.aware_error] for r in rows],
+    )
+
+    in_core = [r for r in rows if r.in_core]
+    out_of_core = [r for r in rows if not r.in_core]
+    assert in_core and out_of_core, "study must straddle the boundary"
+
+    # In core: the paper's 2% regime for both models.
+    for r in in_core:
+        assert r.naive_error < 0.02
+        assert r.aware_error < 0.02
+    # Out of core: the unaware model is catastrophically wrong, the
+    # paging-aware one recovers.
+    for r in out_of_core:
+        assert r.naive_error > 0.5
+        assert r.aware_error < 0.05

@@ -1,0 +1,38 @@
+"""E-P2-1000: regenerate Figures 14 and 15 (Platform 2, 1000x1000 runs).
+
+Paper artifacts: the small problem size under bursty load — "for all
+problem sizes, almost all of the actual execution times fell within the
+range delineated by the stochastic predictions."
+"""
+
+from conftest import emit
+
+from repro.experiments.platform2 import run_platform2
+from repro.experiments.report import prediction_table, write_csv
+
+N_RUNS = 25
+
+
+def test_platform2_1000(benchmark, out_dir):
+    result = benchmark(run_platform2, 1000, n_runs=N_RUNS, rng=43)
+
+    emit("Figure 14: 1000x1000 actual vs stochastic predictions", prediction_table(result.points))
+    write_csv(
+        out_dir / "figure14.csv",
+        ["timestamp", "actual", "pred_mean", "pred_lo", "pred_hi"],
+        [
+            [p.timestamp, p.actual, p.prediction.mean, p.prediction.lo, p.prediction.hi]
+            for p in result.points
+        ],
+    )
+    write_csv(
+        out_dir / "figure15.csv",
+        ["time", "load"],
+        list(zip(result.load_times, result.load_values)),
+    )
+    emit("Platform 2 (1000) quality", result.quality.summary())
+
+    q = result.quality
+    assert q.capture >= 0.7
+    assert q.max_range_error < 0.35
+    assert q.max_mean_error > q.max_range_error

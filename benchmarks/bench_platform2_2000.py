@@ -1,0 +1,38 @@
+"""E-P2-2000: regenerate Figures 16 and 17 (Platform 2, 2000x2000 runs).
+
+Paper artifacts: the large problem size under bursty load; as with the
+other sizes, the stochastic ranges capture (nearly) all measurements
+while the mean point values alone mispredict badly.
+"""
+
+from conftest import emit
+
+from repro.experiments.platform2 import run_platform2
+from repro.experiments.report import prediction_table, write_csv
+
+N_RUNS = 20
+
+
+def test_platform2_2000(benchmark, out_dir):
+    result = benchmark(run_platform2, 2000, n_runs=N_RUNS, run_spacing=150.0, rng=44)
+
+    emit("Figure 16: 2000x2000 actual vs stochastic predictions", prediction_table(result.points))
+    write_csv(
+        out_dir / "figure16.csv",
+        ["timestamp", "actual", "pred_mean", "pred_lo", "pred_hi"],
+        [
+            [p.timestamp, p.actual, p.prediction.mean, p.prediction.lo, p.prediction.hi]
+            for p in result.points
+        ],
+    )
+    write_csv(
+        out_dir / "figure17.csv",
+        ["time", "load"],
+        list(zip(result.load_times, result.load_values)),
+    )
+    emit("Platform 2 (2000) quality", result.quality.summary())
+
+    q = result.quality
+    assert q.capture >= 0.7
+    assert q.max_range_error < 0.35
+    assert q.max_mean_error > q.max_range_error

@@ -1,0 +1,77 @@
+"""E-F7 (concept study): communication skew and the paper's bound.
+
+Figure 7 illustrates skew: "accumulating communication delays can create
+a kind of 'skew' which can delay execution of each iteration by the
+amount of at most P iterations."  This bench measures skew directly in
+the simulator across decomposition policies and checks the paper's
+bound: the observed skew never exceeds ``P`` per-iteration times, grows
+with load imbalance, and collapses under capacity balancing.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.stochastic import StochasticValue
+from repro.sor.decomposition import equal_strips, weighted_strips
+from repro.sor.distributed import simulate_sor
+from repro.util.tables import format_table
+from repro.workload.platforms import platform2
+
+N, ITS = 1200, 20
+
+
+def study(n_rounds=8, warmup=600.0, spacing=180.0):
+    plat = platform2(duration=warmup + spacing * (n_rounds + 1), rng=27)
+    machines = list(plat.machines)
+    rows = []
+    for k in range(n_rounds):
+        t = warmup + k * spacing
+        eq = simulate_sor(
+            machines, plat.network, N, ITS, decomposition=equal_strips(N, 4), start_time=t
+        )
+        weights = []
+        for m in machines:
+            lv = StochasticValue.from_samples(m.availability.window(t - 90.0, t).values)
+            weights.append(m.elements_per_sec * lv.mean)
+        bal = simulate_sor(
+            machines,
+            plat.network,
+            N,
+            ITS,
+            decomposition=weighted_strips(N, weights),
+            start_time=t,
+        )
+        rows.append(
+            {
+                "eq_skew": eq.max_skew,
+                "eq_iter": eq.elapsed / ITS,
+                "bal_skew": bal.max_skew,
+                "bal_iter": bal.elapsed / ITS,
+            }
+        )
+    return rows
+
+
+def test_skew_bound(benchmark):
+    rows = benchmark(study)
+
+    emit(
+        "Skew study (Figure 7): max skew vs per-iteration time",
+        format_table(
+            ["round", "equal skew (s)", "equal s/iter", "balanced skew (s)", "balanced s/iter"],
+            [
+                [i, r["eq_skew"], r["eq_iter"], r["bal_skew"], r["bal_iter"]]
+                for i, r in enumerate(rows)
+            ],
+        ),
+    )
+
+    P = 4
+    for r in rows:
+        # The paper's bound: skew <= P iterations' worth of time.
+        assert r["eq_skew"] <= P * r["eq_iter"] + 1e-9
+        assert r["bal_skew"] <= P * r["bal_iter"] + 1e-9
+    # Imbalanced (equal-strip) runs skew more than balanced ones.
+    eq_mean = float(np.mean([r["eq_skew"] for r in rows]))
+    bal_mean = float(np.mean([r["bal_skew"] for r in rows]))
+    assert eq_mean > bal_mean

@@ -1,0 +1,63 @@
+"""E-T2: validate Table 2's combination rules against Monte Carlo.
+
+Paper artifact: Table 2 — arithmetic combinations of stochastic values
+(point + stochastic, related, unrelated; addition and multiplication).
+For every rule the closed form is compared against sampling from the
+underlying normals (independent for unrelated, comonotonic for related).
+Also demonstrates that footnote 5's literal reciprocal rule is a typo:
+the first-order rule tracks the sampled spread, the literal one does not.
+"""
+
+from conftest import emit
+
+from repro.experiments.report import write_csv
+from repro.experiments.tables import table2_checks
+from repro.util.tables import format_table
+
+
+def test_table2(benchmark, out_dir):
+    checks = benchmark(table2_checks, rng=0, n_samples=200_000)
+
+    body = format_table(
+        ["operation", "rule", "MC mean", "MC 2*std", "mean err"],
+        [
+            [c.operation, str(c.rule_result), c.mc_mean, c.mc_spread, f"{c.mean_error:.3%}"]
+            for c in checks
+        ],
+    )
+    emit("Table 2: stochastic combination rules vs Monte Carlo", body)
+    write_csv(
+        out_dir / "table2.csv",
+        ["operation", "rule_mean", "rule_spread", "mc_mean", "mc_spread", "mean_error"],
+        [
+            [c.operation, c.rule_result.mean, c.rule_result.spread, c.mc_mean, c.mc_spread, c.mean_error]
+            for c in checks
+        ],
+    )
+
+    by_op = {c.operation: c for c in checks}
+
+    # Every rule's mean must track the sampled mean closely.  Division is
+    # allowed a slightly larger gap: E[X/Y] exceeds E[X]/E[Y] by a
+    # Jensen term the first-order rule intentionally drops.
+    for c in checks:
+        limit = 0.04 if c.operation.startswith("divide") else 0.02
+        assert c.mean_error < limit, c.operation
+
+    # Exact (linear) rules reproduce the sampled spread.
+    for op in ("point + stochastic", "point * stochastic", "add (unrelated)", "add (related)"):
+        c = by_op[op]
+        assert abs(c.rule_result.spread - c.mc_spread) / c.mc_spread < 0.05, op
+
+    # The related multiply rule is conservative: at least the MC spread.
+    assert by_op["multiply (related)"].rule_result.spread >= by_op[
+        "multiply (related)"
+    ].mc_spread * 0.95
+
+    # Footnote 5: first-order reciprocal tracks MC; paper-literal does not.
+    good = by_op["divide (first-order reciprocal)"]
+    literal = by_op["divide (paper-literal reciprocal)"]
+    good_gap = abs(good.rule_result.spread - good.mc_spread)
+    literal_gap = abs(literal.rule_result.spread - literal.mc_spread)
+    assert good_gap < 0.2 * good.mc_spread
+    assert literal_gap > good_gap

@@ -1,0 +1,36 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+computes the same rows/series the artifact reports, prints them (visible
+with ``pytest benchmarks/ --benchmark-only -s``), writes them as CSV
+under ``benchmarks/out/``, and asserts the paper's *shape* holds.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_configure(config):
+    """One warm round per benchmark: each regenerates a whole experiment
+    (simulated minutes of cluster time), so repeated rounds add nothing
+    to the shape checks and multiply the wall time."""
+    if hasattr(config.option, "benchmark_min_rounds"):
+        config.option.benchmark_min_rounds = 1
+        config.option.benchmark_warmup = "off"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    """Directory for CSV dumps of regenerated tables/figures."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled report block."""
+    print()
+    print(f"=== {title} ===")
+    print(body)

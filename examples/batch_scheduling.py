@@ -1,0 +1,57 @@
+"""Closed-loop batch scheduling with stochastic information.
+
+Runs the Section 1.2 two-machine scenario as a live experiment: the NWS
+watches a stable machine A and a bursty machine B with equal production
+*mean* unit times; schedulers with different risk aversion repeatedly
+split a batch of work between them; realized makespans and prediction
+quality are compared.
+
+Run:  python examples/batch_scheduling.py
+"""
+
+import numpy as np
+
+from repro.batch import BatchApplication, run_scheduling_study
+from repro.workload.platforms import table1_platform
+
+
+def main() -> None:
+    plat = table1_platform(duration=4000.0, rng=7)
+    app = BatchApplication(total_units=120, elements_per_unit=2.5e6)
+
+    print("Platform (the paper's Table 1 system):")
+    for m in plat.machines:
+        avail = m.availability.values
+        unit = app.elements_per_unit / (m.elements_per_sec * avail.mean())
+        print(
+            f"  {m.name}: dedicated {app.dedicated_unit_time(m):.0f} s/unit, "
+            f"production ~{unit:.1f} s/unit "
+            f"(availability {avail.mean():.2f} +/- {2 * avail.std():.2f})"
+        )
+
+    studies = run_scheduling_study(plat, app, lams=(0.0, 0.5, 1.0, 2.0), n_rounds=25)
+
+    print(f"\n{'lambda':>6s} {'work on A':>10s} {'makespan':>10s} {'p95':>8s} "
+          f"{'pred err':>9s} {'capture':>8s}")
+    for s in studies:
+        share_a = np.mean([r.units[0] / sum(r.units) for r in s.rounds])
+        pred_err = np.mean(
+            [abs(r.realized - r.predicted.mean) / r.realized for r in s.rounds]
+        )
+        capture = np.mean([r.predicted.contains(r.realized) for r in s.rounds])
+        print(
+            f"{s.lam:6.1f} {share_a:10.0%} {s.mean_makespan:9.0f}s "
+            f"{s.p95_makespan:7.0f}s {pred_err:9.1%} {capture:8.0%}"
+        )
+
+    print(
+        "\nReading: lambda=0 reproduces the conventional point-value scheduler\n"
+        "(equal split, fastest on average, but unreliable predictions).\n"
+        "Risk-averse schedulers shift work to the stable machine, making the\n"
+        "stochastic makespan prediction accurate and well-calibrated — the\n"
+        "paper's 'penalty for an inaccurate prediction' trade, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

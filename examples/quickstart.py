@@ -1,0 +1,61 @@
+"""Quickstart: stochastic values and their combination arithmetic.
+
+Walks the paper's core abstraction end to end: defining stochastic
+values, combining them with the Table 2 rules, taking group maxima, and
+asking probabilistic questions of the results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    MaxStrategy,
+    Relatedness,
+    StochasticValue,
+    add,
+    divide,
+    multiply,
+    stochastic_max,
+)
+
+
+def main() -> None:
+    # A stochastic value is a mean +/- two standard deviations.
+    bandwidth = StochasticValue(8.0, 2.0)  # 8 +/- 2 Mbit/s
+    load = StochasticValue.from_percent(0.48, 10.0)  # 0.48 +/- 10%
+    print(f"bandwidth       = {bandwidth} Mbit/s")
+    print(f"cpu availability= {load}  (interval {load.interval})")
+
+    # Point values are zero-spread stochastic values (paper footnote 1).
+    message_mbits = StochasticValue.point(4.0)
+
+    # Table 2 arithmetic.  Transfer time = size / bandwidth:
+    transfer = divide(message_mbits, bandwidth)
+    print(f"\ntransfer time   = {transfer} s")
+
+    # Two transfers back to back.  If both happen under the same network
+    # conditions, their times are *related* — use the conservative rule:
+    round_trip_related = add(transfer, transfer, Relatedness.RELATED)
+    round_trip_indep = add(transfer, transfer, Relatedness.UNRELATED)
+    print(f"round trip (related)   = {round_trip_related} s")
+    print(f"round trip (unrelated) = {round_trip_indep} s   <- narrower")
+
+    # Dedicated compute time divided by availability gives production time.
+    dedicated = StochasticValue.point(10.0)
+    production = divide(dedicated, load)
+    print(f"\nproduction time = {production} s")
+
+    # Group Max over processors (Section 2.3.3): pick your strategy.
+    a = StochasticValue(4.0, 0.5)
+    b = StochasticValue(3.0, 2.0)
+    print(f"\nMax by mean     = {stochastic_max([a, b], MaxStrategy.BY_MEAN)}")
+    print(f"Max by endpoint = {stochastic_max([a, b], MaxStrategy.BY_ENDPOINT)}")
+    print(f"Max (Clark)     = {stochastic_max([a, b], MaxStrategy.CLARK)}")
+
+    # Probabilistic queries on any stochastic value.
+    print(f"\nP(production time > 25 s) = {production.prob_above(25.0):.1%}")
+    print(f"95th percentile           = {production.quantile(0.95):.1f} s")
+    print(f"multiply check: {multiply(a, b)}")
+
+
+if __name__ == "__main__":
+    main()

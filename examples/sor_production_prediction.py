@@ -1,0 +1,66 @@
+"""End-to-end SOR prediction on a simulated production platform.
+
+Recreates one Platform 2 prediction cycle by hand, showing every moving
+part of the reproduction: the bursty platform, the Network Weather
+Service monitoring it, the structural model parameterised with NWS
+stochastic values, and the simulated execution the prediction is judged
+against.
+
+Run:  python examples/sor_production_prediction.py
+"""
+
+from repro.core.intervals import mean_point_error, out_of_range_error
+from repro.nws import NetworkWeatherService
+from repro.sor import equal_strips, simulate_sor
+from repro.structural import SORModel, bindings_for_platform
+from repro.workload import platform2
+
+
+def main() -> None:
+    n, iterations = 1600, 20
+
+    # A production platform: Sparc-5, Sparc-10, 2x UltraSparc with
+    # bursty 4-modal CPU load and shared-ethernet contention.
+    plat = platform2(duration=1800.0, rng=2024)
+    print("Platform:")
+    for m in plat.machines:
+        print(f"  {m.name:10s} {m.elements_per_sec:9.0f} elt/s dedicated")
+
+    # The NWS monitors every resource at 5-second cadence.
+    nws = NetworkWeatherService()
+    for m in plat.machines:
+        nws.register(f"cpu:{m.name}", m.availability)
+    nws.register("net:ethernet", plat.network.default_segment.availability)
+
+    # Let it watch the system for ten minutes, then predict a run.
+    start = 600.0
+    nws.advance_to(start)
+    loads = {i: nws.query_window(f"cpu:{m.name}", 90.0) for i, m in enumerate(plat.machines)}
+    bw = nws.query_window("net:ethernet", 90.0)
+
+    print("\nNWS stochastic values at t=600 s:")
+    for i, m in enumerate(plat.machines):
+        print(f"  load[{m.name:10s}] = {loads[i]}")
+    print(f"  bw_avail         = {bw}")
+
+    # Parameterise the Section 2.2.1 structural model and predict.
+    dec = equal_strips(n, len(plat.machines))
+    model = SORModel(n_procs=len(plat.machines), iterations=iterations)
+    bindings = bindings_for_platform(plat.machines, plat.network, dec, loads=loads, bw_avail=bw)
+    prediction = model.predict(bindings)
+    print(f"\nstochastic prediction: {prediction} s   (range {prediction.lo:.1f}..{prediction.hi:.1f})")
+
+    print("\nper-processor component breakdown (red phase):")
+    for name, value in model.component_breakdown(bindings).items():
+        print(f"  {name:14s} = {value}")
+
+    # Execute the real phase program on the simulated cluster.
+    run = simulate_sor(plat.machines, plat.network, n, iterations, decomposition=dec, start_time=start)
+    print(f"\nactual execution time: {run.elapsed:.1f} s  (skew {run.max_skew:.2f} s)")
+    print(f"  inside stochastic range? {prediction.contains(run.elapsed)}")
+    print(f"  footnote-6 range error : {out_of_range_error(prediction, run.elapsed):.2f} s")
+    print(f"  mean point error       : {mean_point_error(prediction, run.elapsed):.1%}")
+
+
+if __name__ == "__main__":
+    main()

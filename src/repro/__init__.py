@@ -1,0 +1,45 @@
+"""repro — stochastic-value performance prediction in production environments.
+
+A complete reproduction of Schopf & Berman, *Performance Prediction in
+Production Environments* (IPPS/SPDP 1998): stochastic values and their
+combination arithmetic, structural performance models, a Network Weather
+Service, a simulated production cluster, a distributed Red-Black SOR
+application, and the paper's full experimental evaluation.
+
+Quick start::
+
+    from repro.core import StochasticValue, Relatedness, add
+    bw = StochasticValue(8.0, 2.0)            # 8 +/- 2 Mbit/s
+    load = StochasticValue.from_percent(0.48, 10)
+    print(add(bw, bw, Relatedness.UNRELATED))
+
+See ``examples/`` for end-to-end prediction workflows.
+"""
+
+from repro.core import (
+    MaxStrategy,
+    NormalDistribution,
+    PredictionQuality,
+    ReciprocalRule,
+    Relatedness,
+    StochasticValue,
+    as_stochastic,
+)
+from repro.structural import Bindings, EvalPolicy, SORModel, bindings_for_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StochasticValue",
+    "as_stochastic",
+    "NormalDistribution",
+    "Relatedness",
+    "ReciprocalRule",
+    "MaxStrategy",
+    "PredictionQuality",
+    "Bindings",
+    "EvalPolicy",
+    "SORModel",
+    "bindings_for_platform",
+    "__version__",
+]

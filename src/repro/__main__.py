@@ -1,0 +1,7 @@
+"""``python -m repro`` — regenerate paper artifacts from the shell."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

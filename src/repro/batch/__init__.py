@@ -1,0 +1,25 @@
+"""Embarrassingly parallel batch application (the Section 1.2 workload).
+
+The paper's motivating example is "a simple two-machine system executing
+an embarrassingly parallel application with a fixed number of units of
+work".  This subpackage makes that workload a first-class application
+alongside SOR: a work-unit model, a structural makespan model with
+stochastic parameters, a simulator mapping, and a closed scheduling loop
+(NWS stochastic unit times -> risk-tuned allocation -> simulated
+execution) used by the scheduling ablation benchmark.
+"""
+
+from repro.batch.application import BatchApplication, BatchRunResult, simulate_batch
+from repro.batch.model import BatchModel, batch_bindings
+from repro.batch.scheduler import SchedulingRound, SchedulingStudy, run_scheduling_study
+
+__all__ = [
+    "BatchApplication",
+    "BatchRunResult",
+    "simulate_batch",
+    "BatchModel",
+    "batch_bindings",
+    "SchedulingRound",
+    "SchedulingStudy",
+    "run_scheduling_study",
+]

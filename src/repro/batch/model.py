@@ -1,0 +1,94 @@
+"""Structural makespan model for the batch application.
+
+Per machine, completion time is a product/quotient of model parameters
+
+    Comp_p = units[p] * unit_elements * bm[p] / load[p]
+
+and the makespan is the group Max over busy machines — the same
+expression shapes as the SOR model (Section 2.2.1), reusing the
+stochastic expression AST and evaluation policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stochastic import StochasticValue
+from repro.structural.components import ComponentModel
+from repro.structural.expr import EvalPolicy, Expr, Max, Param
+from repro.structural.parameters import Bindings, param_name
+
+__all__ = ["BatchModel", "batch_bindings"]
+
+
+def _machine_component(p: int) -> ComponentModel:
+    expr: Expr = (
+        Param(param_name("units", p))
+        * Param("unit_elements")
+        * Param(param_name("bm", p))
+        / Param(param_name("load", p))
+    )
+    return ComponentModel(f"BatchComp[{p}]", expr)
+
+
+@dataclass(frozen=True)
+class BatchModel:
+    """Stochastic makespan model over ``n_machines`` workers."""
+
+    n_machines: int
+
+    def __post_init__(self) -> None:
+        if self.n_machines < 1:
+            raise ValueError(f"n_machines must be >= 1, got {self.n_machines}")
+
+    def expression(self, busy=None) -> Expr:
+        """Makespan expression; ``busy`` restricts to machines with work."""
+        procs = range(self.n_machines) if busy is None else [p for p in busy]
+        if not procs:
+            raise ValueError("at least one busy machine is required")
+        return Max(*(_machine_component(p) for p in procs))
+
+    def predict(
+        self,
+        bindings: Bindings,
+        policy: EvalPolicy | None = None,
+        *,
+        busy=None,
+    ) -> StochasticValue:
+        """Stochastic makespan under the bindings."""
+        return self.expression(busy).evaluate(bindings, policy)
+
+    def per_machine(
+        self, bindings: Bindings, policy: EvalPolicy | None = None
+    ) -> list[StochasticValue]:
+        """Per-machine completion-time predictions."""
+        return [
+            _machine_component(p).evaluate(bindings, policy) for p in range(self.n_machines)
+        ]
+
+
+def batch_bindings(
+    machines,
+    app,
+    units,
+    *,
+    loads: dict[int, object] | None = None,
+) -> Bindings:
+    """Bindings for :class:`BatchModel` from machines + an allocation.
+
+    ``loads`` maps machine index to a (stochastic) CPU availability;
+    unlisted machines are treated as dedicated.  Zero-unit machines are
+    bound with ``units[p] = 0`` so their component evaluates to zero.
+    """
+    machines = list(machines)
+    units = list(units)
+    if len(units) != len(machines):
+        raise ValueError(f"{len(units)} allocations for {len(machines)} machines")
+    b = Bindings()
+    b.bind("unit_elements", app.elements_per_unit)
+    for p, (machine, u) in enumerate(zip(machines, units)):
+        b.bind(param_name("units", p), float(u))
+        b.bind(param_name("bm", p), machine.benchmark_time)
+        load = 1.0 if loads is None or p not in loads else loads[p]
+        b.bind_runtime(param_name("load", p), load)
+    return b

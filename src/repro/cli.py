@@ -1,0 +1,284 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples
+--------
+::
+
+    python -m repro table1
+    python -m repro table2
+    python -m repro dedicated --sizes 1000 1600 2000
+    python -m repro platform1 --seed 11
+    python -m repro platform2 --size 1600 --runs 25 --seed 42
+    python -m repro figures --which 3 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.dedicated import run_dedicated_validation
+from repro.experiments.figures import figure1_2, figure3_4, figure5
+from repro.experiments.platform1 import run_platform1
+from repro.experiments.platform2 import run_platform2
+from repro.experiments.report import prediction_table
+from repro.experiments.tables import table1_allocations, table1_rows, table2_checks
+from repro.util.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table1(args) -> int:
+    rows = table1_rows()
+    allocs = table1_allocations(args.units)
+    print(
+        format_table(
+            ["setting", "machine A", "machine B", f"split of {args.units}"],
+            [
+                [
+                    r.setting,
+                    r.machine_a.describe(as_percent=True),
+                    r.machine_b.describe(as_percent=True),
+                    f"{allocs[r.setting][0]}/{allocs[r.setting][1]}",
+                ]
+                for r in rows
+            ],
+            title="Table 1: unit-of-work execution times",
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    checks = table2_checks(rng=args.seed, n_samples=args.samples)
+    print(
+        format_table(
+            ["operation", "rule", "MC mean", "MC 2*std", "mean err"],
+            [
+                [c.operation, str(c.rule_result), c.mc_mean, c.mc_spread, f"{c.mean_error:.3%}"]
+                for c in checks
+            ],
+            title="Table 2: combination rules vs Monte Carlo",
+        )
+    )
+    return 0
+
+
+def _cmd_dedicated(args) -> int:
+    rows = run_dedicated_validation(sizes=tuple(args.sizes), iterations=args.iterations)
+    print(
+        format_table(
+            ["N", "predicted_s", "actual_s", "error"],
+            [[r.problem_size, r.predicted, r.actual, f"{r.error:.2%}"] for r in rows],
+            title="Dedicated validation (paper: within 2%)",
+        )
+    )
+    worst = max(r.error for r in rows)
+    print(f"\nmax error: {worst:.2%}")
+    return 0 if worst < 0.02 else 1
+
+
+def _cmd_platform1(args) -> int:
+    result = run_platform1(sizes=tuple(args.sizes), rng=args.seed)
+    print(f"preliminary stochastic load: {result.stochastic_load}")
+    print(prediction_table(result.points, x_label="N"))
+    print(f"\n{result.quality.summary()}")
+    return 0
+
+
+def _cmd_platform2(args) -> int:
+    result = run_platform2(args.size, n_runs=args.runs, rng=args.seed)
+    print(prediction_table(result.points))
+    print(f"\n{result.quality.summary()}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.util.ascii_plot import ascii_histogram
+
+    which = set(args.which)
+    if which & {1, 2}:
+        fig = figure1_2(rng=args.seed)
+        print(f"Figures 1/2: sort runtimes {fig.fit.value}, KS={fig.fit.ks_distance:.3f}, "
+              f"looks_normal={fig.fit.looks_normal()}")
+        if args.plot:
+            print(ascii_histogram(fig.samples, bins=16, label="runtime (s)"))
+    if which & {3, 4}:
+        fig = figure3_4(rng=args.seed)
+        print(f"Figures 3/4: bandwidth {fig.fit.value}, "
+              f"2-sigma coverage={fig.coverage.actual_coverage:.1%} "
+              f"(nominal {fig.coverage.nominal_coverage:.1%})")
+        if args.plot:
+            print(ascii_histogram(fig.samples, bins=24, label="bandwidth (Mbit/s)"))
+    if 5 in which:
+        fig = figure5(rng=args.seed)
+        modes = ", ".join(f"{m.mean:.2f} (w={m.weight:.2f})" for m in fig.modes)
+        print(f"Figure 5: detected modes {modes}")
+        if args.plot:
+            print(ascii_histogram(fig.samples, bins=24, label="CPU load"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.util.ascii_plot import ascii_series
+    from repro.workload.platforms import platform1, platform2
+
+    make = platform2 if args.platform == 2 else platform1
+    plat = make(duration=args.duration, rng=args.seed)
+    machine = plat.machines[args.machine]
+    print(
+        ascii_series(
+            machine.availability.values,
+            label=f"platform {args.platform} load on {machine.name} "
+            f"({args.duration:.0f} s, seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.experiments.memory import run_memory_limit_study
+
+    rows = run_memory_limit_study(sizes=tuple(args.sizes))
+    print(
+        format_table(
+            ["N", "in core", "actual_s", "naive err", "aware err"],
+            [
+                [r.problem_size, "yes" if r.in_core else "NO", r.actual,
+                 f"{r.naive_error:.1%}", f"{r.aware_error:.1%}"]
+                for r in rows
+            ],
+            title="Memory boundary (naive vs paging-aware model)",
+        )
+    )
+    return 0
+
+
+def _cmd_calibration(args) -> int:
+    from repro.experiments.calibration import run_calibration_study
+
+    rows = run_calibration_study(windows=tuple(args.windows), rng=args.seed)
+    print(
+        format_table(
+            ["regime", "window_s", "coverage", "sharpness", "MAE"],
+            [
+                [r.regime, r.window_seconds, f"{r.report.coverage:.1%}",
+                 f"{r.report.sharpness:.3f}", f"{r.report.mae:.4f}"]
+                for r in rows
+            ],
+            title="NWS query-window calibration",
+        )
+    )
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.scheduling.sor_advisor import advise_decomposition
+    from repro.workload.platforms import platform2
+
+    plat = platform2(duration=args.at + 60.0, rng=args.seed)
+    from repro.core.stochastic import StochasticValue
+
+    loads = {
+        i: StochasticValue.from_samples(
+            m.availability.window(max(0.0, args.at - 90.0), args.at).values
+        )
+        for i, m in enumerate(plat.machines)
+    }
+    choice = advise_decomposition(
+        plat.machines, plat.network, args.size, args.iterations, loads, lam=args.lam
+    )
+    print(
+        format_table(
+            ["candidate", "machines", "prediction", "objective"],
+            [
+                [
+                    c.label,
+                    ",".join(plat.machines[i].name for i in c.machine_indices),
+                    str(c.prediction),
+                    c.objective,
+                ]
+                for c in choice.candidates
+            ],
+            title=f"Decomposition advice for {args.size}^2 x {args.iterations} iters "
+            f"(lam={args.lam})",
+        )
+    )
+    print(f"\nadvice: {choice.best.label}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts from 'Performance Prediction in Production Environments'.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1 + scheduling splits")
+    p.add_argument("--units", type=int, default=120)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="Table 2 rules vs Monte Carlo")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--samples", type=int, default=200_000)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("dedicated", help="dedicated-model validation")
+    p.add_argument("--sizes", type=int, nargs="+", default=[1000, 1400, 2000])
+    p.add_argument("--iterations", type=int, default=20)
+    p.set_defaults(func=_cmd_dedicated)
+
+    p = sub.add_parser("platform1", help="Platform 1 experiment (Figures 8/9)")
+    p.add_argument("--sizes", type=int, nargs="+", default=[1000, 1200, 1400, 1600, 1800, 2000])
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=_cmd_platform1)
+
+    p = sub.add_parser("platform2", help="Platform 2 experiment (Figures 12-17)")
+    p.add_argument("--size", type=int, default=1600)
+    p.add_argument("--runs", type=int, default=25)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_platform2)
+
+    p = sub.add_parser("figures", help="methodology figures 1-5")
+    p.add_argument("--which", type=int, nargs="+", default=[1, 2, 3, 4, 5])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plot", action="store_true", help="render ASCII histograms")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("trace", help="render a platform load trace (Figures 8/11)")
+    p.add_argument("--platform", type=int, choices=(1, 2), default=2)
+    p.add_argument("--machine", type=int, default=0)
+    p.add_argument("--duration", type=float, default=1800.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("memory", help="in-core boundary study")
+    p.add_argument("--sizes", type=int, nargs="+", default=[600, 800, 1000, 1200, 1400])
+    p.set_defaults(func=_cmd_memory)
+
+    p = sub.add_parser("calibration", help="NWS query-window calibration study")
+    p.add_argument("--windows", type=float, nargs="+", default=[15.0, 45.0, 90.0, 180.0, 360.0])
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=_cmd_calibration)
+
+    p = sub.add_parser("advise", help="SOR decomposition advice on Platform 2")
+    p.add_argument("--size", type=int, default=1600)
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--at", type=float, default=600.0, help="decision time in the trace")
+    p.add_argument("--lam", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=17)
+    p.set_defaults(func=_cmd_advise)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

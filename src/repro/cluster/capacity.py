@@ -1,0 +1,82 @@
+"""Work/time inversion on time-varying capacity.
+
+A production machine delivers a time-varying fraction of its dedicated
+rate.  Given a piecewise-constant availability trace and an amount of
+work, these routines answer the simulator's two questions:
+
+* how long does ``work`` started at ``t0`` take?  (:func:`completion_time`)
+* how much work completes in ``[t0, t1]``?  (via ``Trace.integrate``)
+
+Both are exact for step-function traces (no numerical integration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, check_positive
+from repro.workload.traces import Trace
+
+__all__ = ["completion_time", "effective_rate"]
+
+
+def effective_rate(base_rate: float, availability: Trace, t: float) -> float:
+    """Instantaneous delivered rate at time ``t``: ``base_rate * avail(t)``."""
+    check_positive(base_rate, "base_rate")
+    return base_rate * availability.value_at(t)
+
+
+def completion_time(
+    work: float,
+    base_rate: float,
+    availability: Trace,
+    t0: float,
+) -> float:
+    """Finish time of ``work`` units started at ``t0``.
+
+    Solves ``integral_{t0}^{t1} base_rate * avail(t) dt = work`` exactly
+    over the step-function trace.  Availability is clamped to its last
+    value beyond the trace end (and to its first value before the start),
+    so completion is always finite as long as that boundary value is
+    positive.
+    """
+    check_nonnegative(work, "work")
+    check_positive(base_rate, "base_rate")
+    if work == 0.0:
+        return t0
+
+    remaining = work / base_rate  # units: seconds at availability 1.0
+    edges = availability.edges
+    values = availability.values
+
+    # Region before the trace: first value holds.
+    if t0 < edges[0]:
+        v = float(values[0])
+        if v <= 0:
+            raise ValueError("availability must be positive to make progress")
+        span = edges[0] - t0
+        can_do = span * v
+        if remaining <= can_do:
+            return t0 + remaining / v
+        remaining -= can_do
+        t0 = float(edges[0])
+
+    if t0 < edges[-1]:
+        i = int(np.clip(np.searchsorted(edges, t0, side="right") - 1, 0, values.size - 1))
+        while i < values.size:
+            seg_end = float(edges[i + 1])
+            v = float(values[i])
+            span = seg_end - t0
+            if v > 0:
+                can_do = span * v
+                if remaining <= can_do:
+                    return t0 + remaining / v
+                remaining -= can_do
+            t0 = seg_end
+            i += 1
+
+    # Region after the trace: last value holds forever.
+    v = float(values[-1])
+    if v <= 0:
+        raise ValueError("availability must be positive beyond the trace end")
+    return t0 + remaining / v

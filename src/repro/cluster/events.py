@@ -1,0 +1,125 @@
+"""A small discrete-event kernel.
+
+The SOR simulator's phase structure is a pure dataflow recurrence and
+does not need a general event queue, but the surrounding machinery does:
+NWS sensors sample on a fixed cadence while an experiment advances, and
+users of the library can schedule arbitrary callbacks against simulated
+time.  The kernel is a classic heap-ordered event list with stable
+FIFO ordering for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue", "Simulation"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback: ordered by time, then insertion order."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Heap-ordered pending events with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at ``time``; returns the event handle."""
+        ev = Event(time=float(time), seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulation:
+    """A simulated clock driving an :class:`EventQueue`.
+
+    Actions may schedule further events (via :meth:`at` / :meth:`after`);
+    :meth:`run_until` executes events in time order, never moving the
+    clock backwards.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue = EventQueue()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} before now ({self._now})")
+        return self._queue.push(time, action)
+
+    def after(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self._queue.push(self._now + delay, action)
+
+    def every(self, period: float, action: Callable[[float], None], *, until: float) -> None:
+        """Schedule ``action(t)`` every ``period`` seconds up to ``until``.
+
+        Used by NWS sensors for their fixed measurement cadence.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+
+        def tick(t: float) -> None:
+            action(t)
+            nxt = t + period
+            if nxt <= until:
+                self._queue.push(nxt, lambda: tick(nxt))
+
+        first = self._now + period
+        if first <= until:
+            self._queue.push(first, lambda: tick(first))
+
+    def run_until(self, end: float) -> None:
+        """Execute pending events with ``time <= end``; clock ends at ``end``."""
+        if end < self._now:
+            raise ValueError(f"cannot run to {end}, already at {self._now}")
+        while self._queue:
+            t = self._queue.peek_time()
+            if t is None or t > end:
+                break
+            ev = self._queue.pop()
+            self._now = max(self._now, ev.time)
+            ev.action()
+        self._now = end
+
+    def run_all(self) -> None:
+        """Execute every pending event (must terminate)."""
+        while self._queue:
+            ev = self._queue.pop()
+            self._now = max(self._now, ev.time)
+            ev.action()

@@ -1,0 +1,70 @@
+"""Machine model for the simulated production cluster.
+
+A machine has a *dedicated* compute rate (elements it can update per
+second with no competing users — the reciprocal of the paper's
+``BM(Elt)`` benchmark) and a CPU-availability trace describing what
+fraction of that rate production contention leaves to the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.capacity import completion_time
+from repro.util.validation import check_positive
+from repro.workload.traces import Trace
+
+__all__ = ["Machine"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A (possibly shared) workstation in the cluster.
+
+    Attributes
+    ----------
+    name:
+        Identifier ("sparc2-a", "ultra-1", ...).
+    elements_per_sec:
+        Dedicated compute rate for the target kernel: grid elements
+        updated per second when the machine is otherwise idle.  The
+        paper's benchmark parameter is ``BM(Elt) = 1 / elements_per_sec``.
+    memory_elements:
+        How many grid elements fit in main memory; problems beyond this
+        would page and break the model's in-core assumption (the paper
+        restricts to "problem sizes which fit within main memory").
+    availability:
+        CPU availability trace (fraction of the machine the application
+        gets); ``Trace.constant(1.0)`` models a dedicated machine.
+    """
+
+    name: str
+    elements_per_sec: float
+    memory_elements: float = float("inf")
+    availability: Trace = field(default_factory=lambda: Trace.constant(1.0))
+
+    def __post_init__(self) -> None:
+        check_positive(self.elements_per_sec, "elements_per_sec")
+        if self.memory_elements <= 0:
+            raise ValueError(f"memory_elements must be > 0, got {self.memory_elements}")
+
+    @property
+    def benchmark_time(self) -> float:
+        """Dedicated seconds per element — the paper's ``BM(Elt)``."""
+        return 1.0 / self.elements_per_sec
+
+    def with_availability(self, availability: Trace) -> "Machine":
+        """A copy of this machine under a different availability trace."""
+        return replace(self, availability=availability)
+
+    def dedicated(self) -> "Machine":
+        """A copy of this machine with no competing load."""
+        return self.with_availability(Trace.constant(1.0))
+
+    def compute_finish(self, elements: float, t0: float) -> float:
+        """Finish time of updating ``elements`` grid elements from ``t0``."""
+        return completion_time(elements, self.elements_per_sec, self.availability, t0)
+
+    def fits_in_memory(self, elements: float) -> bool:
+        """True when a strip of ``elements`` stays in core."""
+        return elements <= self.memory_elements

@@ -1,0 +1,101 @@
+"""Network model: dedicated link capacity times an availability trace.
+
+The SOR structural model consumes exactly two network quantities
+(Section 2.2.1): ``DedBW(x, y)``, the dedicated bandwidth between two
+processors, and ``BWAvail``, the fraction of it available to the
+application.  The simulated network mirrors that: every machine pair
+shares one ethernet segment with a common dedicated capacity and a common
+availability trace (the paper's platform is a single shared 10 Mbit
+segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.capacity import completion_time
+from repro.util.validation import check_nonnegative, check_positive
+from repro.workload.network import ETHERNET_10MBIT_BYTES_PER_SEC
+from repro.workload.traces import Trace
+
+__all__ = ["Network", "SharedEthernet"]
+
+
+@dataclass(frozen=True)
+class SharedEthernet:
+    """A single shared segment: one capacity, one availability trace.
+
+    Attributes
+    ----------
+    dedicated_bytes_per_sec:
+        Capacity with no competing traffic (paper: 10 Mbit/s).
+    availability:
+        Fraction of the dedicated capacity the application obtains.
+    latency:
+        Fixed per-message latency in seconds (setup + propagation).
+    """
+
+    dedicated_bytes_per_sec: float = ETHERNET_10MBIT_BYTES_PER_SEC
+    availability: Trace = field(default_factory=lambda: Trace.constant(1.0))
+    latency: float = 1e-3
+
+    def __post_init__(self) -> None:
+        check_positive(self.dedicated_bytes_per_sec, "dedicated_bytes_per_sec")
+        check_nonnegative(self.latency, "latency")
+
+    def transfer_finish(self, nbytes: float, t0: float) -> float:
+        """Completion time of an ``nbytes`` message entering the wire at ``t0``."""
+        check_nonnegative(nbytes, "nbytes")
+        if nbytes == 0:
+            return t0 + self.latency
+        return self.latency + completion_time(
+            nbytes, self.dedicated_bytes_per_sec, self.availability, t0
+        )
+
+    def with_availability(self, availability: Trace) -> "SharedEthernet":
+        """A copy of the segment under a different availability trace."""
+        return SharedEthernet(
+            dedicated_bytes_per_sec=self.dedicated_bytes_per_sec,
+            availability=availability,
+            latency=self.latency,
+        )
+
+
+class Network:
+    """Pairwise view over one or more segments.
+
+    The default production platform maps every pair to a single
+    :class:`SharedEthernet`; per-pair overrides allow heterogeneous
+    topologies (e.g. a fast link between two of the machines).
+    """
+
+    def __init__(self, default: SharedEthernet | None = None):
+        self._default = default if default is not None else SharedEthernet()
+        self._overrides: dict[tuple[str, str], SharedEthernet] = {}
+
+    @property
+    def default_segment(self) -> SharedEthernet:
+        """Segment used for every pair without an override."""
+        return self._default
+
+    def set_link(self, a: str, b: str, segment: SharedEthernet) -> None:
+        """Install a dedicated segment for the unordered pair ``{a, b}``."""
+        self._overrides[self._key(a, b)] = segment
+
+    def link(self, a: str, b: str) -> SharedEthernet:
+        """The segment connecting ``a`` and ``b``."""
+        if a == b:
+            raise ValueError(f"no self-link for machine {a!r}")
+        return self._overrides.get(self._key(a, b), self._default)
+
+    def transfer_finish(self, a: str, b: str, nbytes: float, t0: float) -> float:
+        """Completion time of an ``nbytes`` message from ``a`` to ``b``."""
+        return self.link(a, b).transfer_finish(nbytes, t0)
+
+    def dedicated_bandwidth(self, a: str, b: str) -> float:
+        """The structural-model parameter ``DedBW(a, b)`` in bytes/second."""
+        return self.link(a, b).dedicated_bytes_per_sec
+
+    @staticmethod
+    def _key(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)

@@ -1,0 +1,81 @@
+"""Core contribution: stochastic values, Table 2 arithmetic, group ops, metrics.
+
+This subpackage is a faithful implementation of Sections 2.1 and 2.3 of
+Schopf & Berman (IPPS/SPDP '98): values reported as ``mean +/- 2*std``
+under an assumption of normality, combination rules for related and
+unrelated distributions, situation-dependent ``Max``/``Min`` strategies,
+and the prediction-quality metrics used in the paper's evaluation.
+"""
+
+from repro.core.arithmetic import (
+    Relatedness,
+    ReciprocalRule,
+    add,
+    divide,
+    linear_combination,
+    multiply,
+    product_stochastic,
+    reciprocal,
+    scale,
+    shift,
+    subtract,
+    sum_stochastic,
+)
+from repro.core.group_ops import (
+    MaxStrategy,
+    clark_max,
+    max_by_endpoint,
+    max_by_mean,
+    min_by_endpoint,
+    min_by_mean,
+    monte_carlo_max,
+    stochastic_max,
+    stochastic_min,
+)
+from repro.core.intervals import (
+    PredictionQuality,
+    assess_predictions,
+    capture_fraction,
+    mean_point_error,
+    out_of_range_error,
+    relative_out_of_range_error,
+)
+from repro.core.empirical import EmpiricalValue, as_empirical
+from repro.core.normal import TWO_SIGMA_COVERAGE, NormalDistribution
+from repro.core.stochastic import StochasticValue, as_stochastic
+
+__all__ = [
+    "StochasticValue",
+    "as_stochastic",
+    "EmpiricalValue",
+    "as_empirical",
+    "NormalDistribution",
+    "TWO_SIGMA_COVERAGE",
+    "Relatedness",
+    "ReciprocalRule",
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "reciprocal",
+    "scale",
+    "shift",
+    "sum_stochastic",
+    "product_stochastic",
+    "linear_combination",
+    "MaxStrategy",
+    "stochastic_max",
+    "stochastic_min",
+    "max_by_mean",
+    "max_by_endpoint",
+    "min_by_mean",
+    "min_by_endpoint",
+    "clark_max",
+    "monte_carlo_max",
+    "PredictionQuality",
+    "assess_predictions",
+    "capture_fraction",
+    "mean_point_error",
+    "out_of_range_error",
+    "relative_out_of_range_error",
+]

@@ -1,0 +1,207 @@
+"""Arithmetic over stochastic values — the paper's Table 2.
+
+Section 2.3 derives combination rules from standard statistical error
+propagation [Bar78], exploiting the closure of normal distributions under
+linear combination [LM86].  Two regimes are distinguished:
+
+*related* distributions
+    There is a causal connection between the values (e.g. heavy network
+    traffic lowers bandwidth *and* raises latency).  Sums use the
+    conservative rule ``sum(X_i) +/- sum(|a_i|)`` so the data is not
+    "over-smoothed".
+
+*unrelated* distributions
+    The values are independent; sums use the probability-based
+    root-sum-square rule ``sum(X_i) +/- sqrt(sum(a_i**2))``.
+
+Multiplication follows the same split:
+
+related:    ``(Xi +/- ai)(Xj +/- aj) = XiXj +/- (|ai Xj| + |aj Xi| + |ai aj|)``
+unrelated:  ``XiXj +/- |XiXj| sqrt((ai/Xi)**2 + (aj/Xj)**2)`` with the
+            convention that the product is zero when either mean is zero.
+
+Division is multiplication by a reciprocal.  Paper footnote 5 literally
+defines the reciprocal of ``Y +/- b`` as ``1/Y +/- 1/b``, which diverges as
+``b -> 0`` and contradicts the point-value limit; we treat that as a typo
+and default to first-order error propagation ``1/Y +/- b/Y**2`` (constant
+relative error).  The literal rule remains available via
+:class:`ReciprocalRule` and is compared against Monte Carlo in the Table 2
+benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Iterable
+
+from repro.core.stochastic import StochasticValue, as_stochastic
+
+__all__ = [
+    "Relatedness",
+    "ReciprocalRule",
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "reciprocal",
+    "scale",
+    "shift",
+    "sum_stochastic",
+    "product_stochastic",
+    "linear_combination",
+]
+
+
+class Relatedness(enum.Enum):
+    """Whether two stochastic values' distributions are causally related."""
+
+    RELATED = "related"
+    UNRELATED = "unrelated"
+
+
+class ReciprocalRule(enum.Enum):
+    """How to form the reciprocal of a stochastic value (footnote 5)."""
+
+    #: First-order error propagation: ``1/Y +/- b/Y**2``.  Default.
+    FIRST_ORDER = "first_order"
+    #: The paper's literal text: ``1/Y +/- 1/b`` (diverges for small b).
+    PAPER_LITERAL = "paper_literal"
+
+
+def shift(x: StochasticValue, p: float) -> StochasticValue:
+    """Add a point value: ``(X +/- a) + P = (X + P) +/- a`` (Table 2)."""
+    x = as_stochastic(x)
+    return StochasticValue(x.mean + float(p), x.spread)
+
+
+def scale(x: StochasticValue, p: float) -> StochasticValue:
+    """Multiply by a point value: ``P (X +/- a) = PX +/- |P| a`` (Table 2)."""
+    x = as_stochastic(x)
+    p = float(p)
+    return StochasticValue(p * x.mean, abs(p) * x.spread)
+
+
+def add(x, y, relatedness: Relatedness = Relatedness.UNRELATED) -> StochasticValue:
+    """Add two (possibly point) stochastic values.
+
+    Point operands reduce to the point-value row of Table 2; two genuinely
+    stochastic operands combine per ``relatedness``.
+    """
+    x, y = as_stochastic(x), as_stochastic(y)
+    if x.is_point:
+        return shift(y, x.mean)
+    if y.is_point:
+        return shift(x, y.mean)
+    mean = x.mean + y.mean
+    if relatedness is Relatedness.RELATED:
+        spread = abs(x.spread) + abs(y.spread)
+    else:
+        spread = math.hypot(x.spread, y.spread)
+    return StochasticValue(mean, spread)
+
+
+def subtract(x, y, relatedness: Relatedness = Relatedness.UNRELATED) -> StochasticValue:
+    """Subtract: same form as addition with a negated mean (Section 2.3.1)."""
+    return add(x, -as_stochastic(y), relatedness)
+
+
+def multiply(x, y, relatedness: Relatedness = Relatedness.UNRELATED) -> StochasticValue:
+    """Multiply two stochastic values per Table 2.
+
+    Notes
+    -----
+    - A point operand uses the exact linear rule (``scale``).
+    - In the unrelated rule the relative errors add in quadrature; when
+      either mean is zero the paper defines the product to be zero.
+    - The product of two normals is long-tailed, not normal; per Section
+      2.1.1 we approximate it as normal and accept the tail error.
+    """
+    x, y = as_stochastic(x), as_stochastic(y)
+    if x.is_point:
+        return scale(y, x.mean)
+    if y.is_point:
+        return scale(x, y.mean)
+    mean = x.mean * y.mean
+    if relatedness is Relatedness.RELATED:
+        spread = abs(x.spread * y.mean) + abs(y.spread * x.mean) + abs(x.spread * y.spread)
+        return StochasticValue(mean, spread)
+    # Unrelated: zero-mean convention, then quadrature of relative errors.
+    # Computed division-free as hypot(ai*Xj, aj*Xi), which equals
+    # |XiXj| * sqrt((ai/Xi)^2 + (aj/Xj)^2) without overflow for tiny means.
+    if x.mean == 0.0 or y.mean == 0.0:
+        return StochasticValue.point(0.0)
+    spread = math.hypot(x.spread * y.mean, y.spread * x.mean)
+    return StochasticValue(mean, spread)
+
+
+def reciprocal(
+    y, rule: ReciprocalRule = ReciprocalRule.FIRST_ORDER
+) -> StochasticValue:
+    """Reciprocal ``1 / (Y +/- b)`` (see module docstring on footnote 5)."""
+    y = as_stochastic(y)
+    if y.mean == 0.0:
+        raise ZeroDivisionError("reciprocal of a zero-mean stochastic value")
+    inv_mean = 1.0 / y.mean
+    if y.is_point:
+        return StochasticValue.point(inv_mean)
+    if rule is ReciprocalRule.PAPER_LITERAL:
+        return StochasticValue(inv_mean, 1.0 / y.spread)
+    return StochasticValue(inv_mean, y.spread / (y.mean * y.mean))
+
+
+def divide(
+    x,
+    y,
+    relatedness: Relatedness = Relatedness.UNRELATED,
+    rule: ReciprocalRule = ReciprocalRule.FIRST_ORDER,
+) -> StochasticValue:
+    """Divide per footnote 5: multiplication by the reciprocal of ``y``."""
+    x, y = as_stochastic(x), as_stochastic(y)
+    if y.is_point:
+        if y.mean == 0.0:
+            raise ZeroDivisionError("division by a zero point value")
+        return scale(x, 1.0 / y.mean)
+    return multiply(x, reciprocal(y, rule), relatedness)
+
+
+def sum_stochastic(
+    values: Iterable, relatedness: Relatedness = Relatedness.UNRELATED
+) -> StochasticValue:
+    """Sum many stochastic values under one relatedness policy.
+
+    Implements the n-ary Table 2 rows directly:
+    related ``sum X_i +/- sum |a_i|``; unrelated ``sum X_i +/- sqrt(sum a_i**2)``.
+    """
+    vals = [as_stochastic(v) for v in values]
+    if not vals:
+        return StochasticValue.point(0.0)
+    mean = sum(v.mean for v in vals)
+    if relatedness is Relatedness.RELATED:
+        spread = sum(abs(v.spread) for v in vals)
+    else:
+        spread = math.sqrt(sum(v.spread * v.spread for v in vals))
+    return StochasticValue(mean, spread)
+
+
+def product_stochastic(
+    values: Iterable, relatedness: Relatedness = Relatedness.UNRELATED
+) -> StochasticValue:
+    """Left fold of :func:`multiply` over ``values`` (empty product is 1)."""
+    result = StochasticValue.point(1.0)
+    for v in values:
+        result = multiply(result, v, relatedness)
+    return result
+
+
+def linear_combination(
+    coeffs: Iterable[float],
+    values: Iterable,
+    relatedness: Relatedness = Relatedness.UNRELATED,
+) -> StochasticValue:
+    """``sum(c_i * v_i)`` — exact under normal closure for point coefficients."""
+    coeffs = list(coeffs)
+    vals = [as_stochastic(v) for v in values]
+    if len(coeffs) != len(vals):
+        raise ValueError(f"length mismatch: {len(coeffs)} coeffs vs {len(vals)} values")
+    return sum_stochastic((scale(v, c) for c, v in zip(coeffs, vals)), relatedness)

@@ -1,0 +1,216 @@
+"""Empirical stochastic values: general distributions without the normal
+approximation.
+
+Section 2.1 motivates the normal summary as a *trade*: "we have exchanged
+the efficiency of computing the distribution for the quality of its
+results."  This module implements the other side of that trade — a
+stochastic value carried as a sample cloud, combined by elementwise
+(related/comonotonic) or permuted (unrelated/independent) sampling — so
+the cost of the normal approximation can be measured instead of assumed.
+The ablation benchmark ``bench_ablation_empirical.py`` does exactly that
+for the SOR prediction.
+
+An :class:`EmpiricalValue` intentionally mirrors the
+:class:`~repro.core.stochastic.StochasticValue` query API (interval,
+cdf/quantile, contains, prob_above) so prediction-quality metrics work on
+either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.arithmetic import Relatedness
+from repro.core.stochastic import StochasticValue
+from repro.util.rng import as_generator
+from repro.util.validation import check_array_1d
+
+__all__ = ["EmpiricalValue"]
+
+#: Default sample-cloud size for derived values.
+DEFAULT_SIZE = 4096
+
+
+def _align(x: "EmpiricalValue", y: "EmpiricalValue") -> tuple[np.ndarray, np.ndarray]:
+    """Equal-length sample views (resampled by sorted quantiles if needed).
+
+    Quantile resampling of the smaller cloud preserves its shape but can
+    shift its mean by O(range/n) for tiny clouds; combine equal-size
+    clouds when exactness matters.
+    """
+    if x.samples.size == y.samples.size:
+        return x.samples, y.samples
+    n = max(x.samples.size, y.samples.size)
+    qs = (np.arange(n) + 0.5) / n
+    return (
+        np.quantile(x.samples, qs) if x.samples.size != n else x.samples,
+        np.quantile(y.samples, qs) if y.samples.size != n else y.samples,
+    )
+
+
+@dataclass(frozen=True)
+class EmpiricalValue:
+    """A stochastic value represented by its sample cloud.
+
+    Attributes
+    ----------
+    samples:
+        The measured or derived sample values (1-D, finite).
+    """
+
+    samples: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = check_array_1d(self.samples, "samples")
+        object.__setattr__(self, "samples", arr)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, data) -> "EmpiricalValue":
+        """Wrap measured data (copied, flattened)."""
+        return cls(np.array(data, dtype=float).ravel().copy())
+
+    @classmethod
+    def from_stochastic(
+        cls, value: StochasticValue, n: int = DEFAULT_SIZE, rng=None
+    ) -> "EmpiricalValue":
+        """Sample cloud drawn from a normal stochastic value."""
+        return cls(value.sample(n, rng))
+
+    @classmethod
+    def point(cls, value: float, n: int = 8) -> "EmpiricalValue":
+        """A degenerate cloud at one value."""
+        return cls(np.full(n, float(value)))
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1 when possible)."""
+        if self.samples.size < 2:
+            return 0.0
+        return float(self.samples.std(ddof=1))
+
+    @property
+    def spread(self) -> float:
+        """Two standard deviations — the paper's ``a``."""
+        return 2.0 * self.std
+
+    def to_stochastic(self) -> StochasticValue:
+        """The normal summary ``mean +/- 2*std`` of this cloud."""
+        return StochasticValue(self.mean, self.spread)
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """Central ~95% interval by *quantiles* (exact for any shape)."""
+        lo, hi = np.quantile(self.samples, [0.0228, 0.9772])
+        return float(lo), float(hi)
+
+    # ------------------------------------------------------------------
+    # Probability queries
+    # ------------------------------------------------------------------
+    def cdf(self, x: float) -> float:
+        """Empirical P(X <= x)."""
+        return float(np.mean(self.samples <= x))
+
+    def quantile(self, p: float) -> float:
+        """Empirical quantile at ``p`` in (0, 1)."""
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        return float(np.quantile(self.samples, p))
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` falls inside the central ~95% interval."""
+        lo, hi = self.interval
+        return lo <= value <= hi
+
+    def prob_above(self, threshold: float) -> float:
+        """Empirical P(X > threshold)."""
+        return float(np.mean(self.samples > threshold))
+
+    # ------------------------------------------------------------------
+    # Arithmetic by sampling
+    # ------------------------------------------------------------------
+    def _combine(self, other, op, relatedness: Relatedness, rng) -> "EmpiricalValue":
+        other = as_empirical(other)
+        a, b = _align(self, other)
+        if relatedness is Relatedness.UNRELATED:
+            gen = as_generator(rng)
+            b = gen.permutation(b)
+        else:
+            # Comonotonic pairing: sort both clouds.
+            a, b = np.sort(a), np.sort(b)
+        return EmpiricalValue(op(a, b))
+
+    def add(self, other, relatedness=Relatedness.UNRELATED, rng=None) -> "EmpiricalValue":
+        """Sum of the two distributions under the chosen coupling."""
+        return self._combine(other, np.add, relatedness, rng)
+
+    def subtract(self, other, relatedness=Relatedness.UNRELATED, rng=None) -> "EmpiricalValue":
+        """Difference under the chosen coupling."""
+        return self._combine(other, np.subtract, relatedness, rng)
+
+    def multiply(self, other, relatedness=Relatedness.UNRELATED, rng=None) -> "EmpiricalValue":
+        """Product under the chosen coupling."""
+        return self._combine(other, np.multiply, relatedness, rng)
+
+    def divide(self, other, relatedness=Relatedness.UNRELATED, rng=None) -> "EmpiricalValue":
+        """Quotient under the chosen coupling (denominator must avoid 0)."""
+        other = as_empirical(other)
+        if np.any(other.samples == 0.0):
+            raise ZeroDivisionError("denominator cloud contains zero")
+        return self._combine(other, np.divide, relatedness, rng)
+
+    def scale(self, factor: float) -> "EmpiricalValue":
+        """Multiply by a point value (exact)."""
+        return EmpiricalValue(self.samples * float(factor))
+
+    def shift(self, offset: float) -> "EmpiricalValue":
+        """Add a point value (exact)."""
+        return EmpiricalValue(self.samples + float(offset))
+
+    @staticmethod
+    def maximum(values, rng=None) -> "EmpiricalValue":
+        """Exact (sampled) group Max over independent clouds."""
+        values = [as_empirical(v) for v in values]
+        if not values:
+            raise ValueError("max of an empty collection")
+        gen = as_generator(rng)
+        n = max(v.samples.size for v in values)
+        qs = (np.arange(n) + 0.5) / n
+        stacked = np.stack(
+            [
+                gen.permutation(
+                    v.samples if v.samples.size == n else np.quantile(v.samples, qs)
+                )
+                for v in values
+            ]
+        )
+        return EmpiricalValue(stacked.max(axis=0))
+
+    def __str__(self) -> str:
+        lo, hi = self.interval
+        return f"empirical[{self.mean:g} in ({lo:g}, {hi:g}), n={self.samples.size}]"
+
+
+def as_empirical(value) -> EmpiricalValue:
+    """Coerce numbers / stochastic values / clouds to :class:`EmpiricalValue`."""
+    if isinstance(value, EmpiricalValue):
+        return value
+    if isinstance(value, StochasticValue):
+        if value.is_point:
+            return EmpiricalValue.point(value.mean)
+        return EmpiricalValue.from_stochastic(value, rng=0)
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return EmpiricalValue.point(float(value))
+    raise TypeError(f"cannot interpret {type(value).__name__} as an empirical value")

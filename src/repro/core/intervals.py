@@ -1,0 +1,122 @@
+"""Prediction-quality metrics for stochastic predictions.
+
+The paper evaluates stochastic predictions with three quantities:
+
+* whether measured values fall inside the predicted range (Platform 1:
+  100% capture; Platform 2: ~80%);
+* the error of values *outside* the range, defined in footnote 6 as "the
+  minimum distance between v and (X - a, X + a)" (Platform 2: max ~14%);
+* the error between the *means* of the stochastic predictions (a
+  reasonable point value) and the actual times (Platform 1: max 9.7%,
+  Platform 2: max 38.6%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.stochastic import as_stochastic
+
+__all__ = [
+    "out_of_range_error",
+    "relative_out_of_range_error",
+    "mean_point_error",
+    "capture_fraction",
+    "PredictionQuality",
+    "assess_predictions",
+]
+
+
+def out_of_range_error(prediction, actual: float) -> float:
+    """Footnote-6 error: 0 inside the range, else distance to the nearer endpoint."""
+    p = as_stochastic(prediction)
+    if p.contains(actual):
+        return 0.0
+    return min(abs(actual - p.lo), abs(actual - p.hi))
+
+
+def relative_out_of_range_error(prediction, actual: float) -> float:
+    """Footnote-6 error as a fraction of the actual value."""
+    if actual == 0:
+        raise ZeroDivisionError("relative error undefined for zero actual value")
+    return out_of_range_error(prediction, actual) / abs(actual)
+
+
+def mean_point_error(prediction, actual: float) -> float:
+    """Relative error of the prediction *mean* against the actual value."""
+    if actual == 0:
+        raise ZeroDivisionError("relative error undefined for zero actual value")
+    p = as_stochastic(prediction)
+    return abs(p.mean - actual) / abs(actual)
+
+
+def capture_fraction(predictions: Sequence, actuals: Sequence[float]) -> float:
+    """Fraction of actual values inside their prediction's reported range."""
+    preds = [as_stochastic(p) for p in predictions]
+    if len(preds) != len(actuals):
+        raise ValueError(f"length mismatch: {len(preds)} predictions vs {len(actuals)} actuals")
+    if not preds:
+        raise ValueError("cannot assess an empty prediction set")
+    hits = sum(1 for p, a in zip(preds, actuals) if p.contains(a))
+    return hits / len(preds)
+
+
+@dataclass(frozen=True)
+class PredictionQuality:
+    """Aggregate quality of a series of stochastic predictions.
+
+    Attributes
+    ----------
+    capture:
+        Fraction of actuals falling inside the stochastic range.
+    max_range_error:
+        Maximum relative footnote-6 error over the series.
+    mean_range_error:
+        Mean relative footnote-6 error (zero for captured points).
+    max_mean_error:
+        Maximum relative error of the prediction means (point-value view).
+    mean_mean_error:
+        Mean relative error of the prediction means.
+    n:
+        Number of (prediction, actual) pairs assessed.
+    """
+
+    capture: float
+    max_range_error: float
+    mean_range_error: float
+    max_mean_error: float
+    mean_mean_error: float
+    n: int
+
+    def summary(self) -> str:
+        """One-line report in the paper's terms."""
+        return (
+            f"capture={100 * self.capture:.1f}%  "
+            f"max range err={100 * self.max_range_error:.1f}%  "
+            f"max mean err={100 * self.max_mean_error:.1f}%  (n={self.n})"
+        )
+
+
+def assess_predictions(predictions: Sequence, actuals: Sequence[float]) -> PredictionQuality:
+    """Compute all paper metrics for a series of predictions vs actuals."""
+    preds = [as_stochastic(p) for p in predictions]
+    acts = np.asarray(actuals, dtype=float)
+    if len(preds) != acts.size:
+        raise ValueError(f"length mismatch: {len(preds)} predictions vs {acts.size} actuals")
+    if not preds:
+        raise ValueError("cannot assess an empty prediction set")
+    if np.any(acts == 0):
+        raise ValueError("actual values must be nonzero for relative errors")
+    range_errs = np.array([relative_out_of_range_error(p, a) for p, a in zip(preds, acts)])
+    mean_errs = np.array([mean_point_error(p, a) for p, a in zip(preds, acts)])
+    return PredictionQuality(
+        capture=capture_fraction(preds, acts),
+        max_range_error=float(range_errs.max()),
+        mean_range_error=float(range_errs.mean()),
+        max_mean_error=float(mean_errs.max()),
+        mean_mean_error=float(mean_errs.mean()),
+        n=len(preds),
+    )

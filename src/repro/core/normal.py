@@ -1,0 +1,90 @@
+"""Normal-distribution object used by the stochastic-value machinery.
+
+The paper (Section 2.1) summarises characteristic data with a normal
+distribution described by a mean and a standard deviation; "a range equal
+to two standard deviations includes approximately 95% of the possible
+values".  :class:`NormalDistribution` is the concrete distribution object
+behind every :class:`~repro.core.stochastic.StochasticValue`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import as_generator
+from repro.util.stats import normal_cdf, normal_pdf, normal_quantile
+from repro.util.validation import check_finite, check_nonnegative
+
+__all__ = ["NormalDistribution", "TWO_SIGMA_COVERAGE"]
+
+# Exact probability mass of a normal distribution within mean +/- 2 sigma.
+TWO_SIGMA_COVERAGE = 0.9544997361036416
+
+
+@dataclass(frozen=True)
+class NormalDistribution:
+    """A normal distribution N(mean, std**2); ``std == 0`` is a point mass.
+
+    Parameters
+    ----------
+    mean:
+        Center of the distribution.
+    std:
+        Standard deviation (>= 0).
+    """
+
+    mean: float
+    std: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mean", check_finite(self.mean, "mean"))
+        object.__setattr__(self, "std", check_nonnegative(self.std, "std"))
+
+    @property
+    def variance(self) -> float:
+        """Variance, ``std**2``."""
+        return self.std * self.std
+
+    def pdf(self, x):
+        """Probability density at ``x`` (raises for a point mass)."""
+        if self.std == 0:
+            raise ValueError("a point mass has no density")
+        return normal_pdf(x, self.mean, self.std)
+
+    def cdf(self, x):
+        """P(X <= x); a point mass degenerates to a step at ``mean``."""
+        return normal_cdf(x, self.mean, self.std)
+
+    def quantile(self, p):
+        """Inverse CDF at probability ``p`` in (0, 1)."""
+        if self.std == 0:
+            scalar = np.isscalar(p)
+            p_arr = np.asarray(p, dtype=float)
+            if np.any((p_arr <= 0) | (p_arr >= 1)):
+                raise ValueError("quantile probabilities must lie strictly in (0, 1)")
+            out = np.full_like(p_arr, self.mean)
+            return float(out) if scalar else out
+        return normal_quantile(p, self.mean, self.std)
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` i.i.d. samples."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        gen = as_generator(rng)
+        if self.std == 0:
+            return np.full(n, self.mean)
+        return gen.normal(self.mean, self.std, size=n)
+
+    def interval(self, k_sigma: float = 2.0) -> tuple[float, float]:
+        """The ``mean +/- k_sigma * std`` interval (paper default: 2 sigma)."""
+        check_nonnegative(k_sigma, "k_sigma")
+        half = k_sigma * self.std
+        return (self.mean - half, self.mean + half)
+
+    def coverage(self, lo: float, hi: float) -> float:
+        """Probability mass falling inside ``[lo, hi]``."""
+        if hi < lo:
+            raise ValueError(f"empty interval [{lo}, {hi}]")
+        return float(self.cdf(hi) - self.cdf(lo))

@@ -1,0 +1,231 @@
+"""Stochastic values: the paper's central abstraction.
+
+A *stochastic value* (Section 1.1) represents a system or application
+characteristic as "a set of possible values weighted by probabilities"
+rather than a single point.  Following Section 2.1 the library assumes the
+underlying distribution is (approximately) normal and reports a stochastic
+value in the paper's canonical form
+
+    X  +/-  a
+
+where ``X`` is the mean and ``a`` is **two standard deviations**, so the
+reported range covers ~95% of the distribution's mass.  A point value is a
+stochastic value with zero spread (paper footnote 1: "One can think of a
+point value as a stochastic value in which the probability of X is 1").
+
+Stochastic values are reported either as absolute ranges ("8 Mbit/s +/- 2
+Mbit/s") or percentage ranges ("0.48 +/- 10%"); the paper translates
+percentage ranges to absolute algebraically (footnote 3) and so do we
+(:meth:`StochasticValue.from_percent`).
+
+Arithmetic dunders delegate to :mod:`repro.core.arithmetic` using the
+*unrelated* (independent) combination rules; use the module functions
+directly to choose the *related* (conservative) rules of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.normal import NormalDistribution
+from repro.util.stats import mean_and_std
+from repro.util.validation import check_finite, check_nonnegative
+
+__all__ = ["StochasticValue", "as_stochastic"]
+
+
+@dataclass(frozen=True)
+class StochasticValue:
+    """A value reported as ``mean +/- spread`` with ``spread = 2 * std``.
+
+    Parameters
+    ----------
+    mean:
+        The center of the range (the paper's ``X``).
+    spread:
+        The half-width of the ~95% range (the paper's ``a``), equal to two
+        standard deviations of the associated normal distribution.  Must be
+        nonnegative; zero makes this a point value.
+    """
+
+    mean: float
+    spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mean", check_finite(self.mean, "mean"))
+        object.__setattr__(self, "spread", check_nonnegative(self.spread, "spread"))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def point(cls, value: float) -> "StochasticValue":
+        """A point value: probability 1 at ``value`` (footnote 1)."""
+        return cls(float(value), 0.0)
+
+    @classmethod
+    def from_percent(cls, mean: float, percent: float) -> "StochasticValue":
+        """Build from a percentage range, e.g. ``12 s +/- 30%``.
+
+        The paper's Table 1 uses this form; the absolute spread is
+        ``|mean| * percent / 100``.
+        """
+        check_nonnegative(percent, "percent")
+        return cls(float(mean), abs(float(mean)) * percent / 100.0)
+
+    @classmethod
+    def from_std(cls, mean: float, std: float) -> "StochasticValue":
+        """Build from a mean and *one* standard deviation."""
+        return cls(float(mean), 2.0 * check_nonnegative(std, "std"))
+
+    @classmethod
+    def from_samples(cls, data, ddof: int = 1) -> "StochasticValue":
+        """Summarise measured data as ``mean +/- 2*sample_std``."""
+        m, s = mean_and_std(data, ddof=ddof)
+        return cls(m, 2.0 * s)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def std(self) -> float:
+        """One standard deviation (``spread / 2``)."""
+        return self.spread / 2.0
+
+    @property
+    def variance(self) -> float:
+        """Variance of the associated normal distribution."""
+        return self.std * self.std
+
+    @property
+    def is_point(self) -> bool:
+        """True when the spread is zero (a conventional point value)."""
+        return self.spread == 0.0
+
+    @property
+    def lo(self) -> float:
+        """Lower endpoint of the reported range, ``mean - spread``."""
+        return self.mean - self.spread
+
+    @property
+    def hi(self) -> float:
+        """Upper endpoint of the reported range, ``mean + spread``."""
+        return self.mean + self.spread
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The reported ``(lo, hi)`` range (two standard deviations)."""
+        return (self.lo, self.hi)
+
+    @property
+    def percent(self) -> float:
+        """Spread as a percentage of the mean (requires nonzero mean)."""
+        if self.mean == 0:
+            raise ZeroDivisionError("percentage form undefined for zero mean")
+        return 100.0 * self.spread / abs(self.mean)
+
+    @property
+    def distribution(self) -> NormalDistribution:
+        """The associated normal distribution N(mean, (spread/2)**2)."""
+        return NormalDistribution(self.mean, self.std)
+
+    # ------------------------------------------------------------------
+    # Probability queries
+    # ------------------------------------------------------------------
+    def pdf(self, x):
+        """Density of the associated normal at ``x``."""
+        return self.distribution.pdf(x)
+
+    def cdf(self, x):
+        """P(X <= x) under the associated normal."""
+        return self.distribution.cdf(x)
+
+    def quantile(self, p):
+        """Inverse CDF at ``p`` in (0, 1)."""
+        return self.distribution.quantile(p)
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` samples from the associated normal."""
+        return self.distribution.sample(n, rng)
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the reported range."""
+        return self.lo <= value <= self.hi
+
+    def prob_above(self, threshold: float) -> float:
+        """P(X > threshold) — the Section 1.2 "service range" query."""
+        return 1.0 - float(self.cdf(threshold))
+
+    def prob_below(self, threshold: float) -> float:
+        """P(X < threshold)."""
+        return float(self.cdf(threshold))
+
+    # ------------------------------------------------------------------
+    # Arithmetic (unrelated-rule dunders; see repro.core.arithmetic)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.core.arithmetic import add
+
+        return add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.core.arithmetic import subtract
+
+        return subtract(self, other)
+
+    def __rsub__(self, other):
+        from repro.core.arithmetic import subtract
+
+        return subtract(other, self)
+
+    def __mul__(self, other):
+        from repro.core.arithmetic import multiply
+
+        return multiply(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.core.arithmetic import divide
+
+        return divide(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.core.arithmetic import divide
+
+        return divide(other, self)
+
+    def __neg__(self):
+        return StochasticValue(-self.mean, self.spread)
+
+    def __pos__(self):
+        return self
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.is_point:
+            return f"{self.mean:g}"
+        return f"{self.mean:g} +/- {self.spread:g}"
+
+    def describe(self, *, as_percent: bool = False) -> str:
+        """Human-readable form; percentage style mirrors the paper's Table 1."""
+        if self.is_point:
+            return f"{self.mean:g}"
+        if as_percent:
+            return f"{self.mean:g} +/- {self.percent:g}%"
+        return str(self)
+
+
+def as_stochastic(value) -> StochasticValue:
+    """Coerce a number or stochastic value to :class:`StochasticValue`."""
+    if isinstance(value, StochasticValue):
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return StochasticValue.point(float(value))
+    raise TypeError(f"cannot interpret {type(value).__name__} as a stochastic value")

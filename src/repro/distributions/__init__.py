@@ -1,0 +1,48 @@
+"""Distribution machinery: histograms, normal fits, long tails, modes.
+
+Implements Section 2.1 of the paper: defining stochastic values from
+measured data, approximating general and long-tailed distributions with
+normals (and quantifying the coverage cost, Section 2.1.1), and detecting
+and combining the modes of multi-modal data (Section 2.1.2).
+"""
+
+from repro.distributions.fitting import NormalFit, fit_normal, jarque_bera, ks_distance_to_normal
+from repro.distributions.histogram import Histogram, empirical_cdf, empirical_coverage
+from repro.distributions.longtail import (
+    CoverageReport,
+    LongTailSpec,
+    coverage_report,
+    sample_long_tailed,
+)
+from repro.distributions.mixture import (
+    combine_modes_linear,
+    combine_modes_mixture,
+    normalize_weights,
+)
+from repro.distributions.modal import (
+    GaussianMixture1D,
+    ModeEstimate,
+    find_modes_histogram,
+    fit_gaussian_mixture,
+)
+
+__all__ = [
+    "Histogram",
+    "empirical_cdf",
+    "empirical_coverage",
+    "NormalFit",
+    "fit_normal",
+    "jarque_bera",
+    "ks_distance_to_normal",
+    "LongTailSpec",
+    "sample_long_tailed",
+    "CoverageReport",
+    "coverage_report",
+    "ModeEstimate",
+    "find_modes_histogram",
+    "GaussianMixture1D",
+    "fit_gaussian_mixture",
+    "combine_modes_linear",
+    "combine_modes_mixture",
+    "normalize_weights",
+]

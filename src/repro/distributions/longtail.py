@@ -1,0 +1,155 @@
+"""Long-tailed distributions and the cost of a normal approximation.
+
+Section 2.1.1: characteristic system data often has "a threshold value"
+with performance varying "monotonically from that point in a long-tailed
+fashion, with the median several points below the threshold" — the
+paper's example is ethernet bandwidth between two workstations (Figures
+3/4).  For that data the normal summary is 5.25 +/- 0.8, but only ~91% of
+the actual values fall inside the range instead of the ~95% a true normal
+would cover: "we have exchanged the efficiency of computing the
+distribution for the quality of its results."
+
+The generator models the mechanism behind that shape: most measurements
+sit in a tight bulk just under the dedicated-capacity threshold, while a
+minority — taken during contention bursts — fall well below it.  The
+contention tail both drags the median below the threshold and pushes mass
+outside the fitted 2-sigma interval, reproducing the sub-nominal coverage
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.normal import TWO_SIGMA_COVERAGE
+from repro.distributions.fitting import NormalFit, fit_normal
+from repro.distributions.histogram import empirical_coverage
+from repro.util.rng import as_generator
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["LongTailSpec", "sample_long_tailed", "CoverageReport", "coverage_report"]
+
+
+@dataclass(frozen=True)
+class LongTailSpec:
+    """A threshold-anchored long-tailed distribution.
+
+    With probability ``1 - tail_weight`` a sample is drawn from the bulk,
+    ``min(threshold, N(threshold - bulk_offset, bulk_std**2))``; with
+    probability ``tail_weight`` it is a contention measurement,
+    ``threshold - bulk_offset - tail_start - Exponential(tail_scale)``.
+
+    Attributes
+    ----------
+    threshold:
+        Hard upper bound (e.g. dedicated ethernet bandwidth).
+    bulk_offset:
+        How far the bulk center sits below the threshold.
+    bulk_std:
+        Standard deviation of the bulk.
+    tail_weight:
+        Fraction of samples in the contention tail (in [0, 1)).
+    tail_start:
+        Gap between the bulk center and the top of the tail.
+    tail_scale:
+        Mean of the exponential tail extension.
+    """
+
+    threshold: float
+    bulk_offset: float
+    bulk_std: float
+    tail_weight: float
+    tail_start: float
+    tail_scale: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.bulk_std, "bulk_std")
+        check_in_range(self.tail_weight, "tail_weight", 0.0, 1.0, inclusive=(True, False))
+        check_positive(self.tail_start, "tail_start")
+        check_positive(self.tail_scale, "tail_scale")
+
+    @property
+    def bulk_mean(self) -> float:
+        """Center of the bulk component."""
+        return self.threshold - self.bulk_offset
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` samples (all at or below ``threshold``)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        gen = as_generator(rng)
+        bulk = np.minimum(gen.normal(self.bulk_mean, self.bulk_std, size=n), self.threshold)
+        tail = self.bulk_mean - self.tail_start - gen.exponential(self.tail_scale, size=n)
+        in_tail = gen.random(n) < self.tail_weight
+        return np.where(in_tail, tail, bulk)
+
+
+def sample_long_tailed(
+    n: int,
+    *,
+    threshold: float = 6.1,
+    bulk_offset: float = 0.6,
+    bulk_std: float = 0.28,
+    tail_weight: float = 0.09,
+    tail_start: float = 2.0,
+    tail_scale: float = 0.3,
+    rng=None,
+) -> np.ndarray:
+    """Sampler whose defaults reproduce the Figure 3 bandwidth data.
+
+    The defaults yield a mean near the paper's 5.25 "Mbit/s" with ~91% of
+    samples inside the fitted 2-sigma range (vs ~95% nominal) — the
+    Section 2.1.1 coverage shortfall.
+    """
+    spec = LongTailSpec(
+        threshold=threshold,
+        bulk_offset=bulk_offset,
+        bulk_std=bulk_std,
+        tail_weight=tail_weight,
+        tail_start=tail_start,
+        tail_scale=tail_scale,
+    )
+    return spec.sample(n, rng)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """How well ``mean +/- 2*std`` covers long-tailed data.
+
+    Attributes
+    ----------
+    fitted:
+        The :class:`~repro.distributions.fitting.NormalFit` of the data.
+    actual_coverage:
+        Fraction of samples inside the fitted 2-sigma range.
+    nominal_coverage:
+        What a true normal would cover (~0.954, reported by the paper as
+        "approximately 95%").
+    shortfall:
+        ``nominal_coverage - actual_coverage`` — the data "excluded in an
+        assumption of normality".
+    """
+
+    fitted: NormalFit
+    actual_coverage: float
+    nominal_coverage: float
+    shortfall: float
+
+
+def coverage_report(data) -> CoverageReport:
+    """Fit a normal and measure real vs nominal 2-sigma coverage.
+
+    For the paper's bandwidth data this reports ~91% actual vs ~95%
+    nominal (Section 2.1.1).
+    """
+    fit = fit_normal(data)
+    lo, hi = fit.value.interval
+    actual = empirical_coverage(data, lo, hi)
+    return CoverageReport(
+        fitted=fit,
+        actual_coverage=actual,
+        nominal_coverage=TWO_SIGMA_COVERAGE,
+        shortfall=TWO_SIGMA_COVERAGE - actual,
+    )

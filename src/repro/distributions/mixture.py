@@ -1,0 +1,96 @@
+"""Combining modal distributions into a single stochastic value.
+
+Section 2.1.2: when data "changes modes frequently or unpredictably, or if
+the application is long-running", the paper forms an approximate
+stochastic value by averaging the modal distributions weighted by the
+fraction of time spent in each mode:
+
+    P1 (M1 +/- SD1) + P2 (M2 +/- SD2) + P3 (M3 +/- SD3)
+
+"Since each mode can be thought of as having a normal distribution, so
+will the average stochastic value."  Two interpretations of that formula
+coexist and both are provided:
+
+* :func:`combine_modes_linear` — the literal linear combination of
+  normal random variables (scaled means, spreads combined per the chosen
+  relatedness rule).  This matches the paper's Section 2.3 machinery and
+  is what the structural models use.
+* :func:`combine_modes_mixture` — moment-matching of the *mixture*
+  distribution (the random variable that *is* mode i with probability
+  P_i).  This has the larger, between-mode variance and is the better
+  summary when an execution samples one mode at random.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.core.arithmetic import Relatedness, scale, sum_stochastic
+from repro.core.stochastic import StochasticValue
+from repro.distributions.modal import ModeEstimate
+from repro.util.stats import weighted_mean_and_std
+
+__all__ = ["combine_modes_linear", "combine_modes_mixture", "normalize_weights"]
+
+
+def normalize_weights(weights: Sequence[float]) -> list[float]:
+    """Scale weights to sum to 1, rejecting negatives and zero totals."""
+    if not weights:
+        raise ValueError("at least one weight is required")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be nonnegative")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    return [float(w) / total for w in weights]
+
+
+def _split(modes: Sequence) -> tuple[list[float], list[StochasticValue]]:
+    weights, values = [], []
+    for m in modes:
+        if isinstance(m, ModeEstimate):
+            weights.append(m.weight)
+            values.append(m.value)
+        else:
+            w, v = m
+            weights.append(float(w))
+            values.append(v if isinstance(v, StochasticValue) else StochasticValue(*v))
+    return normalize_weights(weights), values
+
+
+def combine_modes_linear(
+    modes: Sequence, relatedness: Relatedness = Relatedness.RELATED
+) -> StochasticValue:
+    """The paper's literal formula: ``sum P_i (M_i +/- SD_i)``.
+
+    ``modes`` is a sequence of :class:`ModeEstimate` or ``(weight,
+    StochasticValue)`` pairs; weights are normalised to sum to 1.  The
+    default relatedness is RELATED (conservative), matching the paper's
+    preference for not over-smoothing.
+    """
+    weights, values = _split(modes)
+    return sum_stochastic(
+        (scale(v, w) for w, v in zip(weights, values)), relatedness
+    )
+
+
+def combine_modes_mixture(modes: Sequence) -> StochasticValue:
+    """Moment-matched normal summary of the mode *mixture*.
+
+    If an observation falls in mode i with probability P_i and is then
+    N(M_i, SD_i**2), the mixture has
+
+        mean = sum P_i M_i
+        var  = sum P_i (SD_i**2 + M_i**2) - mean**2
+
+    which includes the between-mode variance that the linear combination
+    misses.  Used by the bursty-platform experiments as the "static
+    benchmark over a long period" alternative the paper mentions.
+    """
+    weights, values = _split(modes)
+    means = [v.mean for v in values]
+    mean, _ = weighted_mean_and_std(means, weights)
+    second = sum(w * (v.std**2 + v.mean**2) for w, v in zip(weights, values))
+    var = max(second - mean * mean, 0.0)
+    return StochasticValue.from_std(mean, math.sqrt(var))

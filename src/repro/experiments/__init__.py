@@ -1,0 +1,46 @@
+"""Experiment harnesses regenerating every table and figure in the paper."""
+
+from repro.experiments.dedicated import DedicatedRow, run_dedicated_validation
+from repro.experiments.figures import DistributionFigure, figure1_2, figure3_4, figure5
+from repro.experiments.memory import MemoryRow, run_memory_limit_study
+from repro.experiments.platform1 import Platform1Point, Platform1Result, run_platform1
+from repro.experiments.platform2 import (
+    Platform2Point,
+    Platform2Result,
+    platform2_load_study,
+    run_platform2,
+)
+from repro.experiments.report import figure_series_table, prediction_table, write_csv
+from repro.experiments.tables import (
+    Table1Row,
+    Table2Check,
+    table1_allocations,
+    table1_rows,
+    table2_checks,
+)
+
+__all__ = [
+    "DedicatedRow",
+    "run_dedicated_validation",
+    "MemoryRow",
+    "run_memory_limit_study",
+    "DistributionFigure",
+    "figure1_2",
+    "figure3_4",
+    "figure5",
+    "Platform1Point",
+    "Platform1Result",
+    "run_platform1",
+    "Platform2Point",
+    "Platform2Result",
+    "run_platform2",
+    "platform2_load_study",
+    "Table1Row",
+    "Table2Check",
+    "table1_rows",
+    "table1_allocations",
+    "table2_checks",
+    "prediction_table",
+    "figure_series_table",
+    "write_csv",
+]

@@ -1,0 +1,78 @@
+"""Calibration study: choosing the NWS query horizon.
+
+The Platform 2 experiments parameterise the model with windowed NWS
+statistics over a trailing window; this study justifies the window
+choice empirically.  For each candidate window length, the windowed
+query is scored against run-horizon outcomes (the mean availability over
+the next ~run duration) on both load regimes: coverage should approach
+(and with conservative windows exceed) the nominal 2-sigma level as the
+window grows past the burst time scale, while sharpness degrades — the
+classic coverage/sharpness trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stochastic import StochasticValue
+from repro.nws.evaluation import CalibrationReport, calibrate_query
+from repro.util.rng import as_generator
+from repro.workload.loadgen import bursty_trace, single_mode_trace
+from repro.workload.modes import PLATFORM1_MODES, PLATFORM2_MODES
+
+__all__ = ["CalibrationRow", "run_calibration_study"]
+
+#: NWS sampling period in seconds (one sample = 5 s).
+SAMPLE_PERIOD = 5.0
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One (regime, window) cell of the study.
+
+    Attributes
+    ----------
+    regime:
+        "single-mode" or "bursty".
+    window_seconds:
+        Trailing history length of the windowed query.
+    report:
+        Calibration metrics against run-horizon outcomes.
+    """
+
+    regime: str
+    window_seconds: float
+    report: CalibrationReport
+
+
+def run_calibration_study(
+    windows=(15.0, 45.0, 90.0, 180.0, 360.0),
+    *,
+    horizon_seconds: float = 60.0,
+    duration: float = 28_800.0,
+    rng=None,
+) -> list[CalibrationRow]:
+    """Score windowed queries across window lengths on both regimes."""
+    gen = as_generator(rng)
+    series = {
+        "single-mode": single_mode_trace(
+            PLATFORM1_MODES.modes[1], duration, rng=gen
+        ).values,
+        "bursty": bursty_trace(PLATFORM2_MODES, duration, rng=gen).values,
+    }
+    horizon = max(int(round(horizon_seconds / SAMPLE_PERIOD)), 1)
+
+    rows = []
+    for regime, values in series.items():
+        for window in windows:
+            history = max(int(round(window / SAMPLE_PERIOD)), 2)
+            report = calibrate_query(
+                values,
+                lambda w: StochasticValue.from_samples(w),
+                history=history,
+                horizon=horizon,
+            )
+            rows.append(
+                CalibrationRow(regime=regime, window_seconds=float(window), report=report)
+            )
+    return rows

@@ -1,0 +1,114 @@
+"""Data series for the paper's methodology figures (Figures 1-5).
+
+Each function returns the series the corresponding figure plots, so the
+benchmark harness can print (and optionally CSV-dump) them:
+
+* Figures 1/2 — dedicated sort-benchmark runtimes: histogram + fitted
+  normal PDF, empirical + normal CDF.
+* Figures 3/4 — long-tailed ethernet bandwidth: histogram + fitted
+  normal PDF/CDF and the coverage shortfall (~91% vs ~95%).
+* Figure 5 — tri-modal production CPU load histogram with detected
+  modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.fitting import NormalFit, fit_normal
+from repro.distributions.histogram import Histogram, empirical_cdf
+from repro.distributions.longtail import CoverageReport, coverage_report
+from repro.distributions.modal import ModeEstimate, find_modes_histogram
+from repro.util.rng import as_generator
+from repro.workload.benchmarks import dedicated_sort_runtimes
+from repro.workload.loadgen import bursty_trace
+from repro.workload.modes import PLATFORM1_MODES
+from repro.workload.network import figure3_bandwidth_samples
+
+__all__ = [
+    "DistributionFigure",
+    "figure1_2",
+    "figure3_4",
+    "figure5",
+]
+
+
+@dataclass(frozen=True)
+class DistributionFigure:
+    """Everything a PDF+CDF figure pair plots.
+
+    Attributes
+    ----------
+    samples:
+        The raw measurements.
+    histogram:
+        Density histogram of the samples (the PDF bars).
+    fit:
+        Fitted-normal summary and diagnostics (the smooth PDF curve is
+        ``fit.value.pdf(x)``).
+    cdf_x, cdf_y:
+        Empirical CDF knots.
+    coverage:
+        Present for long-tailed data: the 2-sigma coverage report.
+    modes:
+        Present for modal data: detected modes.
+    """
+
+    samples: np.ndarray
+    histogram: Histogram
+    fit: NormalFit
+    cdf_x: np.ndarray
+    cdf_y: np.ndarray
+    coverage: CoverageReport | None = None
+    modes: tuple[ModeEstimate, ...] = ()
+
+
+def figure1_2(n_runs: int = 300, *, rng=None) -> DistributionFigure:
+    """Dedicated sort runtimes: near-normal histogram, PDF and CDF."""
+    samples = dedicated_sort_runtimes(n_runs, rng=rng)
+    cdf_x, cdf_y = empirical_cdf(samples)
+    return DistributionFigure(
+        samples=samples,
+        histogram=Histogram.from_data(samples, bins=24),
+        fit=fit_normal(samples),
+        cdf_x=cdf_x,
+        cdf_y=cdf_y,
+    )
+
+
+def figure3_4(n_samples: int = 2000, *, rng=None) -> DistributionFigure:
+    """Long-tailed bandwidth: histogram, fitted normal, coverage shortfall."""
+    samples = figure3_bandwidth_samples(n_samples, rng=rng)
+    cdf_x, cdf_y = empirical_cdf(samples)
+    report = coverage_report(samples)
+    return DistributionFigure(
+        samples=samples,
+        histogram=Histogram.from_data(samples, bins=30),
+        fit=report.fitted,
+        cdf_x=cdf_x,
+        cdf_y=cdf_y,
+        coverage=report,
+    )
+
+
+def figure5(duration: float = 40_000.0, *, rng=None) -> DistributionFigure:
+    """Tri-modal production load histogram with detected modes.
+
+    A long bursty trace over the Platform 1 modal model visits every mode
+    with its stationary weight, reproducing Figure 5's shape.
+    """
+    gen = as_generator(rng)
+    trace = bursty_trace(PLATFORM1_MODES, duration, rng=gen)
+    samples = trace.values
+    cdf_x, cdf_y = empirical_cdf(samples)
+    modes = tuple(find_modes_histogram(samples, bins=40))
+    return DistributionFigure(
+        samples=samples,
+        histogram=Histogram.from_data(samples, bins=40),
+        fit=fit_normal(samples),
+        cdf_x=cdf_x,
+        cdf_y=cdf_y,
+        modes=modes,
+    )

@@ -1,0 +1,108 @@
+"""The in-core boundary: what happens past main memory.
+
+Section 3.1 scopes the Platform 1 result to "problem sizes which fit
+within main memory"; Figure 9's x-axis stops where strips start paging.
+This experiment probes that boundary on a platform with deliberately
+small memories: in-core sizes predict to within the paper's 2%, while
+out-of-core sizes thrash and blow the unaware model's error up by an
+order of magnitude — unless the model is told (a paging-aware benchmark
+parameter restores accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import Network, SharedEthernet
+from repro.sor.decomposition import equal_strips
+from repro.sor.distributed import simulate_sor
+from repro.structural.parameters import param_name
+from repro.structural.sor_model import SORModel, bindings_for_platform
+from repro.workload.platforms import make_machine
+
+__all__ = ["MemoryRow", "run_memory_limit_study"]
+
+#: Thrashing slowdown applied to paging machines by the simulator.
+PAGING_PENALTY = 25.0
+
+
+@dataclass(frozen=True)
+class MemoryRow:
+    """One problem size's behaviour at the memory boundary.
+
+    Attributes
+    ----------
+    problem_size:
+        Grid side length N.
+    in_core:
+        True when every strip fits its machine's memory.
+    naive_error:
+        Relative error of the memory-unaware model.
+    aware_error:
+        Relative error of the model whose benchmark parameter accounts
+        for the paging penalty on over-committed machines.
+    actual:
+        Simulated execution time (seconds).
+    """
+
+    problem_size: int
+    in_core: bool
+    naive_error: float
+    aware_error: float
+    actual: float
+
+
+def _small_memory_machines(memory_elements: float):
+    machines = []
+    for i, kind in enumerate(("sparc5", "sparc5", "sparc10", "sparc10")):
+        m = make_machine(kind, f"{kind}-{i}")
+        from dataclasses import replace
+
+        machines.append(replace(m, memory_elements=memory_elements))
+    return machines
+
+
+def run_memory_limit_study(
+    sizes=(600, 800, 1000, 1200, 1400),
+    *,
+    memory_elements: float = 250_000.0,
+    iterations: int = 10,
+) -> list[MemoryRow]:
+    """Predict and simulate across the in-core/out-of-core boundary.
+
+    With four machines of ``memory_elements`` capacity, sizes up to
+    ``sqrt(4 * memory_elements)`` stay in core; larger strips thrash.
+    """
+    machines = _small_memory_machines(memory_elements)
+    network = Network(SharedEthernet())
+    rows = []
+    for n in sizes:
+        dec = equal_strips(int(n), len(machines))
+        in_core = all(
+            m.fits_in_memory(dec.elements(p)) for p, m in enumerate(machines)
+        )
+        actual = simulate_sor(
+            machines, network, int(n), iterations, decomposition=dec, allow_paging=True,
+            paging_penalty=PAGING_PENALTY,
+        )
+        model = SORModel(n_procs=len(machines), iterations=iterations, include_latency=True)
+
+        naive = bindings_for_platform(machines, network, dec, bw_avail=1.0)
+        naive_pred = model.predict(naive)
+
+        aware = bindings_for_platform(machines, network, dec, bw_avail=1.0)
+        for p, m in enumerate(machines):
+            if not m.fits_in_memory(dec.elements(p)):
+                aware.bind(param_name("bm", p), m.benchmark_time * PAGING_PENALTY)
+        aware_pred = model.predict(aware)
+
+        rows.append(
+            MemoryRow(
+                problem_size=int(n),
+                in_core=in_core,
+                naive_error=abs(naive_pred.mean - actual.elapsed) / actual.elapsed,
+                aware_error=abs(aware_pred.mean - actual.elapsed) / actual.elapsed,
+                actual=actual.elapsed,
+            )
+        )
+    return rows

@@ -1,0 +1,55 @@
+"""Shared report formatting for experiments and benchmarks."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.stochastic import StochasticValue
+from repro.util.tables import format_table
+
+__all__ = ["prediction_table", "write_csv", "figure_series_table"]
+
+
+def prediction_table(points, *, x_label: str = "t") -> str:
+    """Rows of (x, actual, mean prediction, interval) for a run series.
+
+    ``points`` yields objects with ``prediction`` (StochasticValue),
+    ``actual`` and either ``timestamp`` or ``problem_size``.
+    """
+    rows = []
+    for p in points:
+        x = getattr(p, "timestamp", None)
+        if x is None:
+            x = getattr(p, "problem_size")
+        pred: StochasticValue = p.prediction
+        rows.append(
+            [
+                x,
+                p.actual,
+                pred.mean,
+                pred.lo,
+                pred.hi,
+                "yes" if pred.contains(p.actual) else "NO",
+            ]
+        )
+    return format_table(
+        [x_label, "actual_s", "pred_mean_s", "pred_lo_s", "pred_hi_s", "in_range"], rows
+    )
+
+
+def figure_series_table(name: str, xs, ys, *, x_label: str = "x", y_label: str = "y") -> str:
+    """A two-column series table with a caption line."""
+    rows = [[float(x), float(y)] for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def write_csv(path, headers, rows) -> Path:
+    """Dump rows to CSV (creating parent directories); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

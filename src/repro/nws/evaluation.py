@@ -1,0 +1,120 @@
+"""Calibration assessment for stochastic forecasts.
+
+A stochastic value claims "~95% of behaviour falls in my range"; whether
+a *forecasting pipeline* actually delivers that is an empirical question.
+This module replays a measurement series through a query function and
+scores the claimed intervals: observed coverage vs nominal, sharpness
+(mean relative width), and the mean absolute forecast error — the
+numbers behind choosing a query horizon in the Platform 2 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.normal import TWO_SIGMA_COVERAGE
+from repro.core.stochastic import StochasticValue
+from repro.nws.predictor import AdaptivePredictor
+from repro.util.validation import check_array_1d
+
+__all__ = ["CalibrationReport", "calibrate_one_step", "calibrate_query"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """How well claimed intervals match observed behaviour.
+
+    Attributes
+    ----------
+    coverage:
+        Fraction of outcomes inside the claimed ranges.
+    nominal:
+        Coverage the ranges claim (~0.954 for 2-sigma normals).
+    sharpness:
+        Mean interval width relative to the outcome magnitude (smaller
+        is more informative, all else equal).
+    mae:
+        Mean absolute error of the forecast means.
+    n:
+        Number of scored forecasts.
+    """
+
+    coverage: float
+    nominal: float
+    sharpness: float
+    mae: float
+    n: int
+
+    @property
+    def calibration_gap(self) -> float:
+        """``coverage - nominal``: positive = conservative, negative = overconfident."""
+        return self.coverage - self.nominal
+
+    def summary(self) -> str:
+        """One-line report."""
+        return (
+            f"coverage={self.coverage:.1%} (nominal {self.nominal:.1%})  "
+            f"sharpness={self.sharpness:.2f}  MAE={self.mae:.4f}  n={self.n}"
+        )
+
+
+def _score(pairs: list[tuple[StochasticValue, float]]) -> CalibrationReport:
+    if not pairs:
+        raise ValueError("no forecasts were scored")
+    hits = sum(1 for f, v in pairs if f.contains(v))
+    widths = [2.0 * f.spread / max(abs(v), 1e-12) for f, v in pairs]
+    errs = [abs(f.mean - v) for f, v in pairs]
+    return CalibrationReport(
+        coverage=hits / len(pairs),
+        nominal=TWO_SIGMA_COVERAGE,
+        sharpness=float(np.mean(widths)),
+        mae=float(np.mean(errs)),
+        n=len(pairs),
+    )
+
+
+def calibrate_one_step(
+    values,
+    predictor: AdaptivePredictor | None = None,
+    *,
+    burn_in: int = 50,
+) -> CalibrationReport:
+    """Calibration of one-step-ahead tournament forecasts on a series."""
+    arr = check_array_1d(values, "values")
+    if burn_in < 1:
+        raise ValueError(f"burn_in must be >= 1, got {burn_in}")
+    p = predictor if predictor is not None else AdaptivePredictor()
+    pairs: list[tuple[StochasticValue, float]] = []
+    for v in arr:
+        if p.n_observations >= burn_in:
+            pairs.append((p.forecast(), float(v)))
+        p.observe(float(v))
+    return _score(pairs)
+
+
+def calibrate_query(
+    values,
+    query: Callable[[np.ndarray], StochasticValue],
+    *,
+    history: int = 60,
+    horizon: int = 12,
+) -> CalibrationReport:
+    """Calibration of a windowed query against run-horizon outcomes.
+
+    ``query(history_window)`` produces the stochastic value (e.g. a
+    windowed mean +/- 2*std); the outcome it is scored against is the
+    *mean of the next* ``horizon`` measurements — the quantity a
+    run-length prediction effectively bets on.
+    """
+    arr = check_array_1d(values, "values")
+    if history < 2 or horizon < 1:
+        raise ValueError("history must be >= 2 and horizon >= 1")
+    pairs: list[tuple[StochasticValue, float]] = []
+    for t in range(history, arr.size - horizon):
+        forecast = query(arr[t - history : t])
+        outcome = float(arr[t : t + horizon].mean())
+        pairs.append((forecast, outcome))
+    return _score(pairs)

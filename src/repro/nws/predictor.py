@@ -1,0 +1,170 @@
+"""Adaptive forecaster selection — the heart of the NWS reimplementation.
+
+For every incoming measurement, each forecaster in the tournament first
+makes its one-step-ahead prediction; the predictor scores those
+predictions against the measurement (cumulative MAE and MSE) and then
+lets the forecasters observe it.  A query returns the current
+lowest-MAE forecaster's prediction *plus an error estimate*: the paper's
+experiments consume exactly this pair — "the Network Weather Service
+supplied us with accurate run-time information about the CPU load on our
+machines as well as the variance of those values".
+
+The returned spread is two times the winner's root-mean-squared
+one-step error over a recent window, i.e. the empirical 2-sigma of its
+forecast residuals — a stochastic value in the paper's canonical form.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stochastic import StochasticValue
+from repro.nws.forecasters import Forecaster, default_forecasters
+
+__all__ = ["ForecasterScore", "AdaptivePredictor"]
+
+
+@dataclass(frozen=True)
+class ForecasterScore:
+    """Tournament standing of one forecaster.
+
+    Attributes
+    ----------
+    name:
+        Forecaster display name.
+    mae, rmse:
+        Mean absolute and root-mean-squared one-step error over scored
+        predictions.
+    n_scored:
+        Number of out-of-sample predictions scored.
+    """
+
+    name: str
+    mae: float
+    rmse: float
+    n_scored: int
+
+
+class AdaptivePredictor:
+    """NWS-style tournament over a forecaster family.
+
+    Parameters
+    ----------
+    forecasters:
+        Tournament entries; defaults to :func:`default_forecasters`.
+    error_window:
+        Number of recent residuals used for the reported error bar (the
+        cumulative MAE drives *selection*; the recent window drives the
+        *spread*, so the error bar adapts when the series changes
+        behaviour).
+    spread_method:
+        How the 2-sigma error bar is derived from recent residuals:
+        ``"rmse"`` (2 x root-mean-square; sensitive to rare mode-switch
+        spikes) or ``"mad"`` (2 x 1.4826 x median absolute residual; the
+        default — robust, so the bar reflects typical within-mode error
+        the way the paper's Figure 12 intervals do).
+    """
+
+    def __init__(
+        self,
+        forecasters: list[Forecaster] | None = None,
+        *,
+        error_window: int = 64,
+        spread_method: str = "mad",
+    ):
+        if spread_method not in ("rmse", "mad"):
+            raise ValueError(f"spread_method must be 'rmse' or 'mad', got {spread_method!r}")
+        self.spread_method = spread_method
+        self.forecasters = forecasters if forecasters is not None else default_forecasters()
+        if not self.forecasters:
+            raise ValueError("at least one forecaster is required")
+        names = [f.name for f in self.forecasters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"forecaster names must be unique, got {names}")
+        if error_window < 2:
+            raise ValueError(f"error_window must be >= 2, got {error_window}")
+        self._abs_err = {f.name: 0.0 for f in self.forecasters}
+        self._sq_err = {f.name: 0.0 for f in self.forecasters}
+        self._n = {f.name: 0 for f in self.forecasters}
+        self._recent = {f.name: deque(maxlen=error_window) for f in self.forecasters}
+        self._observations = 0
+
+    # ------------------------------------------------------------------
+    # Feeding measurements
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Score every forecaster against ``value``, then let them see it."""
+        value = float(value)
+        for f in self.forecasters:
+            pred = f.predict()
+            if pred is not None:
+                err = pred - value
+                self._abs_err[f.name] += abs(err)
+                self._sq_err[f.name] += err * err
+                self._n[f.name] += 1
+                self._recent[f.name].append(err)
+        for f in self.forecasters:
+            f.observe(value)
+        self._observations += 1
+
+    def observe_series(self, values) -> None:
+        """Feed a whole measurement series in order."""
+        for v in np.asarray(values, dtype=float).ravel():
+            self.observe(v)
+
+    @property
+    def n_observations(self) -> int:
+        """Measurements fed so far."""
+        return self._observations
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def scores(self) -> list[ForecasterScore]:
+        """Current standings, best (lowest MAE) first."""
+        out = []
+        for f in self.forecasters:
+            n = self._n[f.name]
+            if n == 0:
+                continue
+            out.append(
+                ForecasterScore(
+                    name=f.name,
+                    mae=self._abs_err[f.name] / n,
+                    rmse=float(np.sqrt(self._sq_err[f.name] / n)),
+                    n_scored=n,
+                )
+            )
+        out.sort(key=lambda s: s.mae)
+        return out
+
+    def best(self) -> Forecaster:
+        """The forecaster with the lowest cumulative MAE."""
+        scored = [f for f in self.forecasters if self._n[f.name] > 0]
+        if not scored:
+            # No out-of-sample scores yet: fall back to the first entry.
+            return self.forecasters[0]
+        return min(scored, key=lambda f: self._abs_err[f.name] / self._n[f.name])
+
+    def forecast(self) -> StochasticValue:
+        """Winner's next-step forecast with an empirical 2-sigma error bar."""
+        if self._observations == 0:
+            raise RuntimeError("cannot forecast before any measurement")
+        winner = self.best()
+        pred = winner.predict()
+        if pred is None:  # pragma: no cover - winner always has history here
+            raise RuntimeError(f"winner {winner.name} has no prediction")
+        recent = self._recent[winner.name]
+        if len(recent) >= 2:
+            if self.spread_method == "rmse":
+                spread = 2.0 * float(np.sqrt(np.mean(np.square(recent))))
+            else:
+                # 1.4826 * MAD estimates sigma for normal residuals while
+                # discounting rare mode-switch spikes.
+                spread = 2.0 * 1.4826 * float(np.median(np.abs(recent)))
+        else:
+            spread = 0.0
+        return StochasticValue(pred, spread)

@@ -1,0 +1,74 @@
+"""Timestamped measurement series for the Network Weather Service."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["MeasurementSeries"]
+
+
+class MeasurementSeries:
+    """A bounded, append-only series of (time, value) measurements.
+
+    The real NWS keeps a rolling history per resource; forecasters read
+    the recent window.  ``maxlen`` bounds memory for long experiments.
+    """
+
+    def __init__(self, maxlen: int | None = 10_000):
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self._times: deque[float] = deque(maxlen=maxlen)
+        self._values: deque[float] = deque(maxlen=maxlen)
+
+    def append(self, t: float, value: float) -> None:
+        """Record a measurement; times must be nondecreasing."""
+        if self._times and t < self._times[-1]:
+            raise ValueError(f"time went backwards: {t} after {self._times[-1]}")
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the latest measurement."""
+        if not self._times:
+            raise IndexError("series is empty")
+        return self._times[-1]
+
+    @property
+    def last_value(self) -> float:
+        """Latest measured value."""
+        if not self._values:
+            raise IndexError("series is empty")
+        return self._values[-1]
+
+    def values(self, window: int | None = None) -> np.ndarray:
+        """The most recent ``window`` values (all when None), oldest first."""
+        vals = list(self._values)
+        if window is not None:
+            if window < 1:
+                raise ValueError(f"window must be >= 1, got {window}")
+            vals = vals[-window:]
+        return np.asarray(vals)
+
+    def times(self, window: int | None = None) -> np.ndarray:
+        """Timestamps matching :meth:`values`."""
+        ts = list(self._times)
+        if window is not None:
+            if window < 1:
+                raise ValueError(f"window must be >= 1, got {window}")
+            ts = ts[-window:]
+        return np.asarray(ts)
+
+    def values_since(self, t: float) -> np.ndarray:
+        """Values of all measurements with timestamp ``>= t``, oldest first."""
+        times = np.asarray(self._times)
+        vals = np.asarray(self._values)
+        return vals[times >= t]

@@ -1,0 +1,40 @@
+"""Scheduling applications of stochastic predictions (Section 1.2).
+
+Work allocation from stochastic unit times, risk-tuned strategies
+(conservative vs optimistic), and probabilistic "service range"
+contracts as an alternative to hard QoS guarantees.
+"""
+
+from repro.scheduling.allocation import (
+    Allocation,
+    allocate_inverse_time,
+    completion_times,
+    makespan,
+)
+from repro.scheduling.qos import ServiceRange
+from repro.scheduling.sor_advisor import (
+    AdvisorChoice,
+    DecompositionCandidate,
+    advise_decomposition,
+)
+from repro.scheduling.strategies import (
+    StrategyOutcome,
+    allocate_risk_averse,
+    compare_strategies,
+    risk_adjusted_time,
+)
+
+__all__ = [
+    "AdvisorChoice",
+    "DecompositionCandidate",
+    "advise_decomposition",
+    "Allocation",
+    "allocate_inverse_time",
+    "completion_times",
+    "makespan",
+    "ServiceRange",
+    "StrategyOutcome",
+    "allocate_risk_averse",
+    "compare_strategies",
+    "risk_adjusted_time",
+]

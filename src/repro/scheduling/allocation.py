@@ -1,0 +1,99 @@
+"""Work allocation from unit-execution-time predictions.
+
+The paper's Section 1.2 example: an embarrassingly parallel application
+with a fixed number of work units must be split across machines whose
+per-unit execution times are known — as point values or as stochastic
+values.  Allocation aims to balance *completion times*, so each machine
+receives work inversely proportional to its (effective) unit time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.arithmetic import scale
+from repro.core.group_ops import MaxStrategy, stochastic_max
+from repro.core.stochastic import StochasticValue, as_stochastic
+
+__all__ = ["Allocation", "allocate_inverse_time", "completion_times", "makespan"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Units of work assigned to each machine.
+
+    Attributes
+    ----------
+    units:
+        Integer work units per machine (sums to the requested total).
+    effective_unit_times:
+        The per-unit times (as stochastic values) the allocation used.
+    """
+
+    units: tuple[int, ...]
+    effective_unit_times: tuple[StochasticValue, ...]
+
+    @property
+    def total(self) -> int:
+        """Total allocated units."""
+        return sum(self.units)
+
+
+def allocate_inverse_time(
+    total_units: int,
+    unit_times: Sequence,
+    *,
+    effective=None,
+) -> Allocation:
+    """Split ``total_units`` inversely proportional to per-unit times.
+
+    ``effective(sv) -> float`` maps each stochastic unit time to the
+    scalar the allocator balances against (default: the mean).  Largest-
+    remainder rounding keeps the total exact; machines may receive zero
+    units if their unit time dwarfs the others.
+    """
+    if total_units < 0:
+        raise ValueError(f"total_units must be >= 0, got {total_units}")
+    times = [as_stochastic(t) for t in unit_times]
+    if not times:
+        raise ValueError("at least one machine is required")
+    if effective is None:
+        effective = lambda sv: sv.mean  # noqa: E731 - tiny local default
+    eff = np.array([float(effective(t)) for t in times])
+    if np.any(eff <= 0):
+        raise ValueError("effective unit times must be positive")
+
+    speed = 1.0 / eff
+    ideal = total_units * speed / speed.sum()
+    units = np.floor(ideal).astype(int)
+    remainder = ideal - units
+    shortfall = total_units - int(units.sum())
+    # Largest remainders get the leftover units.
+    for idx in np.argsort(-remainder)[:shortfall]:
+        units[idx] += 1
+    return Allocation(units=tuple(int(u) for u in units), effective_unit_times=tuple(times))
+
+
+def completion_times(allocation: Allocation) -> list[StochasticValue]:
+    """Per-machine completion time: ``units * unit_time`` (point x stochastic)."""
+    return [
+        scale(t, float(u))
+        for u, t in zip(allocation.units, allocation.effective_unit_times)
+    ]
+
+
+def makespan(
+    allocation: Allocation,
+    strategy: MaxStrategy = MaxStrategy.CLARK,
+    *,
+    rng=None,
+) -> StochasticValue:
+    """Overall completion time: the stochastic Max of machine completions."""
+    times = completion_times(allocation)
+    busy = [t for t, u in zip(times, allocation.units) if u > 0]
+    if not busy:
+        return StochasticValue.point(0.0)
+    return stochastic_max(busy, strategy, rng=rng)

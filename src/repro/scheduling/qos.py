@@ -1,0 +1,71 @@
+"""Service ranges: a stochastic alternative to hard QoS guarantees.
+
+Section 1.2: "stochastic values could be used to specify a 'service
+range' as an alternative to Quality of Service guarantees.  Probabilities
+associated with values in the service range could be used in instances
+where poor performance can be tolerated a small percentage of the time."
+
+A :class:`ServiceRange` wraps a stochastic value and answers the two
+operational questions: how often will the metric stray beyond a bound,
+and what bound holds with a target confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stochastic import StochasticValue, as_stochastic
+from repro.util.validation import check_in_range
+
+__all__ = ["ServiceRange"]
+
+
+@dataclass(frozen=True)
+class ServiceRange:
+    """A probabilistic service contract over one metric.
+
+    Attributes
+    ----------
+    value:
+        The stochastic characterisation of the metric (e.g. predicted
+        completion time, available bandwidth).
+    higher_is_better:
+        True for capacity-like metrics (bandwidth), False for cost-like
+        metrics (latency, execution time).
+    """
+
+    value: StochasticValue
+    higher_is_better: bool = False
+
+    def __init__(self, value, higher_is_better: bool = False):
+        object.__setattr__(self, "value", as_stochastic(value))
+        object.__setattr__(self, "higher_is_better", bool(higher_is_better))
+
+    def violation_probability(self, bound: float) -> float:
+        """P(the metric is worse than ``bound``)."""
+        if self.value.is_point:
+            if self.higher_is_better:
+                return 1.0 if self.value.mean < bound else 0.0
+            return 1.0 if self.value.mean > bound else 0.0
+        if self.higher_is_better:
+            return self.value.prob_below(bound)
+        return self.value.prob_above(bound)
+
+    def guaranteed_bound(self, confidence: float) -> float:
+        """The bound the metric meets with probability ``confidence``.
+
+        For cost-like metrics this is the ``confidence`` quantile (time
+        will be below it that often); for capacity-like metrics the
+        ``1 - confidence`` quantile (bandwidth will exceed it).
+        """
+        check_in_range(confidence, "confidence", 0.0, 1.0, inclusive=(False, False))
+        if self.value.is_point:
+            return self.value.mean
+        if self.higher_is_better:
+            return float(self.value.quantile(1.0 - confidence))
+        return float(self.value.quantile(confidence))
+
+    def tolerates(self, bound: float, tolerance: float) -> bool:
+        """True when violations of ``bound`` happen at most ``tolerance`` often."""
+        check_in_range(tolerance, "tolerance", 0.0, 1.0)
+        return self.violation_probability(bound) <= tolerance

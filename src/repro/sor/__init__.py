@@ -1,0 +1,50 @@
+"""Red-Black SOR application: numerics, decomposition, distributed runs.
+
+The paper's target application (Section 2.2.1): a stencil solver on an
+``n x n`` grid, strip-decomposed across processors, alternating red and
+black compute/communicate phases.  The numerical kernels are real NumPy
+code (the distributed solve is bit-identical to the sequential one); the
+timing side compiles the phase structure into a cluster-simulator
+program.
+"""
+
+from repro.sor.adaptive import (
+    AdaptiveRunResult,
+    SegmentRecord,
+    simulate_adaptive_sor,
+    window_load_query,
+)
+from repro.sor.decomposition import (
+    ELEMENT_BYTES,
+    Strip,
+    StripDecomposition,
+    equal_strips,
+    weighted_strips,
+)
+from repro.sor.distributed import build_sor_program, distributed_solve, simulate_sor
+from repro.sor.grid import SORGrid, optimal_omega
+from repro.sor.kernel import color_mask, residual_norm, sor_iteration, sor_sweep_color
+from repro.sor.solver import SolveResult, solve
+
+__all__ = [
+    "AdaptiveRunResult",
+    "SegmentRecord",
+    "simulate_adaptive_sor",
+    "window_load_query",
+    "SORGrid",
+    "optimal_omega",
+    "sor_iteration",
+    "sor_sweep_color",
+    "residual_norm",
+    "color_mask",
+    "SolveResult",
+    "solve",
+    "ELEMENT_BYTES",
+    "Strip",
+    "StripDecomposition",
+    "equal_strips",
+    "weighted_strips",
+    "build_sor_program",
+    "distributed_solve",
+    "simulate_sor",
+]

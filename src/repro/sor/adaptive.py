@@ -1,0 +1,201 @@
+"""Adaptive repartitioning: re-balancing SOR strips mid-run.
+
+The paper's conclusion points at using run-time stochastic information
+for "scheduling ... and program development"; for a mode-switching
+platform the natural move is to *re-decompose while running*: split the
+iterations into segments, re-query the load before each segment,
+re-balance the strips to the risk-adjusted effective capacities, pay the
+data-redistribution cost (moved rows over the shared network), and
+continue.
+
+:func:`simulate_adaptive_sor` executes that policy on the simulated
+cluster.  The redistribution charge is explicit and honest: every
+interior row that changes owner crosses the shared segment serially at
+the bandwidth available *at that moment*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.capacity import completion_time
+from repro.core.stochastic import StochasticValue, as_stochastic
+from repro.sor.decomposition import ELEMENT_BYTES, StripDecomposition, weighted_strips
+from repro.sor.distributed import simulate_sor
+
+__all__ = ["SegmentRecord", "AdaptiveRunResult", "simulate_adaptive_sor", "window_load_query"]
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One executed segment.
+
+    Attributes
+    ----------
+    start, end:
+        Simulated wall-clock bounds (including this segment's
+        redistribution, which happens at the start).
+    iterations:
+        Iterations executed in the segment.
+    rows:
+        Strip rows per processor used in the segment.
+    redistribution_time:
+        Seconds spent moving rows before this segment (0 for the first).
+    rows_moved:
+        Interior rows that changed owner entering this segment.
+    """
+
+    start: float
+    end: float
+    iterations: int
+    rows: tuple[int, ...]
+    redistribution_time: float
+    rows_moved: int
+
+
+@dataclass(frozen=True)
+class AdaptiveRunResult:
+    """Timing of an adaptive execution."""
+
+    segments: tuple[SegmentRecord, ...]
+
+    @property
+    def start(self) -> float:
+        """Wall-clock start."""
+        return self.segments[0].start
+
+    @property
+    def end(self) -> float:
+        """Wall-clock end."""
+        return self.segments[-1].end
+
+    @property
+    def elapsed(self) -> float:
+        """Total execution time including redistribution."""
+        return self.end - self.start
+
+    @property
+    def total_redistribution_time(self) -> float:
+        """Seconds spent redistributing data across all segments."""
+        return sum(s.redistribution_time for s in self.segments)
+
+    @property
+    def total_rows_moved(self) -> int:
+        """Interior rows that changed owner over the run."""
+        return sum(s.rows_moved for s in self.segments)
+
+
+def window_load_query(machines, window_seconds: float = 90.0) -> Callable[[int, float], StochasticValue]:
+    """Default load query: windowed stats from each machine's own trace.
+
+    Mirrors ``NetworkWeatherService.query_window`` without requiring a
+    service object (the traces *are* the ground truth here).
+    """
+
+    def query(index: int, t: float) -> StochasticValue:
+        trace = machines[index].availability
+        t0 = max(trace.start, t - window_seconds)
+        if t0 >= t:
+            return StochasticValue.point(trace.value_at(t))
+        return StochasticValue.from_samples(trace.window(t0, t).values)
+
+    return query
+
+
+def _owner_map(dec: StripDecomposition) -> np.ndarray:
+    owners = np.empty(dec.n - 2, dtype=int)
+    for s in dec.strips:
+        owners[s.row_start : s.row_end] = s.proc
+    return owners
+
+
+def _rows_moved(old: StripDecomposition, new: StripDecomposition) -> int:
+    return int((_owner_map(old) != _owner_map(new)).sum())
+
+
+def simulate_adaptive_sor(
+    machines,
+    network,
+    n: int,
+    iterations: int,
+    *,
+    segment_iterations: int = 5,
+    lam: float = 0.0,
+    load_query: Callable[[int, float], StochasticValue] | None = None,
+    start_time: float = 0.0,
+) -> AdaptiveRunResult:
+    """Execute SOR with per-segment re-balancing.
+
+    Parameters
+    ----------
+    segment_iterations:
+        Iterations between re-decompositions.
+    lam:
+        Risk aversion of the balancing weights: effective rate =
+        ``rate * max(load.mean - lam * load.spread, 0.02)``.
+    load_query:
+        ``query(machine_index, t) -> StochasticValue``; defaults to
+        90-second windowed statistics of each machine's own trace.
+    """
+    machines = list(machines)
+    if segment_iterations < 1:
+        raise ValueError(f"segment_iterations must be >= 1, got {segment_iterations}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if lam < 0:
+        raise ValueError(f"lam must be >= 0, got {lam}")
+    query = load_query if load_query is not None else window_load_query(machines)
+
+    def balance(t: float) -> StripDecomposition:
+        weights = []
+        for i, m in enumerate(machines):
+            load = as_stochastic(query(i, t))
+            weights.append(m.elements_per_sec * max(load.mean - lam * load.spread, 0.02))
+        return weighted_strips(n, weights)
+
+    segment = network.default_segment
+    row_bytes = (n - 2) * ELEMENT_BYTES
+
+    t = float(start_time)
+    remaining = iterations
+    current = balance(t)
+    segments: list[SegmentRecord] = []
+
+    while remaining > 0:
+        its = min(segment_iterations, remaining)
+        redistribution_time = 0.0
+        moved = 0
+        if segments:
+            new = balance(t)
+            moved = _rows_moved(current, new)
+            if moved > 0:
+                done = completion_time(
+                    moved * row_bytes,
+                    segment.dedicated_bytes_per_sec,
+                    segment.availability,
+                    t,
+                )
+                redistribution_time = done - t
+                t = done
+                current = new
+        seg_start = t - redistribution_time
+        run = simulate_sor(
+            machines, network, n, its, decomposition=current, start_time=t
+        )
+        t = run.end
+        segments.append(
+            SegmentRecord(
+                start=seg_start,
+                end=t,
+                iterations=its,
+                rows=tuple(s.rows for s in current.strips),
+                redistribution_time=redistribution_time,
+                rows_moved=moved,
+            )
+        )
+        remaining -= its
+
+    return AdaptiveRunResult(segments=tuple(segments))

@@ -1,0 +1,161 @@
+"""Strip decomposition of the SOR grid across processors (Figure 6).
+
+The interior rows of the ``n x n`` grid are split into contiguous strips,
+one per processor; neighbouring strips exchange one ghost row per colour
+phase.  Two partitioners are provided:
+
+* equal strips (the paper's experiments), and
+* capacity-balanced strips — "to balance load in a distributed setting,
+  we may assign more work to processors with greater capacity, with the
+  goal of having all processors complete at the same time" (footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Strip", "StripDecomposition", "equal_strips", "weighted_strips"]
+
+#: Bytes per grid element (double precision).
+ELEMENT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Strip:
+    """One processor's strip of interior rows.
+
+    Attributes
+    ----------
+    proc:
+        Owning processor index.
+    row_start, row_end:
+        Half-open global *interior* row range [row_start, row_end).
+    """
+
+    proc: int
+    row_start: int
+    row_end: int
+
+    @property
+    def rows(self) -> int:
+        """Number of interior rows in the strip."""
+        return self.row_end - self.row_start
+
+
+@dataclass(frozen=True)
+class StripDecomposition:
+    """A full strip decomposition of an ``n x n`` SOR grid.
+
+    Attributes
+    ----------
+    n:
+        Full grid size (including the boundary ring).
+    strips:
+        Per-processor strips, in processor order, covering all
+        ``n - 2`` interior rows exactly once.
+    """
+
+    n: int
+    strips: tuple[Strip, ...]
+
+    def __post_init__(self) -> None:
+        if self.n < 3:
+            raise ValueError(f"grid size must be >= 3, got {self.n}")
+        covered = 0
+        for i, s in enumerate(self.strips):
+            if s.proc != i:
+                raise ValueError(f"strip {i} has proc {s.proc}")
+            if s.row_start != covered:
+                raise ValueError(f"strip {i} starts at {s.row_start}, expected {covered}")
+            if s.rows < 1:
+                raise ValueError(f"strip {i} is empty")
+            covered = s.row_end
+        if covered != self.n - 2:
+            raise ValueError(f"strips cover {covered} rows, expected {self.n - 2}")
+
+    @property
+    def n_procs(self) -> int:
+        """Number of processors."""
+        return len(self.strips)
+
+    @property
+    def interior_cols(self) -> int:
+        """Interior columns per row."""
+        return self.n - 2
+
+    def elements(self, proc: int) -> int:
+        """Interior elements owned by ``proc`` — the model's ``NumElt_p``."""
+        return self.strips[proc].rows * self.interior_cols
+
+    def elements_per_color(self, proc: int) -> float:
+        """Elements of one colour owned by ``proc`` (half the strip)."""
+        return self.elements(proc) / 2.0
+
+    def ghost_row_bytes(self) -> int:
+        """Bytes in one ghost-row message: ``(n - 2) * Size(Elt)``."""
+        return self.interior_cols * ELEMENT_BYTES
+
+    def neighbors(self, proc: int) -> list[int]:
+        """Strip neighbours of ``proc`` (up to two)."""
+        out = []
+        if proc > 0:
+            out.append(proc - 1)
+        if proc < self.n_procs - 1:
+            out.append(proc + 1)
+        return out
+
+
+def equal_strips(n: int, n_procs: int) -> StripDecomposition:
+    """Split the interior rows as evenly as possible (paper experiments)."""
+    interior = n - 2
+    if n_procs < 1:
+        raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+    if n_procs > interior:
+        raise ValueError(f"cannot give {n_procs} processors at least one of {interior} rows")
+    base, extra = divmod(interior, n_procs)
+    strips = []
+    start = 0
+    for p in range(n_procs):
+        rows = base + (1 if p < extra else 0)
+        strips.append(Strip(proc=p, row_start=start, row_end=start + rows))
+        start += rows
+    return StripDecomposition(n=n, strips=tuple(strips))
+
+
+def weighted_strips(n: int, weights) -> StripDecomposition:
+    """Split interior rows proportionally to per-processor ``weights``.
+
+    Uses largest-remainder rounding and guarantees every processor at
+    least one row.  Weights are typically effective capacities
+    (dedicated rate x expected availability), implementing the paper's
+    footnote-2 time-balancing decomposition.
+    """
+    w = np.asarray(list(weights), dtype=float)
+    if w.size < 1:
+        raise ValueError("at least one weight is required")
+    if np.any(w <= 0):
+        raise ValueError("weights must be positive")
+    interior = n - 2
+    if w.size > interior:
+        raise ValueError(f"cannot give {w.size} processors at least one of {interior} rows")
+
+    ideal = interior * w / w.sum()
+    rows = np.maximum(np.floor(ideal).astype(int), 1)
+    # Largest-remainder correction toward the exact total.
+    while rows.sum() < interior:
+        frac = ideal - rows
+        rows[int(np.argmax(frac))] += 1
+    while rows.sum() > interior:
+        frac = ideal - rows
+        candidates = np.where(rows > 1)[0]
+        victim = candidates[int(np.argmin(frac[candidates]))]
+        rows[victim] -= 1
+
+    strips = []
+    start = 0
+    for p, r in enumerate(rows):
+        strips.append(Strip(proc=p, row_start=start, row_end=start + int(r)))
+        start += int(r)
+    return StripDecomposition(n=n, strips=tuple(strips))

@@ -1,0 +1,169 @@
+"""Distributed Red-Black SOR: numerical execution and timing program.
+
+Two views of the same application:
+
+* :func:`distributed_solve` actually runs the decomposed solver in
+  process — per-strip arrays with explicit ghost-row exchange after each
+  colour sweep — and must produce bit-identical fields to the sequential
+  solver (an invariant the tests enforce).  This is the "real code" whose
+  communication/computation structure the timing model describes.
+* :func:`build_sor_program` expresses one execution's phase structure
+  (red compute, red comm, black compute, black comm per iteration,
+  Section 2.2.1) as an :class:`~repro.cluster.simulator.IterativeProgram`
+  for the cluster simulator, which replaces the paper's wall-clock runs
+  on production Sparc workstations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.simulator import IterativeProgram, Message, Phase, RunResult
+from repro.sor.decomposition import StripDecomposition, equal_strips
+from repro.sor.grid import SORGrid
+from repro.sor.kernel import sor_sweep_color
+
+__all__ = ["distributed_solve", "build_sor_program", "simulate_sor"]
+
+
+def distributed_solve(
+    grid: SORGrid,
+    decomposition: StripDecomposition | None = None,
+    *,
+    n_procs: int | None = None,
+    iterations: int = 100,
+) -> np.ndarray:
+    """Run the decomposed red/black solver for a fixed iteration count.
+
+    Each "processor" owns a strip array of shape ``(rows + 2, n)`` whose
+    first and last rows are ghost/boundary rows.  After each colour sweep,
+    adjacent strips exchange their edge rows — exactly the messages the
+    timing program charges for.  Returns the assembled full field.
+    """
+    if decomposition is None:
+        if n_procs is None:
+            raise ValueError("pass a decomposition or n_procs")
+        decomposition = equal_strips(grid.n, n_procs)
+    if decomposition.n != grid.n:
+        raise ValueError(f"decomposition is for n={decomposition.n}, grid has n={grid.n}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+
+    full = grid.initial_field()
+    source = grid.source if np.any(grid.source) else None
+
+    # Local strip fields: interior rows [row_start, row_end) plus one
+    # ghost/boundary row above and below.
+    strips = []
+    for s in decomposition.strips:
+        lo = s.row_start  # global full-grid row index of the ghost row is lo
+        hi = s.row_end + 2  # exclusive, includes lower ghost row
+        strips.append(full[lo:hi].copy())
+
+    def local_source(s):
+        if source is None:
+            return None
+        return source[s.row_start : s.row_end, :]
+
+    def exchange() -> None:
+        # After a sweep, push fresh edge rows into the neighbours' ghosts.
+        for p in range(decomposition.n_procs):
+            if p > 0:
+                strips[p - 1][-1, :] = strips[p][1, :]
+            if p < decomposition.n_procs - 1:
+                strips[p + 1][0, :] = strips[p][-2, :]
+
+    for _ in range(iterations):
+        for color in (0, 1):
+            for p, s in enumerate(decomposition.strips):
+                sor_sweep_color(
+                    strips[p],
+                    grid.omega,
+                    color,
+                    local_source(s),
+                    row_offset=s.row_start,
+                )
+            exchange()
+
+    # Assemble: interior rows from each strip, boundary ring from the grid.
+    out = grid.initial_field()
+    for p, s in enumerate(decomposition.strips):
+        out[s.row_start + 1 : s.row_end + 1, :] = strips[p][1:-1, :]
+    return out
+
+
+def build_sor_program(
+    n: int,
+    decomposition: StripDecomposition,
+    iterations: int,
+) -> IterativeProgram:
+    """The Section 2.2.1 phase structure as a simulator program.
+
+    Per iteration: red compute (half of each strip's elements), red
+    communication (ghost-row exchange with strip neighbours), black
+    compute, black communication.
+    """
+    if decomposition.n != n:
+        raise ValueError(f"decomposition is for n={decomposition.n}, expected {n}")
+    nprocs = decomposition.n_procs
+    work = tuple(decomposition.elements_per_color(p) for p in range(nprocs))
+    ghost = float(decomposition.ghost_row_bytes())
+
+    messages = []
+    for p in range(nprocs):
+        for q in decomposition.neighbors(p):
+            messages.append(Message(src=p, dst=q, nbytes=ghost))
+    messages = tuple(messages)
+    zero = tuple(0.0 for _ in range(nprocs))
+
+    phases = (
+        Phase(name="red_compute", work=work),
+        Phase(name="red_comm", work=zero, messages=messages),
+        Phase(name="black_compute", work=work),
+        Phase(name="black_comm", work=zero, messages=messages),
+    )
+    return IterativeProgram(name=f"sor-{n}x{n}", phases=phases, iterations=iterations)
+
+
+def simulate_sor(
+    machines,
+    network,
+    n: int,
+    iterations: int,
+    *,
+    decomposition: StripDecomposition | None = None,
+    start_time: float = 0.0,
+    allow_paging: bool = False,
+    paging_penalty: float = 25.0,
+) -> RunResult:
+    """Simulate one distributed SOR execution on the given cluster.
+
+    A strip larger than its machine's memory is rejected by default —
+    the paper restricts its claims to "problem sizes which fit within
+    main memory".  With ``allow_paging=True`` the run proceeds anyway,
+    with the over-committed machine's compute rate divided by
+    ``paging_penalty`` (a thrashing model); the memory-limit experiment
+    uses this to show how silently exceeding memory breaks an unaware
+    prediction model.
+    """
+    from dataclasses import replace
+
+    from repro.cluster.simulator import ClusterSimulator
+
+    machines = list(machines)
+    if decomposition is None:
+        decomposition = equal_strips(n, len(machines))
+    if paging_penalty < 1.0:
+        raise ValueError(f"paging_penalty must be >= 1, got {paging_penalty}")
+    effective = []
+    for p, m in enumerate(machines):
+        if m.fits_in_memory(decomposition.elements(p)):
+            effective.append(m)
+        elif allow_paging:
+            effective.append(replace(m, elements_per_sec=m.elements_per_sec / paging_penalty))
+        else:
+            raise ValueError(
+                f"strip of {decomposition.elements(p)} elements does not fit on {m.name}"
+            )
+    program = build_sor_program(n, decomposition, iterations)
+    return ClusterSimulator(effective, network).run(program, start_time)

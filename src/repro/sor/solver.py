@@ -1,0 +1,80 @@
+"""Sequential Red-Black SOR solver with convergence monitoring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sor.grid import SORGrid
+from repro.sor.kernel import residual_norm, sor_iteration
+
+__all__ = ["SolveResult", "solve"]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of a sequential solve.
+
+    Attributes
+    ----------
+    field:
+        The full ``n x n`` solution field (boundary ring included).
+    iterations:
+        Red+black iterations performed.
+    residuals:
+        Max-norm residual after each iteration.
+    converged:
+        True when the final residual met the tolerance.
+    """
+
+    field: np.ndarray
+    iterations: int
+    residuals: np.ndarray
+    converged: bool
+
+    @property
+    def final_residual(self) -> float:
+        """Residual after the last iteration."""
+        return float(self.residuals[-1]) if self.residuals.size else float("inf")
+
+
+def solve(
+    grid: SORGrid,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 10_000,
+    check_every: int = 1,
+) -> SolveResult:
+    """Run red/black SOR until the residual max-norm drops below ``tol``.
+
+    ``check_every`` spaces out residual evaluations for large grids where
+    the residual computation is a noticeable fraction of a sweep.
+    """
+    if tol <= 0:
+        raise ValueError(f"tol must be > 0, got {tol}")
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    if check_every < 1:
+        raise ValueError(f"check_every must be >= 1, got {check_every}")
+
+    u = grid.initial_field()
+    source = grid.source if np.any(grid.source) else None
+    residuals: list[float] = []
+    converged = False
+    iterations = 0
+    for it in range(1, max_iterations + 1):
+        sor_iteration(u, grid.omega, source)
+        iterations = it
+        if it % check_every == 0 or it == max_iterations:
+            r = residual_norm(u, source)
+            residuals.append(r)
+            if r < tol:
+                converged = True
+                break
+    return SolveResult(
+        field=u,
+        iterations=iterations,
+        residuals=np.asarray(residuals),
+        converged=converged,
+    )

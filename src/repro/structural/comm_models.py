@@ -1,0 +1,87 @@
+"""Communication component models for the SOR (Section 2.2.1).
+
+The paper's definitions, verbatim in model form:
+
+    RedComm_p   = SendLR_p + ReceLR_p
+    BlackComm_p = SendLR_p + ReceLR_p
+    SendLR_p    = PtToPt(p, p+1) + PtToPt(p, p-1)
+    ReceLR_p    = PtToPt(p+1, p) + PtToPt(p-1, p)
+    PtToPt(x,y) = NumElt_x * Size(Elt) / (DedBW(x,y) * BWAvail)
+
+where ``NumElt_x`` is the number of elements in a message (a ghost row),
+``Size(Elt)`` the element size in bytes, ``DedBW`` the dedicated
+bandwidth and ``BWAvail`` the fraction of it available at run time.
+Boundary strips simply lack the missing neighbour's terms.
+
+Section 2.3.1 also gives the latency-aware communication form
+``Comm = Latency + MsgSize / Bandwidth``; passing ``include_latency=True``
+adds the per-message ``latency`` parameter to each ``PtToPt`` term
+(closing most of the residual dedicated-model error against the
+simulator, whose links charge a fixed per-message latency).
+
+Parameter naming convention (see :func:`repro.structural.parameters.param_name`):
+``msg_elts[p]``, ``size_elt``, ``dedbw[x,y]`` (unordered pair, smaller
+index first), ``bw_avail``, ``latency``.
+"""
+
+from __future__ import annotations
+
+from repro.structural.components import ComponentModel
+from repro.structural.expr import Expr, Param, Sum
+from repro.structural.parameters import param_name
+
+__all__ = ["pt_to_pt", "send_lr", "rece_lr", "comm_component", "dedbw_name"]
+
+
+def dedbw_name(x: int, y: int) -> str:
+    """Canonical name for the unordered link parameter ``DedBW(x, y)``."""
+    a, b = (x, y) if x <= y else (y, x)
+    return param_name("dedbw", a, b)
+
+
+def pt_to_pt(x: int, y: int, *, include_latency: bool = False) -> ComponentModel:
+    """``PtToPt(x, y)``: time of one ghost-row message from ``x`` to ``y``."""
+    if x == y:
+        raise ValueError("PtToPt requires distinct processors")
+    expr: Expr = (
+        Param(param_name("msg_elts", x))
+        * Param("size_elt")
+        / (Param(dedbw_name(x, y)) * Param("bw_avail"))
+    )
+    if include_latency:
+        expr = Param("latency") + expr
+    return ComponentModel(f"PtToPt({x},{y})", expr)
+
+
+def _neighbors(p: int, n_procs: int) -> list[int]:
+    out = []
+    if p > 0:
+        out.append(p - 1)
+    if p < n_procs - 1:
+        out.append(p + 1)
+    return out
+
+
+def send_lr(p: int, n_procs: int, *, include_latency: bool = False) -> ComponentModel:
+    """``SendLR_p``: sends to the left and right strip neighbours."""
+    terms = [pt_to_pt(p, q, include_latency=include_latency) for q in _neighbors(p, n_procs)]
+    return ComponentModel(f"SendLR[{p}]", Sum(*terms))
+
+
+def rece_lr(p: int, n_procs: int, *, include_latency: bool = False) -> ComponentModel:
+    """``ReceLR_p``: receives from the left and right strip neighbours."""
+    terms = [pt_to_pt(q, p, include_latency=include_latency) for q in _neighbors(p, n_procs)]
+    return ComponentModel(f"ReceLR[{p}]", Sum(*terms))
+
+
+def comm_component(
+    p: int, n_procs: int, phase: str, *, include_latency: bool = False
+) -> ComponentModel:
+    """``RedComm_p`` / ``BlackComm_p``: a full exchange for one colour."""
+    if phase not in ("red", "black"):
+        raise ValueError(f"phase must be 'red' or 'black', got {phase!r}")
+    expr = Sum(
+        send_lr(p, n_procs, include_latency=include_latency),
+        rece_lr(p, n_procs, include_latency=include_latency),
+    )
+    return ComponentModel(f"{phase.capitalize()}Comm[{p}]", expr)

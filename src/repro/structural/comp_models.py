@@ -1,0 +1,56 @@
+"""Computation component models (Section 2.2.1).
+
+Two standard estimates of per-strip computation time:
+
+    Comp^1_p = NumElt_p * Op(p, Elt) / CPU_p      (operation counting)
+    Comp^2_p = NumElt_p * BM(Elt_p)               (benchmarking)
+
+and the production form actually used by the paper's experiments —
+benchmark time divided by the measured CPU availability:
+
+    RedComp_p = BlackComp_p = Comp^2_p / load_p
+
+Parameter naming: ``numelt[p]`` (elements of one colour in the strip),
+``ops_per_elt[p]``, ``cpu_rate[p]`` (operations/second), ``bm[p]``
+(dedicated seconds per element), ``load[p]`` (fraction of CPU available,
+usually a run-time stochastic value from the NWS).
+"""
+
+from __future__ import annotations
+
+from repro.structural.components import ComponentModel
+from repro.structural.expr import Param
+from repro.structural.parameters import param_name
+
+__all__ = ["comp_op_count", "comp_benchmark", "comp_component"]
+
+
+def comp_op_count(p: int) -> ComponentModel:
+    """``Comp^1_p``: operation-count computation model."""
+    expr = (
+        Param(param_name("numelt", p))
+        * Param(param_name("ops_per_elt", p))
+        / Param(param_name("cpu_rate", p))
+    )
+    return ComponentModel(f"Comp1[{p}]", expr)
+
+
+def comp_benchmark(p: int) -> ComponentModel:
+    """``Comp^2_p``: benchmark-based computation model."""
+    expr = Param(param_name("numelt", p)) * Param(param_name("bm", p))
+    return ComponentModel(f"Comp2[{p}]", expr)
+
+
+def comp_component(p: int, phase: str, *, use_op_count: bool = False) -> ComponentModel:
+    """``RedComp_p`` / ``BlackComp_p``: production computation model.
+
+    Dedicated estimate divided by the measured CPU availability
+    ``load[p]`` — the form the paper's experiments use ("we used a
+    benchmark formula for computation divided by a measure of the CPU
+    load"; the op-count variant "could have been used just as easily").
+    """
+    if phase not in ("red", "black"):
+        raise ValueError(f"phase must be 'red' or 'black', got {phase!r}")
+    dedicated = comp_op_count(p) if use_op_count else comp_benchmark(p)
+    expr = dedicated / Param(param_name("load", p))
+    return ComponentModel(f"{phase.capitalize()}Comp[{p}]", expr)

@@ -1,0 +1,54 @@
+"""Component models: named sub-expressions of a structural model.
+
+Section 2.2: "Structural models are composed of component models and
+equations representing their interactions.  Component models are defined
+(possibly recursively) as combinations of model parameters ... and/or
+other component models."  A :class:`ComponentModel` is an expression with
+a name; being an :class:`~repro.structural.expr.Expr` itself, components
+nest naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stochastic import StochasticValue
+from repro.structural.expr import EvalPolicy, Expr, as_expr
+from repro.structural.parameters import Bindings
+
+__all__ = ["ComponentModel"]
+
+
+@dataclass(frozen=True)
+class ComponentModel(Expr):
+    """A named sub-model (``RedComp_p``, ``PtToPt(x, y)``, ...).
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name, e.g. ``"RedComm[2]"``.
+    expression:
+        The defining expression.
+    """
+
+    name: str
+    expression: Expr
+
+    def __init__(self, name: str, expression):
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "expression", as_expr(expression))
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        return self.expression.evaluate(bindings, policy)
+
+    def params(self) -> set[str]:
+        return self.expression.params()
+
+    def breakdown(
+        self, bindings: Bindings, policy: EvalPolicy | None = None
+    ) -> tuple[str, StochasticValue]:
+        """(name, value) pair for per-component reporting."""
+        return self.name, self.evaluate(bindings, policy)
+
+    def __repr__(self) -> str:
+        return f"ComponentModel({self.name!r})"

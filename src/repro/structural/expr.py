@@ -1,0 +1,287 @@
+"""Expression AST for structural models.
+
+A structural model is "composed of component models and equations
+representing their interactions" (Section 2.2).  The AST here gives those
+equations a concrete, evaluatable form: arithmetic nodes combine under
+the Table 2 stochastic rules, ``Max``/``Min`` nodes under a configurable
+Section 2.3.3 strategy, and parameters resolve against a
+:class:`~repro.structural.parameters.Bindings` environment.
+
+The evaluation policy is explicit (:class:`EvalPolicy`) so the same model
+can be evaluated conservatively (related sums — the default, matching
+the paper's preference) or probabilistically (unrelated sums), and with
+any Max strategy; the ablation benchmarks sweep exactly these choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arithmetic import (
+    Relatedness,
+    ReciprocalRule,
+    add,
+    divide,
+    multiply,
+    subtract,
+    sum_stochastic,
+)
+from repro.core.group_ops import MaxStrategy, stochastic_max, stochastic_min
+from repro.core.stochastic import StochasticValue, as_stochastic
+from repro.structural.parameters import Bindings
+
+__all__ = [
+    "EvalPolicy",
+    "Expr",
+    "Const",
+    "Param",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Max",
+    "Min",
+    "Sum",
+    "as_expr",
+]
+
+
+@dataclass(frozen=True)
+class EvalPolicy:
+    """How stochastic combinations are performed during evaluation.
+
+    Attributes
+    ----------
+    relatedness:
+        Table 2 regime for +,-,*,/ of two stochastic operands.  Defaults
+        to RELATED: within one execution, component times are driven by
+        the same system state, and the paper prefers conservative
+        estimates that do not over-smooth.
+    reciprocal_rule:
+        Footnote-5 handling for division (see repro.core.arithmetic).
+    max_strategy:
+        Section 2.3.3 strategy for Max/Min nodes.
+    mc_rng, mc_samples:
+        Sampling configuration for the MONTE_CARLO max strategy.
+    """
+
+    relatedness: Relatedness = Relatedness.RELATED
+    reciprocal_rule: ReciprocalRule = ReciprocalRule.FIRST_ORDER
+    max_strategy: MaxStrategy = MaxStrategy.BY_MEAN
+    mc_rng: object = None
+    mc_samples: int = 20_000
+
+
+class Expr:
+    """Base expression node with operator sugar."""
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        """Evaluate to a stochastic value under ``policy``."""
+        raise NotImplementedError
+
+    def params(self) -> set[str]:
+        """All parameter names referenced by the expression."""
+        raise NotImplementedError
+
+    # Operator sugar -----------------------------------------------------
+    def __add__(self, other) -> "Expr":
+        return Add(self, as_expr(other))
+
+    def __radd__(self, other) -> "Expr":
+        return Add(as_expr(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return Sub(self, as_expr(other))
+
+    def __rsub__(self, other) -> "Expr":
+        return Sub(as_expr(other), self)
+
+    def __mul__(self, other) -> "Expr":
+        return Mul(self, as_expr(other))
+
+    def __rmul__(self, other) -> "Expr":
+        return Mul(as_expr(other), self)
+
+    def __truediv__(self, other) -> "Expr":
+        return Div(self, as_expr(other))
+
+    def __rtruediv__(self, other) -> "Expr":
+        return Div(as_expr(other), self)
+
+
+def as_expr(value) -> Expr:
+    """Coerce numbers / stochastic values / expressions to :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    return Const(as_stochastic(value))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal (point or stochastic) value."""
+
+    value: StochasticValue
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        return self.value
+
+    def params(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A named model parameter resolved from the bindings."""
+
+    name: str
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        return bindings.resolve(self.name)
+
+    def params(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"Param({self.name!r})"
+
+
+def _policy(policy: EvalPolicy | None) -> EvalPolicy:
+    return policy if policy is not None else EvalPolicy()
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    """Stochastic addition (Table 2)."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        p = _policy(policy)
+        return add(self.left.evaluate(bindings, p), self.right.evaluate(bindings, p), p.relatedness)
+
+    def params(self) -> set[str]:
+        return self.left.params() | self.right.params()
+
+
+@dataclass(frozen=True)
+class Sub(Expr):
+    """Stochastic subtraction (Section 2.3.1)."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        p = _policy(policy)
+        return subtract(
+            self.left.evaluate(bindings, p), self.right.evaluate(bindings, p), p.relatedness
+        )
+
+    def params(self) -> set[str]:
+        return self.left.params() | self.right.params()
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    """Stochastic multiplication (Section 2.3.2)."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        p = _policy(policy)
+        return multiply(
+            self.left.evaluate(bindings, p), self.right.evaluate(bindings, p), p.relatedness
+        )
+
+    def params(self) -> set[str]:
+        return self.left.params() | self.right.params()
+
+
+@dataclass(frozen=True)
+class Div(Expr):
+    """Stochastic division: multiplication by the reciprocal (footnote 5)."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        p = _policy(policy)
+        return divide(
+            self.left.evaluate(bindings, p),
+            self.right.evaluate(bindings, p),
+            p.relatedness,
+            p.reciprocal_rule,
+        )
+
+    def params(self) -> set[str]:
+        return self.left.params() | self.right.params()
+
+
+@dataclass(frozen=True)
+class Max(Expr):
+    """Group Max over operands (Section 2.3.3)."""
+
+    items: tuple[Expr, ...]
+
+    def __init__(self, *items):
+        object.__setattr__(self, "items", tuple(as_expr(i) for i in items))
+        if not self.items:
+            raise ValueError("Max needs at least one operand")
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        p = _policy(policy)
+        vals = [i.evaluate(bindings, p) for i in self.items]
+        return stochastic_max(vals, p.max_strategy, rng=p.mc_rng, n_samples=p.mc_samples)
+
+    def params(self) -> set[str]:
+        out: set[str] = set()
+        for i in self.items:
+            out |= i.params()
+        return out
+
+
+@dataclass(frozen=True)
+class Min(Expr):
+    """Group Min over operands."""
+
+    items: tuple[Expr, ...]
+
+    def __init__(self, *items):
+        object.__setattr__(self, "items", tuple(as_expr(i) for i in items))
+        if not self.items:
+            raise ValueError("Min needs at least one operand")
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        p = _policy(policy)
+        vals = [i.evaluate(bindings, p) for i in self.items]
+        return stochastic_min(vals, p.max_strategy, rng=p.mc_rng, n_samples=p.mc_samples)
+
+    def params(self) -> set[str]:
+        out: set[str] = set()
+        for i in self.items:
+            out |= i.params()
+        return out
+
+
+@dataclass(frozen=True)
+class Sum(Expr):
+    """N-ary sum evaluated with the n-ary Table 2 rule (not a fold)."""
+
+    items: tuple[Expr, ...]
+
+    def __init__(self, *items):
+        object.__setattr__(self, "items", tuple(as_expr(i) for i in items))
+
+    def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
+        p = _policy(policy)
+        return sum_stochastic((i.evaluate(bindings, p) for i in self.items), p.relatedness)
+
+    def params(self) -> set[str]:
+        out: set[str] = set()
+        for i in self.items:
+            out |= i.params()
+        return out

@@ -1,0 +1,109 @@
+"""Model parameters and binding environments.
+
+Structural-model expressions reference parameters by name
+(``load[sparc2-a]``, ``size_elt``, ``dedbw[a,b]``).  A :class:`Bindings`
+environment maps names to values — point values (floats) or stochastic
+values — and records *when* each parameter is resolvable: the paper
+distinguishes compile-time parameters (message sizes, dedicated
+bandwidth) from run-time parameters (``BWAvail``, CPU load), and the
+experiments rebind the run-time ones at each prediction instant from the
+Network Weather Service.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.stochastic import StochasticValue, as_stochastic
+
+__all__ = ["ResolveTime", "Bindings", "param_name"]
+
+
+class ResolveTime(enum.Enum):
+    """When a parameter's value becomes known (Section 2.2.1)."""
+
+    COMPILE_TIME = "compile_time"
+    RUN_TIME = "run_time"
+
+
+def param_name(base: str, *indices) -> str:
+    """Canonical indexed-parameter name, e.g. ``dedbw[a,b]``."""
+    if not indices:
+        return base
+    return f"{base}[{','.join(str(i) for i in indices)}]"
+
+
+@dataclass(frozen=True)
+class _Entry:
+    value: StochasticValue
+    when: ResolveTime
+
+
+class Bindings:
+    """An environment of named parameter values.
+
+    Values are normalised to :class:`StochasticValue` on entry (plain
+    numbers become point values, paper footnote 1).
+    """
+
+    def __init__(self, values: dict | None = None):
+        self._entries: dict[str, _Entry] = {}
+        if values:
+            for name, value in values.items():
+                self.bind(name, value)
+
+    def bind(
+        self, name: str, value, when: ResolveTime = ResolveTime.COMPILE_TIME
+    ) -> "Bindings":
+        """Bind (or rebind) ``name``; returns self for chaining."""
+        self._entries[name] = _Entry(value=as_stochastic(value), when=when)
+        return self
+
+    def bind_runtime(self, name: str, value) -> "Bindings":
+        """Bind a run-time parameter (NWS forecasts, ``BWAvail``, load)."""
+        return self.bind(name, value, ResolveTime.RUN_TIME)
+
+    def resolve(self, name: str) -> StochasticValue:
+        """Look up a parameter, with a helpful error for typos."""
+        try:
+            return self._entries[name].value
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise KeyError(f"unbound parameter {name!r}; bound parameters: {known}") from None
+
+    def resolve_time(self, name: str) -> ResolveTime:
+        """When ``name`` was declared resolvable."""
+        return self._entries[name].when
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        """All bound parameter names, sorted."""
+        return sorted(self._entries)
+
+    def runtime_names(self) -> list[str]:
+        """Names of run-time parameters (to rebind per prediction)."""
+        return sorted(
+            n for n, e in self._entries.items() if e.when is ResolveTime.RUN_TIME
+        )
+
+    def copy(self) -> "Bindings":
+        """A shallow copy sharing no dict state with the original."""
+        out = Bindings()
+        out._entries = dict(self._entries)
+        return out
+
+    def overlaid(self, updates: dict) -> "Bindings":
+        """A copy with run-time updates applied (used per prediction)."""
+        out = self.copy()
+        for name, value in updates.items():
+            when = (
+                self._entries[name].when if name in self._entries else ResolveTime.RUN_TIME
+            )
+            out.bind(name, value, when)
+        return out

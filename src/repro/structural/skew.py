@@ -1,0 +1,48 @@
+"""Skew analysis (paper Figure 7).
+
+Communication between neighbouring strips enforces loose synchronisation:
+"accumulating communication delays can create a kind of 'skew' which can
+delay execution of each iteration by the amount of at most P iterations,
+where P is the number of processors."  The structural model's Max-per-
+iteration form assumes phases stay aligned; these helpers bound the
+additional delay when they do not.
+"""
+
+from __future__ import annotations
+
+from repro.core.arithmetic import Relatedness, add, scale
+from repro.core.stochastic import StochasticValue, as_stochastic
+
+__all__ = ["max_skew_delay", "skew_widened_prediction"]
+
+
+def max_skew_delay(per_iteration_time, n_procs: int) -> StochasticValue:
+    """The Figure 7 bound: up to ``P`` extra iterations of delay."""
+    if n_procs < 1:
+        raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+    return scale(as_stochastic(per_iteration_time), float(n_procs))
+
+
+def skew_widened_prediction(
+    prediction,
+    per_iteration_time,
+    n_procs: int,
+    *,
+    fraction: float = 1.0,
+) -> StochasticValue:
+    """Widen ``prediction`` by a fraction of the worst-case skew delay.
+
+    ``fraction = 1`` applies the full P-iteration bound (very
+    conservative); small fractions model the mild skew a well-balanced
+    decomposition exhibits.  The widening is applied as a related
+    (conservative) addition of a zero-centred slack term, so the mean is
+    pushed up by half the slack and the spread grows by half of it: the
+    skewed execution can finish anywhere between "no skew" and "full
+    skew".
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    pred = as_stochastic(prediction)
+    slack = scale(max_skew_delay(per_iteration_time, n_procs), fraction)
+    half = StochasticValue(slack.mean / 2.0, slack.mean / 2.0 + slack.spread / 2.0)
+    return add(pred, half, Relatedness.RELATED)

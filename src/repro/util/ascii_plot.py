@@ -1,0 +1,85 @@
+"""ASCII rendering of series and histograms.
+
+The paper's figures are line charts and histograms; the CLI and examples
+render recognisable terminal versions of them so "regenerate Figure 11"
+produces something a human can eyeball without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_array_1d
+
+__all__ = ["ascii_histogram", "ascii_series", "sparkline"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def ascii_histogram(
+    data,
+    *,
+    bins: int = 20,
+    width: int = 50,
+    label: str = "value",
+) -> str:
+    """Horizontal-bar histogram of ``data``.
+
+    One row per bin: ``lo..hi | ######## count``.
+    """
+    arr = check_array_1d(data, "data")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [f"{label} histogram (n={arr.size})"]
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"{edges[i]:>9.3g} .. {edges[i + 1]:<9.3g} |{bar:<{width}} {c}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    ys,
+    *,
+    height: int = 12,
+    width: int = 72,
+    label: str = "series",
+) -> str:
+    """A dot plot of a series, downsampled to ``width`` columns."""
+    arr = check_array_1d(ys, "ys")
+    if height < 2 or width < 2:
+        raise ValueError("height and width must be >= 2")
+    # Downsample by block means so bursts remain visible.
+    idx = np.linspace(0, arr.size, width + 1).astype(int)
+    cols = np.array(
+        [arr[a:b].mean() if b > a else arr[min(a, arr.size - 1)] for a, b in zip(idx[:-1], idx[1:])]
+    )
+    lo, hi = float(cols.min()), float(cols.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = np.clip(((cols - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for x, r in enumerate(rows):
+        grid[height - 1 - r][x] = "*"
+    lines = [f"{label}  [{lo:.3g} .. {hi:.3g}]"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def sparkline(ys, *, width: int = 60) -> str:
+    """One-line intensity strip of a series."""
+    arr = check_array_1d(ys, "ys")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    idx = np.linspace(0, arr.size, width + 1).astype(int)
+    cols = np.array(
+        [arr[a:b].mean() if b > a else arr[min(a, arr.size - 1)] for a, b in zip(idx[:-1], idx[1:])]
+    )
+    lo, hi = float(cols.min()), float(cols.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = ((cols - lo) / span * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    return "".join(_SPARK_CHARS[l] for l in levels)

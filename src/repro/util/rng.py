@@ -1,0 +1,40 @@
+"""Random-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`; these helpers normalise the two so that
+experiments are reproducible bit-for-bit from a single integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn"]
+
+RngLike = "int | None | np.random.Generator"
+
+
+def as_generator(rng: int | None | np.random.Generator) -> np.random.Generator:
+    """Coerce ``rng`` to a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh OS-seeded generator), an integer seed, or an
+        existing generator (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: int | None | np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Children are produced with :meth:`numpy.random.Generator.spawn` so the
+    streams are statistically independent regardless of how many draws the
+    parent makes afterwards.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return list(as_generator(rng).spawn(n))

@@ -1,0 +1,61 @@
+"""Production workload synthesis: load traces, bandwidth, platforms.
+
+Replaces the paper's physical production environment with statistically
+matched synthetic equivalents: single-mode-resident CPU load (Platform
+1), bursty 4-modal load (Platform 2), long-tailed shared-ethernet
+bandwidth, and dedicated-machine benchmark harnesses.
+"""
+
+from repro.workload.benchmarks import (
+    benchmark_value,
+    dedicated_sort_runtimes,
+    measure_sor_element_time,
+    time_sort,
+)
+from repro.workload.loadgen import MIN_AVAILABILITY, ar1_noise, bursty_trace, single_mode_trace
+from repro.workload.modes import PLATFORM1_MODES, PLATFORM2_MODES, LoadMode, ModalLoadModel
+from repro.workload.network import (
+    ETHERNET_10MBIT_BYTES_PER_SEC,
+    bandwidth_availability_trace,
+    figure3_bandwidth_samples,
+)
+from repro.workload.platforms import (
+    MACHINE_RATES,
+    PlatformPreset,
+    dedicated_platform,
+    make_machine,
+    platform1,
+    platform2,
+    platform_from_traces,
+    switched_platform,
+    table1_platform,
+)
+from repro.workload.traces import Trace
+
+__all__ = [
+    "Trace",
+    "LoadMode",
+    "ModalLoadModel",
+    "PLATFORM1_MODES",
+    "PLATFORM2_MODES",
+    "MIN_AVAILABILITY",
+    "ar1_noise",
+    "single_mode_trace",
+    "bursty_trace",
+    "ETHERNET_10MBIT_BYTES_PER_SEC",
+    "bandwidth_availability_trace",
+    "figure3_bandwidth_samples",
+    "benchmark_value",
+    "dedicated_sort_runtimes",
+    "measure_sor_element_time",
+    "time_sort",
+    "MACHINE_RATES",
+    "PlatformPreset",
+    "dedicated_platform",
+    "make_machine",
+    "platform1",
+    "platform2",
+    "platform_from_traces",
+    "switched_platform",
+    "table1_platform",
+]

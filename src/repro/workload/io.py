@@ -1,0 +1,85 @@
+"""Trace persistence: save and load availability traces.
+
+Production-load traces are the reproducibility currency of this library
+(an experiment is its seeds *or* its traces).  Two formats:
+
+* CSV — human-readable ``edge,value`` rows (one trailing edge row with
+  an empty value), for inspection and plotting;
+* NPZ — compact binary for bulk trace sets.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.workload.traces import Trace
+
+__all__ = ["save_trace_csv", "load_trace_csv", "save_traces_npz", "load_traces_npz"]
+
+
+def save_trace_csv(trace: Trace, path) -> Path:
+    """Write a trace as ``edge,value`` rows (final edge has no value)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["edge", "value"])
+        for e, v in zip(trace.edges[:-1], trace.values):
+            writer.writerow([repr(float(e)), repr(float(v))])
+        writer.writerow([repr(float(trace.edges[-1])), ""])
+    return path
+
+
+def load_trace_csv(path) -> Trace:
+    """Read a trace written by :func:`save_trace_csv`."""
+    path = Path(path)
+    edges: list[float] = []
+    values: list[float] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["edge", "value"]:
+            raise ValueError(f"{path}: not a trace CSV (header {header!r})")
+        for row in reader:
+            if not row:
+                continue
+            edges.append(float(row[0]))
+            if len(row) > 1 and row[1] != "":
+                values.append(float(row[1]))
+    if len(edges) != len(values) + 1:
+        raise ValueError(
+            f"{path}: malformed trace CSV ({len(edges)} edges, {len(values)} values)"
+        )
+    return Trace(edges=np.asarray(edges), values=np.asarray(values))
+
+
+def save_traces_npz(traces: dict[str, Trace], path) -> Path:
+    """Write a named set of traces to one NPZ file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {}
+    for name, trace in traces.items():
+        if "/" in name:
+            raise ValueError(f"trace name {name!r} must not contain '/'")
+        payload[f"{name}/edges"] = trace.edges
+        payload[f"{name}/values"] = trace.values
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_traces_npz(path) -> dict[str, Trace]:
+    """Read a trace set written by :func:`save_traces_npz`."""
+    out: dict[str, Trace] = {}
+    with np.load(Path(path)) as data:
+        names = {key.rsplit("/", 1)[0] for key in data.files}
+        for name in sorted(names):
+            try:
+                edges = data[f"{name}/edges"]
+                values = data[f"{name}/values"]
+            except KeyError:
+                raise ValueError(f"{path}: trace {name!r} is missing edges or values") from None
+            out[name] = Trace(edges=edges, values=values)
+    return out

@@ -1,0 +1,125 @@
+"""CPU-availability trace generators for production workloads.
+
+Two regimes from the paper's experiments:
+
+* **single-mode residency** (Platform 1, Figure 8): "values typically
+  remained within a single mode during execution" — the trace wiggles
+  around one mode's center with small, temporally correlated noise.
+* **bursty multi-modal** (Platform 2, Figure 11): the trace hops between
+  4 widely separated modes on a time scale comparable to an execution.
+
+Within-mode noise is AR(1)-correlated so consecutive Network Weather
+Service samples look like real load measurements rather than white noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.rng import as_generator
+from repro.util.validation import check_in_range, check_positive
+from repro.workload.modes import LoadMode, ModalLoadModel
+from repro.workload.traces import Trace
+
+__all__ = ["single_mode_trace", "bursty_trace", "ar1_noise"]
+
+#: Availability never drops to zero: some CPU is always obtainable.
+MIN_AVAILABILITY = 0.02
+
+
+def ar1_noise(n: int, std: float, corr: float, rng=None) -> np.ndarray:
+    """Zero-mean AR(1) noise with stationary standard deviation ``std``.
+
+    ``x[t] = corr * x[t-1] + e[t]`` with innovation variance chosen so the
+    stationary variance equals ``std**2``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    check_in_range(corr, "corr", 0.0, 1.0, inclusive=(True, False))
+    gen = as_generator(rng)
+    if std == 0 or n == 0:
+        return np.zeros(n)
+    innov_std = std * math.sqrt(1.0 - corr * corr)
+    e = gen.normal(0.0, innov_std, size=n)
+    out = np.empty(n)
+    prev = gen.normal(0.0, std)
+    for i in range(n):
+        prev = corr * prev + e[i]
+        out[i] = prev
+    return out
+
+
+def single_mode_trace(
+    mode: LoadMode,
+    duration: float,
+    dt: float = 5.0,
+    *,
+    corr: float = 0.8,
+    start: float = 0.0,
+    rng=None,
+) -> Trace:
+    """Availability trace that stays within one mode (Figure 8).
+
+    Parameters
+    ----------
+    mode:
+        The resident mode (e.g. Platform 1's center mode, 0.48-ish).
+    duration:
+        Trace length in seconds.
+    dt:
+        Sample period (paper: 5 s NWS cadence).
+    corr:
+        AR(1) correlation of consecutive samples.
+    """
+    check_positive(duration, "duration")
+    check_positive(dt, "dt")
+    gen = as_generator(rng)
+    n = max(int(math.ceil(duration / dt)), 1)
+    samples = mode.mean + ar1_noise(n, mode.std, corr, gen)
+    if mode.long_tailed:
+        burst = gen.random(n) < mode.burst_prob
+        samples = samples - burst * gen.exponential(mode.tail_scale, size=n)
+    samples = np.clip(samples, MIN_AVAILABILITY, 1.0)
+    return Trace.from_samples(start, dt, samples)
+
+
+def bursty_trace(
+    model: ModalLoadModel,
+    duration: float,
+    dt: float = 5.0,
+    *,
+    corr: float = 0.6,
+    start: float = 0.0,
+    rng=None,
+) -> Trace:
+    """Bursty multi-modal availability trace (Figure 11).
+
+    The mode sequence is a semi-Markov chain: dwell times are exponential
+    with mean ``model.mean_dwell`` and the next mode is drawn by weight,
+    excluding the current mode (so every switch is a visible burst).
+    """
+    check_positive(duration, "duration")
+    check_positive(dt, "dt")
+    gen = as_generator(rng)
+    n = max(int(math.ceil(duration / dt)), 1)
+
+    samples = np.empty(n)
+    i = 0
+    mode_idx = model.pick_mode(gen)
+    while i < n:
+        dwell = gen.exponential(model.mean_dwell)
+        steps = max(int(round(dwell / dt)), 1)
+        steps = min(steps, n - i)
+        mode = model.modes[mode_idx]
+        chunk = mode.mean + ar1_noise(steps, mode.std, corr, gen)
+        if mode.long_tailed:
+            burst = gen.random(steps) < mode.burst_prob
+            chunk = chunk - burst * gen.exponential(mode.tail_scale, size=steps)
+        samples[i : i + steps] = chunk
+        i += steps
+        mode_idx = model.pick_mode(gen, exclude=mode_idx)
+
+    samples = np.clip(samples, MIN_AVAILABILITY, 1.0)
+    return Trace.from_samples(start, dt, samples)

@@ -1,0 +1,162 @@
+"""Modal load models (paper Section 2.1.2, Figures 5 and 10).
+
+Production CPU availability is multi-modal: a workstation hops between a
+small number of regimes (idle, one competing user, several competing
+users, ...), each with its own distribution.  A :class:`LoadMode`
+describes one regime; a :class:`ModalLoadModel` describes the set of
+regimes, their long-run occupancy, and — for bursty platforms — how the
+system switches between them (a semi-Markov process with exponential
+dwell times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stochastic import StochasticValue
+from repro.distributions.modal import ModeEstimate
+from repro.util.rng import as_generator
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["LoadMode", "ModalLoadModel", "PLATFORM1_MODES", "PLATFORM2_MODES"]
+
+
+@dataclass(frozen=True)
+class LoadMode:
+    """One load regime.
+
+    Attributes
+    ----------
+    mean, std:
+        Center and standard deviation of availability in this mode.
+    weight:
+        Long-run fraction of time spent in the mode (the paper's P_i).
+    long_tailed:
+        When True, samples in this mode get an extra downward exponential
+        tail (the Figure 5 center mode is long-tailed).
+    tail_scale:
+        Mean of the extra exponential shortfall for long-tailed modes.
+    burst_prob:
+        Probability that a sample carries the extra shortfall.
+    """
+
+    mean: float
+    std: float
+    weight: float
+    long_tailed: bool = False
+    tail_scale: float = 0.08
+    burst_prob: float = 0.15
+
+    def __post_init__(self) -> None:
+        check_in_range(self.mean, "mean", 0.0, 1.0)
+        check_in_range(self.std, "std", 0.0, 1.0)
+        check_positive(self.weight, "weight")
+        check_positive(self.tail_scale, "tail_scale")
+        check_in_range(self.burst_prob, "burst_prob", 0.0, 1.0)
+
+    @property
+    def value(self) -> StochasticValue:
+        """The mode as ``mean +/- 2*std``."""
+        return StochasticValue.from_std(self.mean, self.std)
+
+    def as_estimate(self, total_weight: float) -> ModeEstimate:
+        """Convert to a :class:`ModeEstimate` with normalised weight."""
+        return ModeEstimate(weight=self.weight / total_weight, mean=self.mean, std=self.std)
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` availability samples within this mode (clipped to (0, 1])."""
+        gen = as_generator(rng)
+        out = gen.normal(self.mean, self.std, size=n)
+        if self.long_tailed:
+            # A sub-population of measurements during contention bursts.
+            burst = gen.random(n) < self.burst_prob
+            out = out - burst * gen.exponential(self.tail_scale, size=n)
+        return np.clip(out, 0.02, 1.0)
+
+
+@dataclass(frozen=True)
+class ModalLoadModel:
+    """A set of load modes plus mode-switching dynamics.
+
+    Attributes
+    ----------
+    modes:
+        The regimes.  Weights need not be normalised.
+    mean_dwell:
+        Mean residence time (seconds) in a mode before switching; the
+        switching process picks the next mode with probability
+        proportional to the other modes' weights.
+    """
+
+    modes: tuple[LoadMode, ...]
+    mean_dwell: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.modes:
+            raise ValueError("a modal model needs at least one mode")
+        check_positive(self.mean_dwell, "mean_dwell")
+        object.__setattr__(self, "modes", tuple(self.modes))
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of mode weights."""
+        return sum(m.weight for m in self.modes)
+
+    @property
+    def estimates(self) -> list[ModeEstimate]:
+        """Modes as normalised :class:`ModeEstimate` objects."""
+        tw = self.total_weight
+        return [m.as_estimate(tw) for m in self.modes]
+
+    def stationary_probabilities(self) -> np.ndarray:
+        """Normalised long-run occupancy per mode."""
+        w = np.array([m.weight for m in self.modes])
+        return w / w.sum()
+
+    def pick_mode(self, rng=None, exclude: int | None = None) -> int:
+        """Sample a mode index by weight, optionally excluding the current one."""
+        gen = as_generator(rng)
+        p = self.stationary_probabilities().copy()
+        if exclude is not None:
+            if len(self.modes) == 1:
+                return 0
+            p[exclude] = 0.0
+            p = p / p.sum()
+        return int(gen.choice(len(self.modes), p=p))
+
+
+# The tri-modal Platform 1 load (Figure 5): "a normal distribution
+# centered at 0.94, a long-tailed distribution centered at 0.49 and
+# another normal distribution centered at 0.33".  The representative
+# experiment has the slowest machine resident in the center mode with a
+# stochastic load of 0.48 +/- 0.05.
+PLATFORM1_MODES = ModalLoadModel(
+    modes=(
+        LoadMode(mean=0.94, std=0.025, weight=0.45),
+        # Center mode tuned so a resident trace summarises to the paper's
+        # 0.48 +/- 0.05 (mean 0.49 less the burst shortfall; 2*std = 0.05).
+        LoadMode(
+            mean=0.49, std=0.0125, weight=0.35, long_tailed=True,
+            tail_scale=0.05, burst_prob=0.10,
+        ),
+        LoadMode(mean=0.33, std=0.02, weight=0.20),
+    ),
+    mean_dwell=600.0,
+)
+
+# The 4-modal bursty Platform 2 load (Figures 10/11): availability jumps
+# between distinct levels on a time scale comparable to a run.  The mode
+# separation is calibrated so the NWS-driven predictions land in the
+# paper's quantitative regime (~80% of actuals captured, small
+# out-of-range errors, mean-point errors several times larger).
+PLATFORM2_MODES = ModalLoadModel(
+    modes=(
+        LoadMode(mean=0.75, std=0.04, weight=0.30),
+        LoadMode(mean=0.60, std=0.05, weight=0.25),
+        LoadMode(mean=0.48, std=0.04, weight=0.25, long_tailed=True),
+        LoadMode(mean=0.35, std=0.03, weight=0.20),
+    ),
+    mean_dwell=45.0,
+)

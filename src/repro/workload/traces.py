@@ -1,0 +1,163 @@
+"""Piecewise-constant time series ("traces") for resource availability.
+
+All dynamic quantities in the simulated production environment — CPU
+availability, bandwidth availability — are represented as step functions
+of time: a value holds from one sample edge to the next.  This mirrors
+how the real Network Weather Service reports measurements at fixed
+intervals (the paper samples CPU load every 5 seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A piecewise-constant function of time.
+
+    ``values[i]`` holds on ``[edges[i], edges[i+1])``; the trace is defined
+    on ``[edges[0], edges[-1])`` and queries outside that span clamp to the
+    first/last value (production load keeps whatever level it last had).
+
+    Attributes
+    ----------
+    edges:
+        Strictly increasing sample edges, length ``n + 1``.
+    values:
+        Per-interval values, length ``n``.
+    """
+
+    edges: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        edges = np.asarray(self.edges, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if edges.ndim != 1 or values.ndim != 1:
+            raise ValueError("edges and values must be 1-D")
+        if edges.size != values.size + 1:
+            raise ValueError(
+                f"edges must have one more entry than values: {edges.size} vs {values.size}"
+            )
+        if values.size == 0:
+            raise ValueError("a trace needs at least one interval")
+        if not np.all(np.diff(edges) > 0):
+            raise ValueError("edges must be strictly increasing")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("trace values must be finite")
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: float, start: float = 0.0, duration: float = np.inf) -> "Trace":
+        """A single-step trace holding ``value`` (clamping covers all time)."""
+        end = start + (duration if np.isfinite(duration) else 1.0)
+        return cls(edges=np.array([start, end]), values=np.array([value]))
+
+    @classmethod
+    def from_samples(cls, start: float, dt: float, samples) -> "Trace":
+        """Regularly sampled trace: ``samples[i]`` holds on ``[start+i*dt, ...)``."""
+        samples = np.asarray(samples, dtype=float)
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        edges = start + dt * np.arange(samples.size + 1)
+        return cls(edges=edges, values=samples)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> float:
+        """First defined instant."""
+        return float(self.edges[0])
+
+    @property
+    def end(self) -> float:
+        """End of the last interval."""
+        return float(self.edges[-1])
+
+    @property
+    def duration(self) -> float:
+        """Total defined span."""
+        return self.end - self.start
+
+    def value_at(self, t: float) -> float:
+        """Value at time ``t`` (clamped outside the defined span)."""
+        idx = int(np.searchsorted(self.edges, t, side="right")) - 1
+        idx = min(max(idx, 0), self.values.size - 1)
+        return float(self.values[idx])
+
+    def sample(self, times) -> np.ndarray:
+        """Vectorised :meth:`value_at`."""
+        times = np.asarray(times, dtype=float)
+        idx = np.searchsorted(self.edges, times, side="right") - 1
+        idx = np.clip(idx, 0, self.values.size - 1)
+        return self.values[idx]
+
+    def integrate(self, t0: float, t1: float) -> float:
+        """``Integral of the trace over [t0, t1]`` with edge clamping."""
+        if t1 < t0:
+            raise ValueError(f"t1 must be >= t0, got [{t0}, {t1}]")
+        if t1 == t0:
+            return 0.0
+        total = 0.0
+        # Clamped regions before the first edge / after the last edge.
+        if t0 < self.start:
+            head_end = min(t1, self.start)
+            total += (head_end - t0) * float(self.values[0])
+            t0 = head_end
+        if t1 > self.end:
+            tail_start = max(t0, self.end)
+            total += (t1 - tail_start) * float(self.values[-1])
+            t1 = tail_start
+        if t1 <= t0:
+            return total
+        i0 = int(np.clip(np.searchsorted(self.edges, t0, side="right") - 1, 0, self.values.size - 1))
+        i1 = int(np.clip(np.searchsorted(self.edges, t1, side="right") - 1, 0, self.values.size - 1))
+        if i0 == i1:
+            return total + (t1 - t0) * float(self.values[i0])
+        total += (self.edges[i0 + 1] - t0) * float(self.values[i0])
+        if i1 > i0 + 1:
+            widths = np.diff(self.edges[i0 + 1 : i1 + 1])
+            total += float((widths * self.values[i0 + 1 : i1]).sum())
+        total += (t1 - self.edges[i1]) * float(self.values[i1])
+        return total
+
+    def mean(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Time-weighted mean over ``[t0, t1]`` (defaults to the full span)."""
+        t0 = self.start if t0 is None else t0
+        t1 = self.end if t1 is None else t1
+        if t1 <= t0:
+            raise ValueError(f"window [{t0}, {t1}] is empty")
+        return self.integrate(t0, t1) / (t1 - t0)
+
+    def window(self, t0: float, t1: float) -> "Trace":
+        """Restrict the trace to ``[t0, t1]`` (clamped at the original span)."""
+        if t1 <= t0:
+            raise ValueError(f"window [{t0}, {t1}] is empty")
+        grid = [t0]
+        for e in self.edges:
+            if t0 < e < t1:
+                grid.append(float(e))
+        grid.append(t1)
+        edges = np.array(grid)
+        mids = 0.5 * (edges[:-1] + edges[1:])
+        return Trace(edges=edges, values=self.sample(mids))
+
+    def scaled(self, factor: float) -> "Trace":
+        """Pointwise multiply the values by ``factor``."""
+        return Trace(edges=self.edges, values=self.values * factor)
+
+    def clipped(self, lo: float, hi: float) -> "Trace":
+        """Pointwise clip values to ``[lo, hi]``."""
+        if hi < lo:
+            raise ValueError(f"empty clip range [{lo}, {hi}]")
+        return Trace(edges=self.edges, values=np.clip(self.values, lo, hi))

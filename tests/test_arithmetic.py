@@ -1,0 +1,235 @@
+"""Tests for repro.core.arithmetic — the paper's Table 2 rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.arithmetic import (
+    Relatedness,
+    ReciprocalRule,
+    add,
+    divide,
+    linear_combination,
+    multiply,
+    product_stochastic,
+    reciprocal,
+    scale,
+    shift,
+    subtract,
+    sum_stochastic,
+)
+from repro.core.stochastic import StochasticValue as SV
+
+
+class TestPointValueRows:
+    """Table 2 row: point value with stochastic value."""
+
+    def test_shift(self):
+        out = shift(SV(8.0, 2.0), 3.0)
+        assert (out.mean, out.spread) == (11.0, 2.0)
+
+    def test_scale(self):
+        out = scale(SV(8.0, 2.0), 3.0)
+        assert (out.mean, out.spread) == (24.0, 6.0)
+
+    def test_scale_negative_keeps_spread_positive(self):
+        out = scale(SV(8.0, 2.0), -3.0)
+        assert (out.mean, out.spread) == (-24.0, 6.0)
+
+    def test_add_dispatches_to_shift_for_point(self):
+        out = add(SV(8.0, 2.0), 5.0)
+        assert (out.mean, out.spread) == (13.0, 2.0)
+
+    def test_add_point_first(self):
+        out = add(5.0, SV(8.0, 2.0))
+        assert (out.mean, out.spread) == (13.0, 2.0)
+
+    def test_multiply_by_point_exact(self):
+        out = multiply(SV(8.0, 2.0), SV.point(0.5), Relatedness.RELATED)
+        assert (out.mean, out.spread) == (4.0, 1.0)
+
+
+class TestAddition:
+    """Table 2 rows: addition of two stochastic values."""
+
+    def test_related_sums_spreads(self):
+        out = add(SV(8.0, 2.0), SV(5.0, 1.5), Relatedness.RELATED)
+        assert out.mean == 13.0
+        assert out.spread == pytest.approx(3.5)
+
+    def test_unrelated_rss(self):
+        out = add(SV(8.0, 3.0), SV(5.0, 4.0), Relatedness.UNRELATED)
+        assert out.mean == 13.0
+        assert out.spread == pytest.approx(5.0)
+
+    def test_related_at_least_unrelated(self):
+        a, b = SV(1.0, 2.0), SV(1.0, 3.0)
+        rel = add(a, b, Relatedness.RELATED)
+        unrel = add(a, b, Relatedness.UNRELATED)
+        assert rel.spread >= unrel.spread
+
+    def test_subtract_means(self):
+        out = subtract(SV(8.0, 2.0), SV(5.0, 1.5), Relatedness.RELATED)
+        assert out.mean == 3.0
+        assert out.spread == pytest.approx(3.5)
+
+    def test_subtract_unrelated(self):
+        out = subtract(SV(8.0, 3.0), SV(5.0, 4.0))
+        assert out.spread == pytest.approx(5.0)
+
+    def test_default_is_unrelated(self):
+        out = add(SV(0.0, 3.0), SV(0.0, 4.0))
+        assert out.spread == pytest.approx(5.0)
+
+
+class TestMultiplication:
+    """Table 2 rows: multiplication of two stochastic values."""
+
+    def test_related_formula(self):
+        # (Xi +/- ai)(Xj +/- aj) = XiXj +/- (aiXj + ajXi + aiaj)
+        out = multiply(SV(8.0, 2.0), SV(5.0, 1.5), Relatedness.RELATED)
+        assert out.mean == 40.0
+        assert out.spread == pytest.approx(2.0 * 5.0 + 1.5 * 8.0 + 2.0 * 1.5)
+
+    def test_related_formula_negative_mean_abs_terms(self):
+        out = multiply(SV(-8.0, 2.0), SV(5.0, 1.5), Relatedness.RELATED)
+        assert out.mean == -40.0
+        assert out.spread == pytest.approx(10.0 + 12.0 + 3.0)
+
+    def test_unrelated_quadrature_of_relative_errors(self):
+        x, y = SV(8.0, 2.0), SV(5.0, 1.5)
+        out = multiply(x, y, Relatedness.UNRELATED)
+        rel = math.hypot(2.0 / 8.0, 1.5 / 5.0)
+        assert out.mean == 40.0
+        assert out.spread == pytest.approx(40.0 * rel)
+
+    def test_zero_mean_convention(self):
+        # Paper: "In the case that either Xi or Xj is equal to zero, we
+        # define their product to be zero."
+        out = multiply(SV(0.0, 2.0), SV(5.0, 1.0), Relatedness.UNRELATED)
+        assert out.mean == 0.0 and out.is_point
+
+    def test_zero_mean_related_still_defined(self):
+        out = multiply(SV(0.0, 2.0), SV(5.0, 1.0), Relatedness.RELATED)
+        assert out.mean == 0.0
+        assert out.spread == pytest.approx(2.0 * 5.0 + 1.0 * 0.0 + 2.0 * 1.0)
+
+    def test_commutative(self):
+        a, b = SV(3.0, 0.5), SV(7.0, 1.0)
+        for rel in Relatedness:
+            ab = multiply(a, b, rel)
+            ba = multiply(b, a, rel)
+            assert ab.mean == pytest.approx(ba.mean)
+            assert ab.spread == pytest.approx(ba.spread)
+
+
+class TestReciprocalAndDivision:
+    def test_first_order_reciprocal(self):
+        out = reciprocal(SV(4.0, 0.8))
+        assert out.mean == pytest.approx(0.25)
+        assert out.spread == pytest.approx(0.8 / 16.0)
+
+    def test_paper_literal_reciprocal(self):
+        out = reciprocal(SV(4.0, 0.8), ReciprocalRule.PAPER_LITERAL)
+        assert out.mean == pytest.approx(0.25)
+        assert out.spread == pytest.approx(1.25)
+
+    def test_point_reciprocal(self):
+        out = reciprocal(SV.point(4.0))
+        assert out.is_point and out.mean == 0.25
+
+    def test_zero_mean_reciprocal_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            reciprocal(SV(0.0, 1.0))
+
+    def test_divide_by_point(self):
+        out = divide(SV(10.0, 2.0), 4.0)
+        assert (out.mean, out.spread) == (2.5, 0.5)
+
+    def test_divide_by_zero_point_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            divide(SV(1.0, 0.1), 0.0)
+
+    def test_divide_preserves_relative_error_structure(self):
+        # Production computation: dedicated time / load.
+        t = SV.point(10.0)
+        load = SV(0.48, 0.05)
+        out = divide(t, load)
+        assert out.mean == pytest.approx(10.0 / 0.48)
+        # Relative error of the result equals relative error of the load
+        # (first-order), since t is a point value.
+        assert out.spread / out.mean == pytest.approx(0.05 / 0.48, rel=1e-12)
+
+    def test_division_first_order_matches_monte_carlo(self):
+        rng = np.random.default_rng(5)
+        x, y = SV(8.0, 2.0), SV(5.0, 1.0)
+        samples = x.sample(200_000, rng) / y.sample(200_000, rng)
+        out = divide(x, y, Relatedness.UNRELATED)
+        assert out.mean == pytest.approx(samples.mean(), rel=0.02)
+        assert out.spread == pytest.approx(2 * samples.std(), rel=0.12)
+
+
+class TestAggregates:
+    def test_sum_related(self):
+        out = sum_stochastic([SV(1.0, 0.1), SV(2.0, 0.2), SV(3.0, 0.3)], Relatedness.RELATED)
+        assert out.mean == pytest.approx(6.0)
+        assert out.spread == pytest.approx(0.6)
+
+    def test_sum_unrelated(self):
+        out = sum_stochastic([SV(0.0, 3.0), SV(0.0, 4.0)], Relatedness.UNRELATED)
+        assert out.spread == pytest.approx(5.0)
+
+    def test_empty_sum_is_zero_point(self):
+        out = sum_stochastic([])
+        assert out.is_point and out.mean == 0.0
+
+    def test_sum_accepts_plain_numbers(self):
+        out = sum_stochastic([1.0, SV(2.0, 0.5), 3])
+        assert out.mean == pytest.approx(6.0)
+        assert out.spread == pytest.approx(0.5)
+
+    def test_product(self):
+        out = product_stochastic([SV.point(2.0), SV.point(3.0), SV.point(4.0)])
+        assert out.mean == pytest.approx(24.0)
+
+    def test_empty_product_is_one(self):
+        assert product_stochastic([]).mean == 1.0
+
+    def test_linear_combination(self):
+        out = linear_combination([2.0, -1.0], [SV(3.0, 0.5), SV(1.0, 0.5)], Relatedness.RELATED)
+        assert out.mean == pytest.approx(5.0)
+        assert out.spread == pytest.approx(1.5)
+
+    def test_linear_combination_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_combination([1.0], [SV(1.0, 0.1), SV(2.0, 0.1)])
+
+
+class TestNormalClosure:
+    """Linear rules must match the exact distribution of combined normals."""
+
+    def test_related_add_matches_comonotonic_sampling(self):
+        rng = np.random.default_rng(7)
+        x, y = SV(8.0, 2.0), SV(5.0, 1.5)
+        z = rng.standard_normal(300_000)
+        samples = (x.mean + x.std * z) + (y.mean + y.std * z)
+        out = add(x, y, Relatedness.RELATED)
+        assert out.mean == pytest.approx(samples.mean(), abs=0.02)
+        assert out.spread == pytest.approx(2 * samples.std(), rel=0.01)
+
+    def test_unrelated_add_matches_independent_sampling(self):
+        rng = np.random.default_rng(8)
+        x, y = SV(8.0, 2.0), SV(5.0, 1.5)
+        samples = x.sample(300_000, rng) + y.sample(300_000, rng)
+        out = add(x, y, Relatedness.UNRELATED)
+        assert out.mean == pytest.approx(samples.mean(), abs=0.02)
+        assert out.spread == pytest.approx(2 * samples.std(), rel=0.01)
+
+    def test_unrelated_multiply_close_to_independent_sampling(self):
+        rng = np.random.default_rng(9)
+        x, y = SV(8.0, 0.8), SV(5.0, 0.5)  # low variance: first-order regime
+        samples = x.sample(300_000, rng) * y.sample(300_000, rng)
+        out = multiply(x, y, Relatedness.UNRELATED)
+        assert out.mean == pytest.approx(samples.mean(), rel=0.01)
+        assert out.spread == pytest.approx(2 * samples.std(), rel=0.02)

@@ -1,0 +1,87 @@
+"""Tests for repro.util.ascii_plot — terminal figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.util.ascii_plot import ascii_histogram, ascii_series, sparkline
+
+
+class TestHistogram:
+    def test_row_per_bin(self):
+        out = ascii_histogram([1.0, 2.0, 3.0], bins=5)
+        assert len(out.splitlines()) == 6  # title + 5 bins
+
+    def test_counts_shown(self):
+        out = ascii_histogram([1.0] * 7 + [9.0] * 3, bins=2)
+        assert out.splitlines()[1].rstrip().endswith("7")
+        assert out.splitlines()[2].rstrip().endswith("3")
+
+    def test_peak_bin_fills_width(self):
+        out = ascii_histogram([1.0] * 10 + [9.0], bins=2, width=20)
+        assert "#" * 20 in out
+
+    def test_label_in_title(self):
+        assert ascii_histogram([1.0, 2.0], label="load").startswith("load histogram")
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=0)
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], width=0)
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+
+
+class TestSeries:
+    def test_dimensions(self):
+        out = ascii_series(np.sin(np.linspace(0, 10, 500)), height=8, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 10  # title + 8 rows + axis
+        assert all(len(l) == 42 for l in lines[1:-1])  # |...| borders
+
+    def test_one_marker_per_column(self):
+        out = ascii_series(np.linspace(0, 1, 100), height=5, width=30)
+        body = out.splitlines()[1:-1]
+        for col in range(30):
+            marks = sum(1 for row in body if row[col + 1] == "*")
+            assert marks == 1
+
+    def test_monotone_series_descends_visually(self):
+        out = ascii_series(np.linspace(0, 1, 100), height=5, width=20)
+        body = out.splitlines()[1:-1]
+        # The top row's markers must be to the right of the bottom row's.
+        top = body[0].index("*")
+        bottom = body[-1].index("*")
+        assert top > bottom
+
+    def test_constant_series(self):
+        out = ascii_series([3.0] * 50, height=4, width=10)
+        assert out.count("*") == 10
+
+    def test_range_in_title(self):
+        out = ascii_series([2.0, 4.0], label="load")
+        assert "load" in out.splitlines()[0]
+        assert "[2 .. 4]" in out.splitlines()[0]
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series([1.0, 2.0], height=1)
+        with pytest.raises(ValueError):
+            ascii_series([1.0, 2.0], width=1)
+
+
+class TestSparkline:
+    def test_width(self):
+        assert len(sparkline(np.random.default_rng(0).random(500), width=40)) == 40
+
+    def test_constant_single_level(self):
+        s = sparkline([5.0] * 100, width=20)
+        assert len(set(s)) == 1
+
+    def test_extremes_use_extreme_chars(self):
+        s = sparkline([0.0] * 50 + [1.0] * 50, width=10)
+        assert s[0] == " " and s[-1] == "@"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)

@@ -1,0 +1,169 @@
+"""Tests for repro.batch — the embarrassingly parallel application."""
+
+import numpy as np
+import pytest
+
+from repro.batch.application import BatchApplication, simulate_batch
+from repro.batch.model import BatchModel, batch_bindings
+from repro.batch.scheduler import run_scheduling_study
+from repro.cluster.machine import Machine
+from repro.core.stochastic import StochasticValue
+from repro.workload.platforms import table1_platform
+from repro.workload.traces import Trace
+
+
+def two_machines(avail_a=1.0, avail_b=1.0):
+    return [
+        Machine("a", 2.5e5, availability=Trace.constant(avail_a)),
+        Machine("b", 5.0e5, availability=Trace.constant(avail_b)),
+    ]
+
+
+APP = BatchApplication(total_units=90, elements_per_unit=2.5e6)
+
+
+class TestApplication:
+    def test_dedicated_unit_times_match_table1(self):
+        machines = two_machines()
+        assert APP.dedicated_unit_time(machines[0]) == pytest.approx(10.0)
+        assert APP.dedicated_unit_time(machines[1]) == pytest.approx(5.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            BatchApplication(total_units=-1, elements_per_unit=1.0)
+        with pytest.raises(ValueError):
+            BatchApplication(total_units=1, elements_per_unit=0.0)
+
+
+class TestSimulateBatch:
+    def test_dedicated_analytic(self):
+        result = simulate_batch(two_machines(), APP, [30, 60])
+        # 30 units * 10 s and 60 units * 5 s: both finish at 300 s.
+        np.testing.assert_allclose(result.finish_times, [300.0, 300.0])
+        assert result.makespan == pytest.approx(300.0)
+        assert result.imbalance == pytest.approx(0.0)
+
+    def test_load_slows_worker(self):
+        result = simulate_batch(two_machines(avail_a=0.5), APP, [30, 60])
+        assert result.finish_times[0] == pytest.approx(600.0)
+        assert result.makespan == pytest.approx(600.0)
+
+    def test_idle_machine_finishes_at_start(self):
+        app = BatchApplication(total_units=10, elements_per_unit=2.5e6)
+        result = simulate_batch(two_machines(), app, [10, 0], start_time=50.0)
+        assert result.finish_times[1] == 50.0
+        assert result.makespan == pytest.approx(100.0)
+
+    def test_imbalance(self):
+        result = simulate_batch(two_machines(), APP, [60, 30])
+        # a: 600 s, b: 150 s.
+        assert result.imbalance == pytest.approx(450.0)
+
+    def test_allocation_must_sum(self):
+        with pytest.raises(ValueError):
+            simulate_batch(two_machines(), APP, [30, 30])
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_batch(two_machines(), APP, [100, -10])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_batch(two_machines(), APP, [90])
+
+
+class TestBatchModel:
+    def test_dedicated_prediction_analytic(self):
+        machines = two_machines()
+        b = batch_bindings(machines, APP, [30, 60])
+        pred = BatchModel(2).predict(b)
+        assert pred.mean == pytest.approx(300.0)
+
+    def test_stochastic_load_widens(self):
+        machines = two_machines()
+        loads = {0: StochasticValue(0.5, 0.1), 1: StochasticValue.point(1.0)}
+        b = batch_bindings(machines, APP, [30, 60], loads=loads)
+        pred = BatchModel(2).predict(b)
+        assert pred.mean == pytest.approx(600.0)
+        assert pred.spread > 0
+
+    def test_busy_restriction(self):
+        machines = two_machines()
+        b = batch_bindings(machines, APP, [90, 0])
+        full = BatchModel(2).predict(b)
+        busy = BatchModel(2).predict(b, busy=[0])
+        assert busy.mean == pytest.approx(full.mean)  # idle term is 0 anyway
+        with pytest.raises(ValueError):
+            BatchModel(2).predict(b, busy=[])
+
+    def test_per_machine(self):
+        machines = two_machines()
+        b = batch_bindings(machines, APP, [30, 60])
+        times = BatchModel(2).per_machine(b)
+        assert [t.mean for t in times] == pytest.approx([300.0, 300.0])
+
+    def test_invalid_machine_count_rejected(self):
+        with pytest.raises(ValueError):
+            BatchModel(0)
+
+    def test_bindings_length_mismatch(self):
+        with pytest.raises(ValueError):
+            batch_bindings(two_machines(), APP, [90])
+
+
+class TestSchedulingStudy:
+    @pytest.fixture(scope="class")
+    def studies(self):
+        plat = table1_platform(duration=3000.0, rng=1)
+        app = BatchApplication(total_units=120, elements_per_unit=2.5e6)
+        return run_scheduling_study(plat, app, lams=(0.0, 2.0), n_rounds=10)
+
+    def test_one_study_per_lambda(self, studies):
+        assert sorted(s.lam for s in studies) == [0.0, 2.0]
+        assert all(len(s.rounds) == 10 for s in studies)
+
+    def test_risk_aversion_shifts_work_to_stable_machine(self, studies):
+        by_lam = {s.lam: s for s in studies}
+        share = lambda s: np.mean([r.units[0] / sum(r.units) for r in s.rounds])  # noqa: E731
+        assert share(by_lam[2.0]) > share(by_lam[0.0])
+
+    def test_risk_aversion_improves_prediction_accuracy(self, studies):
+        by_lam = {s.lam: s for s in studies}
+
+        def err(s):
+            return np.mean([abs(r.realized - r.predicted.mean) / r.realized for r in s.rounds])
+
+        assert err(by_lam[2.0]) < err(by_lam[0.0])
+
+    def test_summary_properties(self, studies):
+        s = studies[0]
+        assert s.mean_makespan > 0
+        assert s.p95_makespan >= s.mean_makespan
+        assert s.makespan_std >= 0
+
+    def test_invalid_rounds_rejected(self):
+        plat = table1_platform(duration=1000.0, rng=2)
+        with pytest.raises(ValueError):
+            run_scheduling_study(plat, APP, lams=(0.0,), n_rounds=0)
+
+
+class TestTable1Platform:
+    def test_machine_names_and_rates(self):
+        plat = table1_platform(rng=0)
+        assert plat.names == ("machine-a", "machine-b")
+        assert plat.machines[1].elements_per_sec == 2 * plat.machines[0].elements_per_sec
+
+    def test_equal_production_means(self):
+        # Both machines average ~12 s per 2.5e6-element unit.
+        plat = table1_platform(duration=50_000.0, rng=3)
+        app = BatchApplication(total_units=1, elements_per_unit=2.5e6)
+        for m in plat.machines:
+            eff = m.elements_per_sec * m.availability.values.mean()
+            unit_time = app.elements_per_unit / eff
+            assert unit_time == pytest.approx(12.0, rel=0.08), m.name
+
+    def test_b_much_more_variable(self):
+        plat = table1_platform(duration=20_000.0, rng=4)
+        std_a = plat.machines[0].availability.values.std()
+        std_b = plat.machines[1].availability.values.std()
+        assert std_b > 3 * std_a

@@ -1,0 +1,38 @@
+"""Tests for the NWS query-window calibration study."""
+
+import pytest
+
+from repro.experiments.calibration import run_calibration_study
+
+
+class TestCalibrationStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_calibration_study(
+            windows=(15.0, 90.0, 360.0), duration=14_400.0, rng=3
+        )
+
+    def test_full_grid(self, rows):
+        regimes = {r.regime for r in rows}
+        windows = {r.window_seconds for r in rows}
+        assert regimes == {"single-mode", "bursty"}
+        assert windows == {15.0, 90.0, 360.0}
+        assert len(rows) == 6
+
+    def test_bursty_coverage_grows_with_window(self, rows):
+        bursty = {r.window_seconds: r.report for r in rows if r.regime == "bursty"}
+        assert bursty[15.0].coverage < bursty[90.0].coverage < bursty[360.0].coverage
+
+    def test_sharpness_price(self, rows):
+        bursty = {r.window_seconds: r.report for r in rows if r.regime == "bursty"}
+        assert bursty[360.0].sharpness > bursty[15.0].sharpness
+
+    def test_single_mode_easier_than_bursty(self, rows):
+        by = {(r.regime, r.window_seconds): r.report for r in rows}
+        for w in (15.0, 90.0, 360.0):
+            assert by[("single-mode", w)].mae < by[("bursty", w)].mae
+
+    def test_deterministic_under_seed(self):
+        a = run_calibration_study(windows=(45.0,), duration=7200.0, rng=9)
+        b = run_calibration_study(windows=(45.0,), duration=7200.0, rng=9)
+        assert a[0].report == b[0].report

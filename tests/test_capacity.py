@@ -1,0 +1,79 @@
+"""Tests for repro.cluster.capacity — work/time inversion."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.capacity import completion_time, effective_rate
+from repro.workload.traces import Trace
+
+
+def step_trace():
+    # availability 0.5 for 50 s, then 1.0 for 50 s.
+    return Trace.from_samples(0.0, 50.0, [0.5, 1.0])
+
+
+class TestEffectiveRate:
+    def test_value(self):
+        assert effective_rate(100.0, step_trace(), 10.0) == 50.0
+        assert effective_rate(100.0, step_trace(), 60.0) == 100.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            effective_rate(0.0, step_trace(), 0.0)
+
+
+class TestCompletionTime:
+    def test_zero_work_instant(self):
+        assert completion_time(0.0, 10.0, step_trace(), 3.0) == 3.0
+
+    def test_within_first_segment(self):
+        # rate = 10 * 0.5 = 5/s -> 20 units take 4 s.
+        assert completion_time(20.0, 10.0, step_trace(), 0.0) == pytest.approx(4.0)
+
+    def test_across_segments(self):
+        # First 50 s deliver 250 units; remaining 50 at rate 10 -> 5 s.
+        assert completion_time(300.0, 10.0, step_trace(), 0.0) == pytest.approx(55.0)
+
+    def test_exact_segment_boundary(self):
+        assert completion_time(250.0, 10.0, step_trace(), 0.0) == pytest.approx(50.0)
+
+    def test_beyond_trace_end_uses_last_value(self):
+        # After t=100 the trace clamps to 1.0.
+        t = completion_time(10_000.0, 10.0, step_trace(), 0.0)
+        # 250 (seg 1) + 500 (seg 2) done by t=100; 9250 left at rate 10.
+        assert t == pytest.approx(100.0 + 925.0)
+
+    def test_start_before_trace_uses_first_value(self):
+        t = completion_time(50.0, 10.0, step_trace(), -10.0)
+        # 10 s at rate 5 = 50 units -> finishes exactly at trace start.
+        assert t == pytest.approx(0.0)
+
+    def test_start_mid_segment(self):
+        t = completion_time(100.0, 10.0, step_trace(), 40.0)
+        # 10 s at rate 5 = 50, then 50 at rate 10 = 5 s.
+        assert t == pytest.approx(55.0)
+
+    def test_start_after_trace_end(self):
+        t = completion_time(100.0, 10.0, step_trace(), 200.0)
+        assert t == pytest.approx(210.0)
+
+    def test_constant_trace(self):
+        tr = Trace.constant(0.25)
+        assert completion_time(100.0, 4.0, tr, 7.0) == pytest.approx(107.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            completion_time(-1.0, 10.0, step_trace(), 0.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            completion_time(1.0, 0.0, step_trace(), 0.0)
+
+    def test_consistency_with_integrate(self):
+        # completion_time is the inverse of Trace.integrate.
+        rng = np.random.default_rng(0)
+        trace = Trace.from_samples(0.0, 5.0, rng.uniform(0.1, 1.0, 40))
+        for work in (3.0, 57.0, 111.0):
+            t_end = completion_time(work, 2.0, trace, 12.0)
+            delivered = 2.0 * trace.integrate(12.0, t_end)
+            assert delivered == pytest.approx(work, rel=1e-9)

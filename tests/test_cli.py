@@ -1,0 +1,86 @@
+"""Tests for repro.cli — the artifact-regeneration command line."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["platform2"])
+        assert args.size == 1600 and args.runs == 25 and args.seed == 42
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Dedicated" in out and "12 +/- 30%" in out
+
+    def test_table1_custom_units(self, capsys):
+        assert main(["table1", "--units", "60"]) == 0
+        assert "split of 60" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--samples", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "add (related)" in out and "paper-literal" in out
+
+    def test_dedicated_exit_code_reflects_claim(self, capsys):
+        assert main(["dedicated", "--sizes", "1000", "1600"]) == 0
+        out = capsys.readouterr().out
+        assert "max error" in out
+
+    def test_figures_selection(self, capsys):
+        assert main(["figures", "--which", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figures 3/4" not in out
+
+    def test_figures_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figures 1/2" in out and "Figures 3/4" in out and "Figure 5" in out
+
+    def test_platform1_small(self, capsys):
+        assert main(["platform1", "--sizes", "1000", "1400", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "capture=" in out and "preliminary stochastic load" in out
+
+    def test_platform2_small(self, capsys):
+        assert main(["platform2", "--size", "1000", "--runs", "4", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "capture=" in out and "in_range" in out
+
+    def test_trace_renders_ascii(self, capsys):
+        assert main(["trace", "--platform", "2", "--duration", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "platform 2 load" in out
+        assert "*" in out
+
+    def test_figures_plot_flag(self, capsys):
+        assert main(["figures", "--which", "5", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU load histogram" in out
+
+    def test_memory_command(self, capsys):
+        assert main(["memory", "--sizes", "800", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory boundary" in out and "NO" in out
+
+    def test_calibration_command(self, capsys):
+        assert main(["calibration", "--windows", "45"]) == 0
+        out = capsys.readouterr().out
+        assert "bursty" in out and "coverage" in out
+
+    def test_advise_command(self, capsys):
+        assert main(["advise", "--size", "800", "--iterations", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "advice:" in out and "mean-balanced" in out

@@ -1,0 +1,136 @@
+"""Focused edge-case coverage across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network
+from repro.cluster.simulator import ClusterSimulator, IterativeProgram, Phase
+from repro.core import StochasticValue
+from repro.core.arithmetic import Relatedness, multiply
+from repro.core.empirical import EmpiricalValue
+from repro.nws.predictor import AdaptivePredictor
+from repro.scheduling.sor_advisor import advise_decomposition
+from repro.workload.traces import Trace
+
+
+class TestStochasticEdges:
+    def test_tiny_spread_behaves_like_point(self):
+        sv = StochasticValue(5.0, 1e-300)
+        assert not sv.is_point
+        assert sv.contains(5.0)
+        assert sv.cdf(5.0) == pytest.approx(0.5)
+
+    def test_huge_values(self):
+        sv = StochasticValue(1e300, 1e299)
+        out = sv + sv
+        assert np.isfinite(out.mean)
+
+    def test_multiply_point_zero(self):
+        out = multiply(StochasticValue(5.0, 1.0), 0.0, Relatedness.RELATED)
+        assert out.mean == 0.0 and out.spread == 0.0
+
+    def test_negative_mean_percent_roundtrip(self):
+        sv = StochasticValue.from_percent(-4.0, 25.0)
+        assert sv.percent == pytest.approx(25.0)
+
+
+class TestSimulatorEdges:
+    def test_all_zero_work_phase(self):
+        prog = IterativeProgram("z", (Phase("idle", (0.0, 0.0)),), 3)
+        sim = ClusterSimulator([Machine("a", 1.0), Machine("b", 1.0)], Network())
+        result = sim.run(prog)
+        assert result.elapsed == 0.0
+        np.testing.assert_array_equal(result.iteration_ends, 0.0)
+
+    def test_single_machine_single_iteration(self):
+        prog = IterativeProgram("s", (Phase("c", (10.0,)),), 1)
+        result = ClusterSimulator([Machine("a", 10.0)], Network()).run(prog)
+        assert result.elapsed == pytest.approx(1.0)
+        assert result.max_skew == 0.0
+
+    def test_negative_start_time(self):
+        prog = IterativeProgram("s", (Phase("c", (10.0,)),), 1)
+        result = ClusterSimulator([Machine("a", 10.0)], Network()).run(prog, start_time=-5.0)
+        assert result.start == -5.0
+        assert result.end == pytest.approx(-4.0)
+
+    def test_availability_changing_mid_phase(self):
+        trace = Trace.from_samples(0.0, 1.0, [1.0, 0.1])
+        machines = [Machine("a", 10.0, availability=trace)]
+        prog = IterativeProgram("s", (Phase("c", (15.0,)),), 1)
+        result = ClusterSimulator(machines, Network()).run(prog)
+        # 10 units in the first second, then 5 more at rate 1.0.
+        assert result.elapsed == pytest.approx(6.0)
+
+
+class TestPredictorEdges:
+    def test_error_window_changes_spread(self):
+        rng = np.random.default_rng(0)
+        series = np.concatenate([rng.normal(1.0, 0.5, 100), rng.normal(1.0, 0.01, 20)])
+        short = AdaptivePredictor(error_window=8, spread_method="rmse")
+        long = AdaptivePredictor(error_window=120, spread_method="rmse")
+        short.observe_series(series)
+        long.observe_series(series)
+        # The short window has mostly forgotten the noisy era.
+        assert short.forecast().spread < long.forecast().spread
+
+    def test_single_observation_forecast(self):
+        p = AdaptivePredictor()
+        p.observe(0.5)
+        out = p.forecast()
+        assert out.mean == pytest.approx(0.5)
+        assert out.spread == 0.0
+
+
+class TestAdvisorEdges:
+    def test_single_machine_platform(self):
+        choice = advise_decomposition(
+            [Machine("solo", 1e5)], Network(), 300, 5, {0: StochasticValue(0.5, 0.1)}
+        )
+        assert choice.best.machine_indices == (0,)
+        labels = {c.label for c in choice.candidates}
+        assert not any(l.startswith("drop") for l in labels)
+
+    def test_identical_loads_keep_all_machines(self):
+        machines = [Machine(f"m{i}", 1e5) for i in range(3)]
+        loads = {i: StochasticValue(0.5, 0.05) for i in range(3)}
+        choice = advise_decomposition(machines, Network(), 2000, 20, loads, lam=2.0)
+        assert len(choice.best.machine_indices) == 3
+
+
+class TestEmpiricalEdges:
+    def test_two_sample_cloud(self):
+        e = EmpiricalValue.from_samples([1.0, 3.0])
+        assert e.mean == 2.0
+        assert e.quantile(0.5) == 2.0
+
+    def test_constant_cloud_interval_degenerate(self):
+        e = EmpiricalValue.from_samples([4.0] * 10)
+        assert e.interval == (4.0, 4.0)
+        assert e.contains(4.0)
+        assert not e.contains(4.0001)
+
+    def test_unrelated_combine_deterministic_under_seed(self):
+        x = EmpiricalValue.from_samples(np.arange(100.0))
+        y = EmpiricalValue.from_samples(np.arange(100.0))
+        a = x.add(y, Relatedness.UNRELATED, rng=7)
+        b = x.add(y, Relatedness.UNRELATED, rng=7)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+
+class TestCliEdges:
+    def test_trace_platform1(self, capsys):
+        assert main(["trace", "--platform", "1", "--duration", "300"]) == 0
+        assert "platform 1 load" in capsys.readouterr().out
+
+    def test_figures_plot_1_and_3(self, capsys):
+        assert main(["figures", "--which", "1", "3", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime (s) histogram" in out
+        assert "bandwidth (Mbit/s) histogram" in out
+
+    def test_trace_other_machine(self, capsys):
+        assert main(["trace", "--platform", "2", "--machine", "2", "--duration", "300"]) == 0
+        assert "ultra-1" in capsys.readouterr().out

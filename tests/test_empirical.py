@@ -1,0 +1,147 @@
+"""Tests for repro.core.empirical — sample-cloud stochastic values."""
+
+import numpy as np
+import pytest
+
+from repro.core.arithmetic import Relatedness
+from repro.core.empirical import EmpiricalValue, as_empirical
+from repro.core.stochastic import StochasticValue
+
+
+class TestConstruction:
+    def test_from_samples_copies(self):
+        data = np.array([1.0, 2.0, 3.0])
+        e = EmpiricalValue.from_samples(data)
+        data[0] = 99.0
+        assert e.samples[0] == 1.0
+
+    def test_from_stochastic_statistics(self):
+        e = EmpiricalValue.from_stochastic(StochasticValue(8.0, 2.0), n=50_000, rng=0)
+        assert e.mean == pytest.approx(8.0, abs=0.03)
+        assert e.std == pytest.approx(1.0, abs=0.02)
+
+    def test_point(self):
+        e = EmpiricalValue.point(4.0)
+        assert e.mean == 4.0 and e.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalValue.from_samples([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalValue.from_samples([1.0, float("nan")])
+
+
+class TestSummaries:
+    def test_to_stochastic(self):
+        e = EmpiricalValue.from_samples([1.0, 2.0, 3.0])
+        sv = e.to_stochastic()
+        assert sv.mean == pytest.approx(2.0)
+        assert sv.spread == pytest.approx(2.0 * np.std([1, 2, 3], ddof=1))
+
+    def test_interval_is_quantile_based(self):
+        rng = np.random.default_rng(1)
+        # Strongly skewed cloud: quantile interval is asymmetric.
+        e = EmpiricalValue.from_samples(rng.lognormal(0, 1, 50_000))
+        lo, hi = e.interval
+        assert hi - e.mean > e.mean - lo
+
+    def test_cdf_and_quantile_roundtrip(self):
+        rng = np.random.default_rng(2)
+        e = EmpiricalValue.from_samples(rng.normal(0, 1, 10_000))
+        for p in (0.1, 0.5, 0.9):
+            assert e.cdf(e.quantile(p)) == pytest.approx(p, abs=0.01)
+
+    def test_quantile_bounds_rejected(self):
+        e = EmpiricalValue.from_samples([1.0, 2.0])
+        with pytest.raises(ValueError):
+            e.quantile(0.0)
+
+    def test_contains_and_prob_above(self):
+        e = EmpiricalValue.from_samples(np.linspace(0, 100, 1001))
+        assert e.contains(50.0)
+        assert not e.contains(-10.0)
+        assert e.prob_above(90.0) == pytest.approx(0.1, abs=0.01)
+
+
+class TestArithmetic:
+    def test_unrelated_add_matches_normal_rule(self):
+        x = EmpiricalValue.from_stochastic(StochasticValue(8.0, 2.0), n=100_000, rng=0)
+        y = EmpiricalValue.from_stochastic(StochasticValue(5.0, 1.5), n=100_000, rng=1)
+        out = x.add(y, Relatedness.UNRELATED, rng=2).to_stochastic()
+        assert out.mean == pytest.approx(13.0, abs=0.03)
+        assert out.spread == pytest.approx(2.5, rel=0.02)
+
+    def test_related_add_is_comonotonic(self):
+        x = EmpiricalValue.from_stochastic(StochasticValue(0.0, 2.0), n=50_000, rng=0)
+        y = EmpiricalValue.from_stochastic(StochasticValue(0.0, 2.0), n=50_000, rng=1)
+        related = x.add(y, Relatedness.RELATED)
+        unrelated = x.add(y, Relatedness.UNRELATED, rng=2)
+        assert related.std > unrelated.std
+
+    def test_divide_keeps_jensen_term(self):
+        rng = np.random.default_rng(3)
+        loads = rng.uniform(0.3, 0.7, 100_000)
+        t = EmpiricalValue.point(10.0).divide(EmpiricalValue.from_samples(loads), rng=4)
+        assert t.mean == pytest.approx(float((10.0 / loads).mean()), rel=0.01)
+        assert t.mean > 10.0 / loads.mean()  # Jensen
+
+    def test_divide_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            EmpiricalValue.point(1.0).divide(EmpiricalValue.from_samples([0.0, 1.0]))
+
+    def test_scale_and_shift_exact(self):
+        e = EmpiricalValue.from_samples([1.0, 2.0, 3.0])
+        assert e.scale(2.0).mean == pytest.approx(4.0)
+        assert e.shift(1.0).mean == pytest.approx(3.0)
+        assert e.scale(2.0).std == pytest.approx(2.0 * e.std)
+        assert e.shift(1.0).std == pytest.approx(e.std)
+
+    def test_mixed_size_alignment(self):
+        x = EmpiricalValue.from_samples(np.linspace(0, 1, 100))
+        y = EmpiricalValue.from_samples(np.linspace(0, 1, 1000))
+        out = x.add(y, rng=0)
+        assert out.samples.size == 1000
+
+    def test_maximum_matches_clark_for_normals(self):
+        from repro.core.group_ops import clark_max
+
+        a, b = StochasticValue(4.0, 2.0), StochasticValue(3.5, 3.0)
+        emp = EmpiricalValue.maximum(
+            [
+                EmpiricalValue.from_stochastic(a, n=200_000, rng=0),
+                EmpiricalValue.from_stochastic(b, n=200_000, rng=1),
+            ],
+            rng=2,
+        )
+        approx = clark_max(a, b)
+        assert emp.mean == pytest.approx(approx.mean, rel=0.01)
+
+    def test_maximum_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalValue.maximum([])
+
+
+class TestCoercion:
+    def test_as_empirical_passthrough(self):
+        e = EmpiricalValue.point(1.0)
+        assert as_empirical(e) is e
+
+    def test_as_empirical_from_number(self):
+        assert as_empirical(3.0).mean == 3.0
+
+    def test_as_empirical_from_stochastic(self):
+        e = as_empirical(StochasticValue(5.0, 1.0))
+        assert e.mean == pytest.approx(5.0, abs=0.1)
+
+    def test_as_empirical_point_stochastic(self):
+        e = as_empirical(StochasticValue.point(7.0))
+        assert np.all(e.samples == 7.0)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_empirical("cloud")
+
+    def test_str(self):
+        assert "empirical[" in str(EmpiricalValue.from_samples([1.0, 2.0]))

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs cleanly and tells its story."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Import an example module by path and execute its main()."""
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "bandwidth" in out
+        assert "Max (Clark)" in out
+        assert "95th percentile" in out
+
+    def test_two_machine_scheduling(self, capsys):
+        out = run_example("two_machine_scheduling.py", capsys)
+        assert "Table 1 settings" in out
+        assert "lambda=2.0" in out
+        assert "P(overrun" in out
+
+    def test_distributed_sor_numerics(self, capsys):
+        out = run_example("distributed_sor_numerics.py", capsys)
+        assert "distributed == sequential after 200 iterations: True" in out
+        assert "speedup from capacity balancing" in out
+
+    def test_nws_forecasting(self, capsys):
+        out = run_example("nws_forecasting.py", capsys)
+        assert "Single-mode load" in out
+        assert "Bursty 4-modal load" in out
+        assert "winner:" in out
+
+    def test_sor_production_prediction(self, capsys):
+        out = run_example("sor_production_prediction.py", capsys)
+        assert "stochastic prediction" in out
+        assert "actual execution time" in out
+
+    def test_batch_scheduling(self, capsys):
+        out = run_example("batch_scheduling.py", capsys)
+        assert "machine-a" in out and "machine-b" in out
+        assert "lambda" in out
+
+    def test_adaptive_sor(self, capsys):
+        out = run_example("adaptive_sor.py", capsys)
+        assert "static balanced" in out
+        assert "adaptive" in out
+        assert "moved" in out

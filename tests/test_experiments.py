@@ -1,0 +1,165 @@
+"""Integration tests: the experiment harnesses reproduce the paper's shapes.
+
+These are the paper's headline claims, checked end to end against the
+simulated production environment (small run counts to keep the suite
+fast; the benchmarks run the full-size versions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.dedicated import run_dedicated_validation
+from repro.experiments.figures import figure1_2, figure3_4, figure5
+from repro.experiments.platform1 import run_platform1
+from repro.experiments.platform2 import platform2_load_study, run_platform2
+from repro.experiments.report import figure_series_table, prediction_table, write_csv
+from repro.experiments.tables import table1_allocations, table1_rows, table2_checks
+
+
+class TestDedicated:
+    def test_model_within_two_percent(self):
+        # Section 2.2.1: "the structural model ... predicted overall
+        # application execution times to within 2%".
+        rows = run_dedicated_validation(sizes=(1000, 1400, 2000))
+        for row in rows:
+            assert row.error < 0.02, f"n={row.problem_size}: {row.error:.2%}"
+
+    def test_times_grow_with_problem_size(self):
+        rows = run_dedicated_validation(sizes=(1000, 2000))
+        assert rows[1].actual > rows[0].actual
+
+
+class TestPlatform1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_platform1(sizes=(1000, 1400, 1800), rng=11)
+
+    def test_preliminary_load_matches_paper(self, result):
+        # "a stochastic load value of 0.48 +/- 0.05"
+        assert result.stochastic_load.mean == pytest.approx(0.48, abs=0.03)
+        assert result.stochastic_load.spread == pytest.approx(0.05, abs=0.03)
+
+    def test_all_actuals_inside_stochastic_range(self, result):
+        # Figure 9: "execution time measurements fall entirely within the
+        # stochastic prediction".
+        assert result.quality.capture == 1.0
+        assert result.quality.max_range_error == 0.0
+
+    def test_mean_error_moderate(self, result):
+        # Paper: max discrepancy between means and actuals 9.7%.
+        assert result.quality.max_mean_error < 0.12
+
+    def test_load_trace_stays_in_mode(self, result):
+        vals = result.load_trace_values
+        assert np.percentile(vals, 95) < 0.6
+        assert np.percentile(vals, 20) > 0.35
+
+    def test_predictions_grow_with_size(self, result):
+        means = [p.prediction.mean for p in result.points]
+        assert means == sorted(means)
+
+
+class TestPlatform2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_platform2(1600, n_runs=12, rng=42)
+
+    def test_majority_captured(self, result):
+        # Paper: ~80% of actual execution times inside the range.
+        assert result.quality.capture >= 0.7
+
+    def test_range_errors_small(self, result):
+        # Paper: maximum out-of-range error ~14%.
+        assert result.quality.max_range_error < 0.30
+
+    def test_mean_errors_substantially_larger(self, result):
+        # Paper: means err up to 38.6% — far worse than the range error.
+        assert result.quality.max_mean_error > result.quality.max_range_error
+
+    def test_predictions_are_stochastic(self, result):
+        assert all(p.prediction.spread > 0 for p in result.points)
+
+    def test_load_study_is_multimodal_and_bursty(self):
+        _, values = platform2_load_study(duration=3600.0, rng=7)
+        jumps = np.abs(np.diff(values))
+        assert (jumps > 0.08).sum() > 5
+        assert values.std() > 0.08
+
+
+class TestFigures:
+    def test_figure1_2_near_normal(self):
+        fig = figure1_2(rng=0)
+        assert fig.fit.looks_normal()
+        assert fig.fit.value.mean == pytest.approx(11.0, abs=0.5)
+        assert fig.cdf_y[-1] == 1.0
+
+    def test_figure3_4_long_tailed(self):
+        fig = figure3_4(n_samples=20_000, rng=1)
+        assert fig.coverage is not None
+        assert 0.87 <= fig.coverage.actual_coverage <= 0.94
+        assert not fig.fit.looks_normal()
+
+    def test_figure5_three_modes(self):
+        fig = figure5(rng=2)
+        assert len(fig.modes) == 3
+        centers = sorted(m.mean for m in fig.modes)
+        assert centers[2] == pytest.approx(0.94, abs=0.04)
+
+    def test_histograms_match_samples(self):
+        fig = figure1_2(rng=3)
+        assert int(fig.histogram.counts.sum()) == fig.samples.size
+
+
+class TestTables:
+    def test_table1_verbatim(self):
+        rows = {r.setting: r for r in table1_rows()}
+        assert rows["Dedicated"].machine_a.mean == 10.0
+        assert rows["Dedicated"].machine_b.mean == 5.0
+        assert rows["Production (point)"].machine_a.mean == 12.0
+        assert rows["Production (stochastic)"].machine_b.percent == pytest.approx(30.0)
+
+    def test_table1_allocations_narrative(self):
+        allocs = table1_allocations(120)
+        assert allocs["Dedicated"] == (40, 80)
+        assert allocs["Production (point)"] == (60, 60)
+        a, b = allocs["Production (stochastic)"]
+        assert a > b  # risk-averse: more work on the low-variance machine
+
+    def test_table2_linear_rules_exact(self):
+        checks = {c.operation: c for c in table2_checks(rng=0, n_samples=100_000)}
+        for op in ("point + stochastic", "point * stochastic", "add (unrelated)"):
+            c = checks[op]
+            assert c.mean_error < 0.01
+            assert c.rule_result.spread == pytest.approx(c.mc_spread, rel=0.03)
+
+    def test_table2_related_add_conservative(self):
+        checks = {c.operation: c for c in table2_checks(rng=1, n_samples=100_000)}
+        c = checks["add (related)"]
+        # Conservative rule: spread at least the comonotonic MC spread.
+        assert c.rule_result.spread >= c.mc_spread * 0.99
+
+    def test_table2_first_order_division_beats_paper_literal(self):
+        checks = {c.operation: c for c in table2_checks(rng=2, n_samples=100_000)}
+        good = checks["divide (first-order reciprocal)"]
+        literal = checks["divide (paper-literal reciprocal)"]
+        good_err = abs(good.rule_result.spread - good.mc_spread)
+        literal_err = abs(literal.rule_result.spread - literal.mc_spread)
+        assert good_err < literal_err
+
+
+class TestReport:
+    def test_prediction_table_format(self):
+        result = run_platform2(1000, n_runs=3, rng=5)
+        out = prediction_table(result.points)
+        assert "actual_s" in out
+        assert out.count("\n") >= 4
+
+    def test_figure_series_table(self):
+        out = figure_series_table("Figure X", [1.0, 2.0], [3.0, 4.0])
+        assert out.splitlines()[0] == "Figure X"
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        text = path.read_text()
+        assert text.splitlines()[0] == "a,b"
+        assert len(text.splitlines()) == 3

@@ -1,0 +1,83 @@
+"""Tests for repro.distributions.fitting — normal fits and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.fitting import fit_normal, jarque_bera, ks_distance_to_normal
+
+
+class TestFitNormal:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(11.0, 1.4, 20_000)
+        fit = fit_normal(data)
+        assert fit.value.mean == pytest.approx(11.0, abs=0.05)
+        assert fit.value.spread == pytest.approx(2.8, abs=0.1)
+        assert fit.n == 20_000
+
+    def test_normal_data_looks_normal(self):
+        rng = np.random.default_rng(1)
+        fit = fit_normal(rng.normal(0, 1, 3000))
+        assert fit.looks_normal()
+        assert fit.ks_distance < 0.03
+        assert abs(fit.skewness) < 0.15
+
+    def test_long_tailed_data_flagged(self):
+        rng = np.random.default_rng(2)
+        data = rng.lognormal(0, 1.0, 3000)
+        fit = fit_normal(data)
+        assert not fit.looks_normal()
+        assert fit.skewness > 1.0
+        assert fit.jb_statistic > 100.0
+
+    def test_constant_data_degenerates_to_point(self):
+        fit = fit_normal([5.0] * 10)
+        assert fit.value.is_point
+        assert fit.ks_distance == 0.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_normal([1.0, 2.0, 3.0])
+
+
+class TestKsDistance:
+    def test_zero_for_perfect_grid(self):
+        # A fine quantile grid of the normal has tiny KS distance.
+        from scipy import stats as sps
+
+        ps = (np.arange(10_000) + 0.5) / 10_000
+        data = sps.norm.ppf(ps)
+        assert ks_distance_to_normal(data, 0.0, 1.0) < 1e-3
+
+    def test_large_for_shifted(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0, 1, 2000)
+        assert ks_distance_to_normal(data, 3.0, 1.0) > 0.8
+
+    def test_matches_scipy_kstest(self):
+        from scipy import stats as sps
+
+        rng = np.random.default_rng(4)
+        data = rng.normal(2, 3, 500)
+        ours = ks_distance_to_normal(data, 2.0, 3.0)
+        theirs = sps.kstest(data, "norm", args=(2.0, 3.0)).statistic
+        # Our vectorised erf approximation is good to ~1.5e-7.
+        assert ours == pytest.approx(theirs, abs=1e-6)
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance_to_normal([1.0, 2.0], 0.0, 0.0)
+
+
+class TestJarqueBera:
+    def test_small_for_normal(self):
+        rng = np.random.default_rng(5)
+        assert jarque_bera(rng.normal(0, 1, 5000)) < 10.0
+
+    def test_large_for_uniform(self):
+        rng = np.random.default_rng(6)
+        assert jarque_bera(rng.random(5000)) > 100.0
+
+    def test_needs_four_samples(self):
+        with pytest.raises(ValueError):
+            jarque_bera([1.0, 2.0, 3.0])

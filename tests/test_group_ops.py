@@ -1,0 +1,131 @@
+"""Tests for repro.core.group_ops — Max/Min strategies (Section 2.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.group_ops import (
+    MaxStrategy,
+    clark_max,
+    max_by_endpoint,
+    max_by_mean,
+    min_by_endpoint,
+    min_by_mean,
+    monte_carlo_max,
+    stochastic_max,
+    stochastic_min,
+)
+from repro.core.stochastic import StochasticValue as SV
+
+# The paper's own example: A = 4 +/- 0.5, B = 3 +/- 2, C = 3 +/- 1.
+A, B, C = SV(4.0, 0.5), SV(3.0, 2.0), SV(3.0, 1.0)
+
+
+class TestPaperExample:
+    def test_a_has_largest_mean(self):
+        assert max_by_mean([A, B, C]) is A
+
+    def test_b_has_largest_range_endpoint(self):
+        assert max_by_endpoint([A, B, C]) is B
+
+    def test_strategies_disagree_as_paper_describes(self):
+        by_mean = stochastic_max([A, B, C], MaxStrategy.BY_MEAN)
+        by_endpoint = stochastic_max([A, B, C], MaxStrategy.BY_ENDPOINT)
+        assert by_mean is A and by_endpoint is B
+
+
+class TestSelectors:
+    def test_min_by_mean(self):
+        assert min_by_mean([A, B, C]) in (B, C)
+        assert min_by_mean([A, B, C]).mean == 3.0
+
+    def test_min_by_endpoint(self):
+        # B's lower endpoint (1.0) is the smallest.
+        assert min_by_endpoint([A, B, C]) is B
+
+    def test_tie_keeps_first(self):
+        x, y = SV(3.0, 1.0), SV(3.0, 2.0)
+        assert max_by_mean([x, y]) is x
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_by_mean([])
+
+    def test_accepts_plain_numbers(self):
+        out = max_by_mean([1.0, 5.0, 3.0])
+        assert out.mean == 5.0
+
+
+class TestClarkMax:
+    def test_well_separated_returns_larger(self):
+        out = clark_max(SV(10.0, 0.2), SV(1.0, 0.2))
+        assert out.mean == pytest.approx(10.0, rel=1e-6)
+        assert out.std == pytest.approx(0.1, rel=1e-3)
+
+    def test_identical_inputs(self):
+        # max of two iid N(0,1): mean = 1/sqrt(pi).
+        x = SV.from_std(0.0, 1.0)
+        out = clark_max(x, x)
+        assert out.mean == pytest.approx(1.0 / np.sqrt(np.pi), rel=1e-6)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        x, y = SV(4.0, 2.0), SV(3.5, 3.0)
+        approx = clark_max(x, y)
+        mc = monte_carlo_max([x, y], rng=rng, n_samples=400_000)
+        assert approx.mean == pytest.approx(mc.mean, rel=0.01)
+        assert approx.spread == pytest.approx(mc.spread, rel=0.03)
+
+    def test_mean_at_least_both_means(self):
+        out = clark_max(SV(4.0, 2.0), SV(3.9, 2.0))
+        assert out.mean >= 4.0
+
+    def test_degenerate_points(self):
+        out = clark_max(SV.point(2.0), SV.point(5.0))
+        assert out.mean == 5.0 and out.is_point
+
+    def test_perfect_correlation_degenerate(self):
+        x = SV(3.0, 1.0)
+        out = clark_max(x, x, correlation=1.0)
+        assert out.mean == 3.0
+
+    def test_invalid_correlation_rejected(self):
+        with pytest.raises(ValueError):
+            clark_max(A, B, correlation=1.5)
+
+
+class TestMonteCarloMax:
+    def test_reproducible_with_seed(self):
+        a = monte_carlo_max([A, B, C], rng=3)
+        b = monte_carlo_max([A, B, C], rng=3)
+        assert (a.mean, a.spread) == (b.mean, b.spread)
+
+    def test_mean_exceeds_max_of_means_for_overlapping(self):
+        out = monte_carlo_max([SV(3.0, 2.0), SV(3.0, 2.0)], rng=1)
+        assert out.mean > 3.0
+
+    def test_small_sample_count_rejected(self):
+        with pytest.raises(ValueError):
+            monte_carlo_max([A], n_samples=1)
+
+
+class TestDispatch:
+    def test_clark_folds_n_operands(self):
+        out = stochastic_max([A, B, C], MaxStrategy.CLARK)
+        mc = stochastic_max([A, B, C], MaxStrategy.MONTE_CARLO, rng=0, n_samples=400_000)
+        assert out.mean == pytest.approx(mc.mean, rel=0.02)
+
+    def test_min_is_negated_max(self):
+        out = stochastic_min([A, B, C], MaxStrategy.CLARK)
+        neg = stochastic_max([-A, -B, -C], MaxStrategy.CLARK)
+        assert out.mean == pytest.approx(-neg.mean)
+        assert out.spread == pytest.approx(neg.spread)
+
+    def test_min_by_mean_via_dispatch(self):
+        out = stochastic_min([A, B, C], MaxStrategy.BY_MEAN)
+        assert out.mean == 3.0
+
+    def test_single_operand_identity(self):
+        for strat in (MaxStrategy.BY_MEAN, MaxStrategy.BY_ENDPOINT, MaxStrategy.CLARK):
+            out = stochastic_max([A], strat)
+            assert out.mean == pytest.approx(A.mean)
+            assert out.spread == pytest.approx(A.spread)

@@ -1,0 +1,80 @@
+"""Tests for repro.distributions.histogram."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.histogram import Histogram, empirical_cdf, empirical_coverage
+
+
+class TestHistogram:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        h = Histogram.from_data(rng.normal(0, 1, 5000), bins=25)
+        widths = np.diff(h.edges)
+        assert float((h.density * widths).sum()) == pytest.approx(1.0)
+
+    def test_counts_total(self):
+        h = Histogram.from_data([1, 2, 2, 3], bins=3)
+        assert int(h.counts.sum()) == 4
+
+    def test_mass_sums_to_one(self):
+        h = Histogram.from_data(np.arange(100), bins=10)
+        assert float(h.mass.sum()) == pytest.approx(1.0)
+
+    def test_percent_of_values(self):
+        h = Histogram.from_data(np.arange(100), bins=10)
+        np.testing.assert_allclose(h.percent_of_values(), 10.0)
+
+    def test_centers_between_edges(self):
+        h = Histogram.from_data([0.0, 1.0], bins=2)
+        assert np.all(h.centers > h.edges[:-1])
+        assert np.all(h.centers < h.edges[1:])
+
+    def test_mode_bin(self):
+        h = Histogram.from_data([1.0, 5.0, 5.1, 5.2, 9.0], bins=3)
+        assert h.mode_bin() == 1
+
+    def test_nbins(self):
+        assert Histogram.from_data([1, 2, 3], bins=7).nbins == 7
+
+    def test_explicit_range(self):
+        h = Histogram.from_data([0.5], bins=2, range_=(0.0, 1.0))
+        assert h.edges[0] == 0.0 and h.edges[-1] == 1.0
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_data([], bins=3)
+
+    def test_zero_bins_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_data([1.0], bins=0)
+
+
+class TestEmpiricalCdf:
+    def test_monotone_and_bounded(self):
+        rng = np.random.default_rng(1)
+        x, p = empirical_cdf(rng.normal(0, 1, 500))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(p) > 0)
+        assert p[0] == pytest.approx(1 / 500)
+        assert p[-1] == 1.0
+
+    def test_small_example(self):
+        x, p = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(p, [1 / 3, 2 / 3, 1.0])
+
+
+class TestCoverage:
+    def test_all_inside(self):
+        assert empirical_coverage([1.0, 2.0, 3.0], 0.0, 4.0) == 1.0
+
+    def test_partial(self):
+        assert empirical_coverage([1.0, 2.0, 3.0, 4.0], 1.5, 3.5) == 0.5
+
+    def test_boundary_inclusive(self):
+        assert empirical_coverage([1.0, 2.0], 1.0, 2.0) == 1.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_coverage([1.0], 2.0, 1.0)

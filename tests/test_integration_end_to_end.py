@@ -1,0 +1,189 @@
+"""End-to-end integration journeys across the whole stack.
+
+Each test is a realistic user workflow touching several subsystems at
+once — the paths a downstream adopter would actually run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Relatedness, StochasticValue
+from repro.core.empirical import EmpiricalValue
+from repro.core.intervals import assess_predictions
+from repro.nws import NetworkWeatherService
+from repro.scheduling import ServiceRange, advise_decomposition
+from repro.sor import (
+    build_sor_program,
+    equal_strips,
+    simulate_adaptive_sor,
+    simulate_sor,
+)
+from repro.structural import (
+    EvalPolicy,
+    SORModel,
+    bindings_for_platform,
+    model_from_program,
+    program_bindings,
+)
+from repro.workload import platform2, table1_platform
+from repro.workload.io import load_traces_npz, save_traces_npz
+from repro.workload.platforms import platform_from_traces
+
+
+class TestPredictionJourney:
+    """NWS monitoring -> model -> prediction -> QoS contract -> reality."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        plat = platform2(duration=1500.0, rng=101)
+        nws = NetworkWeatherService()
+        for m in plat.machines:
+            nws.register(f"cpu:{m.name}", m.availability)
+        nws.register("net", plat.network.default_segment.availability)
+        nws.advance_to(600.0)
+        return plat, nws
+
+    def test_full_prediction_cycle(self, setup):
+        plat, nws = setup
+        n, its = 1200, 20
+        dec = equal_strips(n, 4)
+        loads = {i: nws.query_window(f"cpu:{m.name}", 90.0) for i, m in enumerate(plat.machines)}
+        bw = nws.query_window("net", 90.0)
+        model = SORModel(n_procs=4, iterations=its, include_latency=True)
+        pred = model.predict(bindings_for_platform(plat.machines, plat.network, dec,
+                                                   loads=loads, bw_avail=bw))
+        actual = simulate_sor(plat.machines, plat.network, n, its,
+                              decomposition=dec, start_time=600.0)
+        # The prediction is meaningful: right order of magnitude, and the
+        # actual lands within a generously widened interval.
+        assert 0.3 * pred.mean < actual.elapsed < 3.0 * pred.mean
+        widened = StochasticValue(pred.mean, 2 * pred.spread)
+        assert widened.contains(actual.elapsed)
+
+    def test_qos_contract_from_prediction(self, setup):
+        plat, nws = setup
+        dec = equal_strips(1200, 4)
+        loads = {i: nws.query_window(f"cpu:{m.name}", 90.0) for i, m in enumerate(plat.machines)}
+        pred = SORModel(4, 20).predict(
+            bindings_for_platform(plat.machines, plat.network, dec, loads=loads)
+        )
+        contract = ServiceRange(pred)
+        deadline = contract.guaranteed_bound(0.95)
+        assert deadline > pred.mean
+        assert contract.violation_probability(deadline) == pytest.approx(0.05, abs=1e-6)
+
+    def test_advisor_consumes_nws_values(self, setup):
+        plat, nws = setup
+        loads = {i: nws.query_window(f"cpu:{m.name}", 90.0) for i, m in enumerate(plat.machines)}
+        choice = advise_decomposition(plat.machines, plat.network, 1200, 20, loads, lam=1.0)
+        subset = [plat.machines[i] for i in choice.best.machine_indices]
+        run = simulate_sor(subset, plat.network, 1200, 20,
+                           decomposition=choice.best.decomposition, start_time=600.0)
+        equal_run = simulate_sor(plat.machines, plat.network, 1200, 20, start_time=600.0)
+        assert run.elapsed < equal_run.elapsed
+
+
+class TestArtifactJourney:
+    """Generate a platform, persist it, replay it, predict on the replay."""
+
+    def test_replayed_platform_reproduces_predictions(self, tmp_path):
+        plat = platform2(duration=900.0, rng=102)
+        payload = {m.name: m.availability for m in plat.machines}
+        path = save_traces_npz(payload, tmp_path / "plat.npz")
+        loaded = load_traces_npz(path)
+        kinds = {"sparc5": "sparc5", "sparc10": "sparc10",
+                 "ultra-1": "ultrasparc", "ultra-2": "ultrasparc"}
+        replay = platform_from_traces(loaded, kinds=kinds)
+        order = {m.name: m for m in replay.machines}
+        machines = [order[m.name] for m in plat.machines]
+
+        dec = equal_strips(800, 4)
+        b1 = bindings_for_platform(plat.machines, plat.network, dec)
+        b2 = bindings_for_platform(machines, replay.network, dec)
+        m = SORModel(4, 10)
+        assert m.predict(b2).mean == pytest.approx(m.predict(b1).mean)
+
+
+class TestModelEquivalenceJourney:
+    """Hand-written model, compiled model, and simulator must agree."""
+
+    def test_three_way_agreement_dedicated(self):
+        from repro.workload import dedicated_platform
+
+        plat = dedicated_platform()
+        n, its = 1000, 10
+        dec = equal_strips(n, 4)
+        program = build_sor_program(n, dec, its)
+
+        hand = SORModel(4, its, include_latency=True).predict(
+            bindings_for_platform(plat.machines, plat.network, dec)
+        )
+        compiled = model_from_program(program, include_latency=True).evaluate(
+            program_bindings(plat.machines, plat.network, program)
+        )
+        actual = simulate_sor(plat.machines, plat.network, n, its, decomposition=dec)
+
+        assert compiled.mean == pytest.approx(hand.mean, rel=1e-12)
+        assert hand.mean == pytest.approx(actual.elapsed, rel=0.005)
+
+
+class TestSchedulingJourney:
+    """Stochastic info changes decisions; decisions change outcomes."""
+
+    def test_risk_knob_flows_through_to_outcomes(self):
+        from repro.batch import BatchApplication, run_scheduling_study
+
+        plat = table1_platform(duration=2500.0, rng=103)
+        app = BatchApplication(total_units=120, elements_per_unit=2.5e6)
+        neutral, averse = run_scheduling_study(plat, app, lams=(0.0, 2.0), n_rounds=8)
+        if neutral.lam != 0.0:
+            neutral, averse = averse, neutral
+
+        share = lambda s: np.mean([r.units[0] / sum(r.units) for r in s.rounds])  # noqa: E731
+        err = lambda s: np.mean(  # noqa: E731
+            [abs(r.realized - r.predicted.mean) / r.realized for r in s.rounds]
+        )
+        assert share(averse) > share(neutral)
+        assert err(averse) < err(neutral)
+
+
+class TestAdaptiveJourney:
+    def test_adaptive_prediction_quality_assessment(self):
+        # Run several adaptive executions and assess a naive prediction
+        # against them with the paper's metrics machinery.
+        plat = platform2(duration=2500.0, rng=104)
+        preds, acts = [], []
+        for k in range(4):
+            t = 600.0 + k * 400.0
+            loads = {
+                i: StochasticValue.from_samples(m.availability.window(t - 90, t).values)
+                for i, m in enumerate(plat.machines)
+            }
+            dec = equal_strips(1200, 4)
+            preds.append(
+                SORModel(4, 30).predict(
+                    bindings_for_platform(plat.machines, plat.network, dec, loads=loads)
+                )
+            )
+            acts.append(
+                simulate_adaptive_sor(
+                    plat.machines, plat.network, 1200, 30, segment_iterations=5, start_time=t
+                ).elapsed
+            )
+        quality = assess_predictions(preds, acts)
+        assert quality.n == 4
+        assert quality.mean_mean_error < 2.0  # sane magnitude
+
+
+class TestEmpiricalJourney:
+    def test_empirical_pipeline_matches_normal_in_gaussian_regime(self):
+        # When everything really is normal, the cloud pipeline and the
+        # closed-form pipeline must agree.
+        rng = np.random.default_rng(105)
+        load_sv = StochasticValue(0.6, 0.05)
+        t_norm = StochasticValue.point(30.0) / load_sv
+        t_emp = EmpiricalValue.point(30.0).divide(
+            EmpiricalValue.from_stochastic(load_sv, n=200_000, rng=rng)
+        )
+        assert t_emp.mean == pytest.approx(t_norm.mean, rel=0.01)
+        assert t_emp.spread == pytest.approx(t_norm.spread, rel=0.05)

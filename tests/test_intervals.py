@@ -1,0 +1,99 @@
+"""Tests for repro.core.intervals — the paper's prediction-quality metrics."""
+
+import pytest
+
+from repro.core.intervals import (
+    assess_predictions,
+    capture_fraction,
+    mean_point_error,
+    out_of_range_error,
+    relative_out_of_range_error,
+)
+from repro.core.stochastic import StochasticValue as SV
+
+
+class TestOutOfRangeError:
+    def test_inside_is_zero(self):
+        # Footnote 6: error is zero for values inside (X - a, X + a).
+        assert out_of_range_error(SV(10.0, 2.0), 9.0) == 0.0
+        assert out_of_range_error(SV(10.0, 2.0), 12.0) == 0.0
+
+    def test_above_distance_to_upper(self):
+        assert out_of_range_error(SV(10.0, 2.0), 13.0) == pytest.approx(1.0)
+
+    def test_below_distance_to_lower(self):
+        assert out_of_range_error(SV(10.0, 2.0), 6.5) == pytest.approx(1.5)
+
+    def test_point_prediction(self):
+        assert out_of_range_error(SV.point(10.0), 12.0) == pytest.approx(2.0)
+
+    def test_relative_error(self):
+        assert relative_out_of_range_error(SV(10.0, 2.0), 16.0) == pytest.approx(4.0 / 16.0)
+
+    def test_relative_zero_actual_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            relative_out_of_range_error(SV(1.0, 0.1), 0.0)
+
+
+class TestMeanPointError:
+    def test_value(self):
+        assert mean_point_error(SV(12.0, 3.0), 10.0) == pytest.approx(0.2)
+
+    def test_exact_is_zero(self):
+        assert mean_point_error(SV(10.0, 5.0), 10.0) == 0.0
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            mean_point_error(SV(1.0, 0.0), 0.0)
+
+
+class TestCapture:
+    def test_all_captured(self):
+        preds = [SV(10.0, 2.0)] * 3
+        assert capture_fraction(preds, [9.0, 10.0, 11.9]) == 1.0
+
+    def test_partial(self):
+        preds = [SV(10.0, 1.0)] * 4
+        assert capture_fraction(preds, [9.5, 10.5, 20.0, 5.0]) == 0.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            capture_fraction([SV(1.0, 0.1)], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            capture_fraction([], [])
+
+
+class TestAssess:
+    def test_platform1_style_all_inside(self):
+        # All actuals inside the range: 0% interval discrepancy, like
+        # Section 3.1's representative experiment.
+        preds = [SV(100.0, 10.0), SV(150.0, 12.0)]
+        q = assess_predictions(preds, [95.0, 155.0])
+        assert q.capture == 1.0
+        assert q.max_range_error == 0.0
+        assert q.max_mean_error == pytest.approx(5.0 / 95.0)
+        assert q.n == 2
+
+    def test_platform2_style_mixed(self):
+        preds = [SV(50.0, 5.0)] * 5
+        actuals = [50.0, 52.0, 48.0, 60.0, 40.0]
+        q = assess_predictions(preds, actuals)
+        assert q.capture == pytest.approx(0.6)
+        # actual=40 misses the range [45, 55] by 5 -> 5/40; actual=60 by 5 -> 5/60.
+        assert q.max_range_error == pytest.approx(5.0 / 40.0)
+        assert q.mean_range_error > 0.0
+
+    def test_summary_string(self):
+        q = assess_predictions([SV(10.0, 1.0)], [10.5])
+        s = q.summary()
+        assert "capture=100.0%" in s and "n=1" in s
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            assess_predictions([SV(1.0, 0.1)], [0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assess_predictions([], [])

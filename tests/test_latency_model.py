@@ -1,0 +1,70 @@
+"""Tests for the latency-aware communication model (Section 2.3.1 form)."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network, SharedEthernet
+from repro.sor.decomposition import equal_strips
+from repro.sor.distributed import simulate_sor
+from repro.structural.comm_models import pt_to_pt
+from repro.structural.parameters import Bindings, param_name
+from repro.structural.sor_model import SORModel, bindings_for_platform
+
+
+def make_cluster(latency=1e-3):
+    machines = [Machine(f"m{i}", 1e5) for i in range(4)]
+    network = Network(SharedEthernet(dedicated_bytes_per_sec=1.25e6, latency=latency))
+    return machines, network
+
+
+class TestPtToPtLatency:
+    def bindings(self):
+        b = Bindings()
+        b.bind("size_elt", 8.0)
+        b.bind("bw_avail", 1.0)
+        b.bind(param_name("msg_elts", 0), 100.0)
+        b.bind("dedbw[0,1]", 1000.0)
+        b.bind("latency", 0.25)
+        return b
+
+    def test_latency_added(self):
+        base = pt_to_pt(0, 1).evaluate(self.bindings())
+        with_lat = pt_to_pt(0, 1, include_latency=True).evaluate(self.bindings())
+        assert with_lat.mean == pytest.approx(base.mean + 0.25)
+
+    def test_latency_param_listed(self):
+        assert "latency" in pt_to_pt(0, 1, include_latency=True).params()
+        assert "latency" not in pt_to_pt(0, 1).params()
+
+
+class TestSORModelLatency:
+    def test_bindings_carry_network_latency(self):
+        machines, network = make_cluster(latency=0.01)
+        b = bindings_for_platform(machines, network, equal_strips(402, 4))
+        assert b.resolve("latency").mean == pytest.approx(0.01)
+
+    def test_latency_model_tighter_against_simulator(self):
+        machines, network = make_cluster()
+        n, its = 1000, 20
+        dec = equal_strips(n, 4)
+        b = bindings_for_platform(machines, network, dec)
+        actual = simulate_sor(machines, network, n, its, decomposition=dec).elapsed
+        err_plain = abs(SORModel(4, its).predict(b).mean - actual) / actual
+        err_lat = abs(
+            SORModel(4, its, include_latency=True).predict(b).mean - actual
+        ) / actual
+        assert err_lat < err_plain
+        assert err_lat < 0.005
+
+    def test_zero_latency_models_agree(self):
+        machines, network = make_cluster(latency=0.0)
+        dec = equal_strips(402, 4)
+        b = bindings_for_platform(machines, network, dec)
+        plain = SORModel(4, 10).predict(b).mean
+        lat = SORModel(4, 10, include_latency=True).predict(b).mean
+        assert lat == pytest.approx(plain)
+
+    def test_single_processor_latency_zero_bound(self):
+        machines = [Machine("solo", 1e5)]
+        b = bindings_for_platform(machines, Network(), equal_strips(100, 1))
+        assert b.resolve("latency").mean == 0.0

@@ -1,0 +1,139 @@
+"""Tests for repro.workload.loadgen and modes — production load synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.workload.loadgen import MIN_AVAILABILITY, ar1_noise, bursty_trace, single_mode_trace
+from repro.workload.modes import PLATFORM1_MODES, PLATFORM2_MODES, LoadMode, ModalLoadModel
+
+
+class TestAr1Noise:
+    def test_stationary_std(self):
+        x = ar1_noise(100_000, std=0.1, corr=0.8, rng=0)
+        assert x.std() == pytest.approx(0.1, rel=0.05)
+
+    def test_autocorrelation(self):
+        x = ar1_noise(100_000, std=1.0, corr=0.7, rng=1)
+        r = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r == pytest.approx(0.7, abs=0.02)
+
+    def test_zero_std(self):
+        assert np.all(ar1_noise(10, 0.0, 0.5, rng=0) == 0.0)
+
+    def test_zero_length(self):
+        assert ar1_noise(0, 1.0, 0.5, rng=0).size == 0
+
+    def test_invalid_corr_rejected(self):
+        with pytest.raises(ValueError):
+            ar1_noise(10, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ar1_noise(10, 1.0, -0.1)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            ar1_noise(-1, 1.0, 0.5)
+
+
+class TestLoadMode:
+    def test_value(self):
+        mode = LoadMode(mean=0.48, std=0.025, weight=1.0)
+        assert mode.value == StochasticValue.from_std(0.48, 0.025)
+
+    def test_sample_clipped(self):
+        mode = LoadMode(mean=0.05, std=0.2, weight=1.0)
+        s = mode.sample(5000, rng=0)
+        assert s.min() >= 0.02 and s.max() <= 1.0
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            LoadMode(mean=1.5, std=0.1, weight=1.0)
+
+    def test_invalid_burst_prob_rejected(self):
+        with pytest.raises(ValueError):
+            LoadMode(mean=0.5, std=0.1, weight=1.0, burst_prob=1.5)
+
+
+class TestModalLoadModel:
+    def test_stationary_probabilities(self):
+        probs = PLATFORM1_MODES.stationary_probabilities()
+        assert probs.sum() == pytest.approx(1.0)
+        assert len(probs) == 3
+
+    def test_pick_mode_respects_exclusion(self):
+        gen = np.random.default_rng(0)
+        for _ in range(50):
+            assert PLATFORM2_MODES.pick_mode(gen, exclude=2) != 2
+
+    def test_pick_mode_single_mode(self):
+        model = ModalLoadModel(modes=(LoadMode(0.5, 0.1, 1.0),))
+        assert model.pick_mode(rng=0, exclude=0) == 0
+
+    def test_estimates_normalised(self):
+        est = PLATFORM2_MODES.estimates
+        assert sum(m.weight for m in est) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ModalLoadModel(modes=())
+
+
+class TestSingleModeTrace:
+    def test_paper_center_mode_summary(self):
+        # Platform 1's representative experiment: the resident center
+        # mode summarises to roughly 0.48 +/- 0.05.
+        trace = single_mode_trace(PLATFORM1_MODES.modes[1], 3600.0, rng=5)
+        sv = StochasticValue.from_samples(trace.values)
+        assert sv.mean == pytest.approx(0.48, abs=0.02)
+        assert sv.spread == pytest.approx(0.05, abs=0.02)
+
+    def test_bounds(self):
+        trace = single_mode_trace(PLATFORM1_MODES.modes[0], 1000.0, rng=1)
+        assert trace.values.min() >= MIN_AVAILABILITY
+        assert trace.values.max() <= 1.0
+
+    def test_cadence(self):
+        trace = single_mode_trace(PLATFORM1_MODES.modes[0], 100.0, dt=5.0, rng=2)
+        assert trace.values.size == 20
+        assert np.all(np.diff(trace.edges) == 5.0)
+
+    def test_stays_near_mode(self):
+        mode = PLATFORM1_MODES.modes[0]  # 0.94, not long-tailed
+        trace = single_mode_trace(mode, 2000.0, rng=3)
+        assert abs(trace.values.mean() - 0.94) < 0.02
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            single_mode_trace(PLATFORM1_MODES.modes[0], 0.0)
+
+
+class TestBurstyTrace:
+    def test_visits_multiple_modes(self):
+        trace = bursty_trace(PLATFORM2_MODES, 7200.0, rng=4)
+        means = [m.mean for m in PLATFORM2_MODES.modes]
+        # Every mode should attract samples within its +/- 3 std band.
+        for center in means:
+            frac = np.mean(np.abs(trace.values - center) < 0.1)
+            assert frac > 0.03, f"mode at {center} never visited"
+
+    def test_long_run_mean_matches_weights(self):
+        trace = bursty_trace(PLATFORM2_MODES, 200_000.0, rng=5)
+        probs = PLATFORM2_MODES.stationary_probabilities()
+        means = np.array([m.mean for m in PLATFORM2_MODES.modes])
+        expected = float((probs * means).sum())
+        assert trace.values.mean() == pytest.approx(expected, abs=0.03)
+
+    def test_bounds(self):
+        trace = bursty_trace(PLATFORM2_MODES, 3600.0, rng=6)
+        assert trace.values.min() >= MIN_AVAILABILITY
+        assert trace.values.max() <= 1.0
+
+    def test_deterministic_with_seed(self):
+        a = bursty_trace(PLATFORM2_MODES, 500.0, rng=7)
+        b = bursty_trace(PLATFORM2_MODES, 500.0, rng=7)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_switches_modes(self):
+        trace = bursty_trace(PLATFORM2_MODES, 3600.0, rng=8)
+        jumps = np.abs(np.diff(trace.values))
+        assert (jumps > 0.08).sum() > 5

@@ -1,0 +1,73 @@
+"""Tests for repro.distributions.longtail — Section 2.1.1 behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.normal import TWO_SIGMA_COVERAGE
+from repro.distributions.longtail import LongTailSpec, coverage_report, sample_long_tailed
+
+
+class TestLongTailSpec:
+    def test_respects_threshold(self):
+        spec = LongTailSpec(
+            threshold=6.1, bulk_offset=0.6, bulk_std=0.28,
+            tail_weight=0.09, tail_start=2.0, tail_scale=0.3,
+        )
+        data = spec.sample(10_000, rng=0)
+        assert data.max() <= 6.1
+
+    def test_bulk_mean(self):
+        spec = LongTailSpec(
+            threshold=6.0, bulk_offset=0.5, bulk_std=0.1,
+            tail_weight=0.1, tail_start=1.0, tail_scale=0.2,
+        )
+        assert spec.bulk_mean == pytest.approx(5.5)
+
+    def test_median_above_mean(self):
+        # Long left tail: median sits above the mean.
+        data = sample_long_tailed(20_000, rng=1)
+        assert np.median(data) > data.mean()
+
+    def test_zero_samples(self):
+        assert sample_long_tailed(0, rng=0).size == 0
+
+    def test_negative_samples_rejected(self):
+        spec = LongTailSpec(
+            threshold=6.0, bulk_offset=0.5, bulk_std=0.1,
+            tail_weight=0.1, tail_start=1.0, tail_scale=0.2,
+        )
+        with pytest.raises(ValueError):
+            spec.sample(-1)
+
+    def test_invalid_tail_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LongTailSpec(
+                threshold=6.0, bulk_offset=0.5, bulk_std=0.1,
+                tail_weight=1.0, tail_start=1.0, tail_scale=0.2,
+            )
+
+    def test_deterministic_with_seed(self):
+        a = sample_long_tailed(100, rng=9)
+        b = sample_long_tailed(100, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCoverageReport:
+    def test_paper_figure3_shape(self):
+        # Section 2.1.1: mean near 5.25, ~91% of values inside the fitted
+        # 2-sigma interval instead of the nominal ~95%.
+        data = sample_long_tailed(40_000, rng=42)
+        report = coverage_report(data)
+        assert report.fitted.value.mean == pytest.approx(5.25, abs=0.15)
+        assert 0.88 <= report.actual_coverage <= 0.93
+        assert report.nominal_coverage == pytest.approx(TWO_SIGMA_COVERAGE)
+        assert report.shortfall > 0.02
+
+    def test_normal_data_no_shortfall(self):
+        rng = np.random.default_rng(3)
+        report = coverage_report(rng.normal(0, 1, 50_000))
+        assert abs(report.shortfall) < 0.01
+
+    def test_long_tail_not_normal_by_ks(self):
+        data = sample_long_tailed(10_000, rng=4)
+        assert not coverage_report(data).fitted.looks_normal()

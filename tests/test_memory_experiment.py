@@ -1,0 +1,65 @@
+"""Tests for the memory-boundary experiment and paging simulation."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network
+from repro.experiments.memory import run_memory_limit_study
+from repro.sor.distributed import simulate_sor
+
+
+class TestPagingSimulation:
+    def test_paging_rejected_by_default(self):
+        machines = [Machine("tiny", 1e5, memory_elements=100.0)]
+        with pytest.raises(ValueError, match="does not fit"):
+            simulate_sor(machines, Network(), 100, 1)
+
+    def test_allow_paging_applies_penalty(self):
+        machines = [Machine("tiny", 1e5, memory_elements=100.0)]
+        paged = simulate_sor(
+            machines, Network(), 100, 1, allow_paging=True, paging_penalty=10.0
+        )
+        fit = simulate_sor(
+            [Machine("big", 1e5)], Network(), 100, 1
+        )
+        assert paged.elapsed == pytest.approx(10.0 * fit.elapsed, rel=0.01)
+
+    def test_in_core_machines_unaffected_by_flag(self):
+        machines = [Machine("big", 1e5)]
+        a = simulate_sor(machines, Network(), 100, 2)
+        b = simulate_sor(machines, Network(), 100, 2, allow_paging=True)
+        assert a.elapsed == b.elapsed
+
+    def test_invalid_penalty_rejected(self):
+        machines = [Machine("m", 1e5)]
+        with pytest.raises(ValueError):
+            simulate_sor(machines, Network(), 100, 1, allow_paging=True, paging_penalty=0.5)
+
+
+class TestMemoryStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_memory_limit_study(sizes=(600, 1000, 1400))
+
+    def test_straddles_boundary(self, rows):
+        assert any(r.in_core for r in rows)
+        assert any(not r.in_core for r in rows)
+
+    def test_in_core_accuracy(self, rows):
+        for r in rows:
+            if r.in_core:
+                assert r.naive_error < 0.02
+
+    def test_out_of_core_naive_model_collapses(self, rows):
+        for r in rows:
+            if not r.in_core:
+                assert r.naive_error > 0.5
+
+    def test_paging_aware_model_recovers(self, rows):
+        for r in rows:
+            assert r.aware_error < 0.05
+
+    def test_thrashing_visible_in_actual_times(self, rows):
+        in_core = max(r.actual for r in rows if r.in_core)
+        out = min(r.actual for r in rows if not r.in_core)
+        assert out > 5 * in_core

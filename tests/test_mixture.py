@@ -1,0 +1,97 @@
+"""Tests for repro.distributions.mixture — Section 2.1.2 modal combination."""
+
+import math
+
+import pytest
+
+from repro.core.arithmetic import Relatedness
+from repro.core.stochastic import StochasticValue as SV
+from repro.distributions.mixture import (
+    combine_modes_linear,
+    combine_modes_mixture,
+    normalize_weights,
+)
+from repro.distributions.modal import ModeEstimate
+
+
+class TestNormalizeWeights:
+    def test_normalises(self):
+        assert normalize_weights([1.0, 3.0]) == [0.25, 0.75]
+
+    def test_already_normalised(self):
+        assert normalize_weights([0.5, 0.5]) == [0.5, 0.5]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_weights([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            normalize_weights([0.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_weights([])
+
+
+class TestLinearCombination:
+    def test_paper_formula(self):
+        # P1(M1 +/- SD1) + P2(M2 +/- SD2) + P3(M3 +/- SD3) with the
+        # conservative (related) sum.
+        modes = [
+            (0.5, SV.from_std(0.94, 0.03)),
+            (0.3, SV.from_std(0.49, 0.02)),
+            (0.2, SV.from_std(0.33, 0.02)),
+        ]
+        out = combine_modes_linear(modes)
+        assert out.mean == pytest.approx(0.5 * 0.94 + 0.3 * 0.49 + 0.2 * 0.33)
+        assert out.spread == pytest.approx(2 * (0.5 * 0.03 + 0.3 * 0.02 + 0.2 * 0.02))
+
+    def test_unrelated_variant_smaller_spread(self):
+        modes = [(0.5, SV(1.0, 0.2)), (0.5, SV(2.0, 0.2))]
+        rel = combine_modes_linear(modes, Relatedness.RELATED)
+        unrel = combine_modes_linear(modes, Relatedness.UNRELATED)
+        assert unrel.spread < rel.spread
+
+    def test_weights_normalised(self):
+        modes = [(2.0, SV(1.0, 0.1)), (2.0, SV(3.0, 0.1))]
+        out = combine_modes_linear(modes)
+        assert out.mean == pytest.approx(2.0)
+
+    def test_accepts_mode_estimates(self):
+        modes = [ModeEstimate(0.6, 1.0, 0.1), ModeEstimate(0.4, 2.0, 0.1)]
+        out = combine_modes_linear(modes)
+        assert out.mean == pytest.approx(1.4)
+
+    def test_single_mode_identity(self):
+        out = combine_modes_linear([(1.0, SV(0.48, 0.05))])
+        assert out.mean == pytest.approx(0.48)
+        assert out.spread == pytest.approx(0.05)
+
+
+class TestMixtureCombination:
+    def test_includes_between_mode_variance(self):
+        modes = [(0.5, SV.from_std(0.0, 0.1)), (0.5, SV.from_std(10.0, 0.1))]
+        mix = combine_modes_mixture(modes)
+        lin = combine_modes_linear(modes)
+        assert mix.mean == pytest.approx(lin.mean)
+        assert mix.std == pytest.approx(math.sqrt(0.1**2 + 25.0), rel=1e-6)
+        assert mix.spread > lin.spread
+
+    def test_degenerate_single_mode(self):
+        mix = combine_modes_mixture([(1.0, SV.from_std(2.0, 0.3))])
+        assert mix.mean == pytest.approx(2.0)
+        assert mix.std == pytest.approx(0.3)
+
+    def test_matches_sampled_mixture(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        modes = [(0.7, SV.from_std(1.0, 0.2)), (0.3, SV.from_std(3.0, 0.5))]
+        mix = combine_modes_mixture(modes)
+        comp = rng.choice([0, 1], size=200_000, p=[0.7, 0.3])
+        mus = np.array([1.0, 3.0])[comp]
+        sds = np.array([0.2, 0.5])[comp]
+        samples = rng.normal(mus, sds)
+        assert mix.mean == pytest.approx(samples.mean(), abs=0.01)
+        assert mix.std == pytest.approx(samples.std(), rel=0.01)

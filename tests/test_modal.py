@@ -1,0 +1,119 @@
+"""Tests for repro.distributions.modal — mode detection and GMM EM."""
+
+import numpy as np
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.distributions.modal import (
+    ModeEstimate,
+    find_modes_histogram,
+    fit_gaussian_mixture,
+)
+
+
+def trimodal_sample(n=4000, rng=0):
+    """The Figure 5 shape: modes near 0.94, 0.49, 0.33."""
+    gen = np.random.default_rng(rng)
+    return np.concatenate(
+        [
+            gen.normal(0.94, 0.025, int(0.45 * n)),
+            gen.normal(0.49, 0.02, int(0.35 * n)),
+            gen.normal(0.33, 0.02, int(0.20 * n)),
+        ]
+    )
+
+
+class TestModeEstimate:
+    def test_value_conversion(self):
+        m = ModeEstimate(weight=0.5, mean=0.48, std=0.025)
+        assert m.value == StochasticValue.from_std(0.48, 0.025)
+
+
+class TestHistogramModes:
+    def test_finds_three_modes(self):
+        modes = find_modes_histogram(trimodal_sample(), bins=40)
+        assert len(modes) == 3
+        centers = sorted(m.mean for m in modes)
+        assert centers[0] == pytest.approx(0.33, abs=0.03)
+        assert centers[1] == pytest.approx(0.49, abs=0.03)
+        assert centers[2] == pytest.approx(0.94, abs=0.03)
+
+    def test_weights_normalised(self):
+        modes = find_modes_histogram(trimodal_sample())
+        assert sum(m.weight for m in modes) == pytest.approx(1.0)
+
+    def test_sorted_by_weight(self):
+        modes = find_modes_histogram(trimodal_sample())
+        weights = [m.weight for m in modes]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_dominant_mode_first(self):
+        modes = find_modes_histogram(trimodal_sample())
+        assert modes[0].mean == pytest.approx(0.94, abs=0.03)
+
+    def test_unimodal_single_mode(self):
+        rng = np.random.default_rng(1)
+        modes = find_modes_histogram(rng.normal(5.0, 1.0, 3000), bins=30)
+        assert len(modes) == 1
+        assert modes[0].mean == pytest.approx(5.0, abs=0.1)
+
+    def test_min_mass_filters_noise(self):
+        rng = np.random.default_rng(2)
+        data = np.concatenate([rng.normal(0, 1, 2000), rng.normal(10, 0.1, 10)])
+        modes = find_modes_histogram(data, bins=40, min_mass=0.05)
+        assert len(modes) == 1
+
+
+class TestGaussianMixture:
+    def test_recovers_trimodal(self):
+        gmm = fit_gaussian_mixture(trimodal_sample(8000), 3)
+        means = sorted(gmm.means)
+        assert means[0] == pytest.approx(0.33, abs=0.02)
+        assert means[1] == pytest.approx(0.49, abs=0.02)
+        assert means[2] == pytest.approx(0.94, abs=0.02)
+
+    def test_weights_sum_to_one(self):
+        gmm = fit_gaussian_mixture(trimodal_sample(), 3)
+        assert float(gmm.weights.sum()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_recovers_weights(self):
+        gmm = fit_gaussian_mixture(trimodal_sample(8000), 3)
+        top = max(gmm.modes(), key=lambda m: m.weight)
+        assert top.weight == pytest.approx(0.45, abs=0.05)
+        assert top.mean == pytest.approx(0.94, abs=0.02)
+
+    def test_single_component_is_normal_fit(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(2.0, 0.5, 3000)
+        gmm = fit_gaussian_mixture(data, 1)
+        assert gmm.means[0] == pytest.approx(2.0, abs=0.03)
+        assert gmm.stds[0] == pytest.approx(0.5, abs=0.03)
+
+    def test_log_likelihood_improves_with_components(self):
+        data = trimodal_sample(3000)
+        ll1 = fit_gaussian_mixture(data, 1).log_likelihood
+        ll3 = fit_gaussian_mixture(data, 3).log_likelihood
+        assert ll3 > ll1
+
+    def test_pdf_integrates_to_one(self):
+        gmm = fit_gaussian_mixture(trimodal_sample(2000), 3)
+        xs = np.linspace(-0.5, 2.0, 10_001)
+        assert float(np.trapezoid(gmm.pdf(xs), xs)) == pytest.approx(1.0, abs=1e-3)
+
+    def test_sampling_statistics(self):
+        gmm = fit_gaussian_mixture(trimodal_sample(4000), 3)
+        samples = gmm.sample(50_000, rng=0)
+        data = trimodal_sample(4000)
+        assert samples.mean() == pytest.approx(data.mean(), abs=0.02)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gaussian_mixture([1.0, 2.0, 3.0], 2)
+
+    def test_zero_components_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gaussian_mixture(trimodal_sample(100), 0)
+
+    def test_converges_before_max_iter(self):
+        gmm = fit_gaussian_mixture(trimodal_sample(2000), 3, max_iter=300)
+        assert gmm.n_iter < 300

@@ -1,0 +1,84 @@
+"""Tests for repro.core.normal — the NormalDistribution object."""
+
+import numpy as np
+import pytest
+
+from repro.core.normal import TWO_SIGMA_COVERAGE, NormalDistribution
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = NormalDistribution(2.0, 3.0)
+        assert d.mean == 2.0 and d.std == 3.0 and d.variance == 9.0
+
+    def test_zero_std_point_mass(self):
+        d = NormalDistribution(1.0, 0.0)
+        assert d.cdf(0.9) == 0.0 and d.cdf(1.1) == 1.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(0.0, -1.0)
+
+    def test_nonfinite_mean_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(float("inf"), 1.0)
+
+
+class TestQueries:
+    def test_pdf_integrates_to_one(self):
+        d = NormalDistribution(1.0, 2.0)
+        xs = np.linspace(-15, 17, 20_001)
+        integral = np.trapezoid(d.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_point_mass_pdf_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(0.0, 0.0).pdf(0.0)
+
+    def test_quantile_roundtrip(self):
+        d = NormalDistribution(-1.0, 0.7)
+        for p in (0.01, 0.3, 0.5, 0.9, 0.99):
+            assert d.cdf(d.quantile(p)) == pytest.approx(p, abs=1e-7)
+
+    def test_point_mass_quantile(self):
+        d = NormalDistribution(4.0, 0.0)
+        assert d.quantile(0.3) == 4.0
+        with pytest.raises(ValueError):
+            d.quantile(0.0)
+
+    def test_two_sigma_interval(self):
+        d = NormalDistribution(10.0, 1.5)
+        assert d.interval() == (7.0, 13.0)
+
+    def test_interval_mass_matches_constant(self):
+        d = NormalDistribution(0.0, 1.0)
+        lo, hi = d.interval(2.0)
+        assert d.coverage(lo, hi) == pytest.approx(TWO_SIGMA_COVERAGE, abs=1e-9)
+
+    def test_coverage_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(0.0, 1.0).coverage(1.0, 0.0)
+
+    def test_negative_k_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(0.0, 1.0).interval(-1.0)
+
+
+class TestSampling:
+    def test_statistics(self):
+        d = NormalDistribution(3.0, 0.5)
+        s = d.sample(100_000, rng=0)
+        assert s.mean() == pytest.approx(3.0, abs=0.01)
+        assert s.std() == pytest.approx(0.5, abs=0.01)
+
+    def test_point_mass_sampling(self):
+        s = NormalDistribution(2.0, 0.0).sample(5, rng=0)
+        assert np.all(s == 2.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(0.0, 1.0).sample(-1)
+
+    def test_deterministic_with_seed(self):
+        d = NormalDistribution(0.0, 1.0)
+        np.testing.assert_array_equal(d.sample(10, rng=5), d.sample(10, rng=5))

@@ -1,0 +1,86 @@
+"""Tests for repro.nws.evaluation — forecast calibration assessment."""
+
+import numpy as np
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.nws.evaluation import calibrate_one_step, calibrate_query
+from repro.workload.loadgen import bursty_trace, single_mode_trace
+from repro.workload.modes import PLATFORM1_MODES, PLATFORM2_MODES
+
+
+class TestOneStep:
+    def test_stationary_series_well_calibrated(self):
+        rng = np.random.default_rng(0)
+        values = 0.5 + rng.normal(0, 0.05, 1500)
+        report = calibrate_one_step(values)
+        assert 0.85 <= report.coverage <= 1.0
+        assert report.n == 1500 - 50
+
+    def test_single_mode_trace_well_calibrated(self):
+        trace = single_mode_trace(PLATFORM1_MODES.modes[1], 7200.0, rng=1)
+        report = calibrate_one_step(trace.values)
+        assert report.coverage >= 0.75
+
+    def test_mae_positive(self):
+        rng = np.random.default_rng(2)
+        report = calibrate_one_step(rng.random(300))
+        assert report.mae > 0
+
+    def test_burn_in_validated(self):
+        with pytest.raises(ValueError):
+            calibrate_one_step([1.0, 2.0], burn_in=0)
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_one_step([1.0] * 10, burn_in=50)
+
+    def test_summary_string(self):
+        rng = np.random.default_rng(3)
+        report = calibrate_one_step(rng.random(200))
+        assert "coverage=" in report.summary()
+
+    def test_calibration_gap_sign(self):
+        rng = np.random.default_rng(4)
+        report = calibrate_one_step(0.5 + rng.normal(0, 0.01, 1000))
+        assert report.calibration_gap == pytest.approx(
+            report.coverage - report.nominal
+        )
+
+
+class TestQueryCalibration:
+    def window_query(self, window):
+        return StochasticValue.from_samples(window)
+
+    def test_window_query_on_bursty_series(self):
+        trace = bursty_trace(PLATFORM2_MODES, 14_400.0, rng=5)
+        report = calibrate_query(trace.values, self.window_query, history=18, horizon=12)
+        # The windowed query is the Platform 2 predictor; it must be
+        # broadly calibrated on its own regime.
+        assert report.coverage >= 0.6
+        assert report.sharpness > 0
+
+    def test_longer_history_wider_and_safer(self):
+        trace = bursty_trace(PLATFORM2_MODES, 14_400.0, rng=6)
+        short = calibrate_query(trace.values, self.window_query, history=6, horizon=12)
+        long = calibrate_query(trace.values, self.window_query, history=60, horizon=12)
+        assert long.sharpness > short.sharpness
+        assert long.coverage >= short.coverage
+
+    def test_point_query_has_zero_coverage_on_noise(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(0.5, 0.1, 500)
+        report = calibrate_query(
+            values, lambda w: StochasticValue.point(float(w.mean())), history=20, horizon=5
+        )
+        assert report.coverage < 0.05
+
+    def test_args_validated(self):
+        with pytest.raises(ValueError):
+            calibrate_query([1.0] * 100, self.window_query, history=1)
+        with pytest.raises(ValueError):
+            calibrate_query([1.0] * 100, self.window_query, horizon=0)
+
+    def test_no_scorable_forecasts_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_query([1.0] * 10, self.window_query, history=8, horizon=5)

@@ -1,0 +1,150 @@
+"""Tests for repro.nws.forecasters — the NWS forecaster family."""
+
+import numpy as np
+import pytest
+
+from repro.nws.forecasters import (
+    AdaptiveMedian,
+    AutoRegressive,
+    ExponentialSmoothing,
+    LastValue,
+    RunningMean,
+    SlidingWindowMean,
+    SlidingWindowMedian,
+    default_forecasters,
+)
+
+
+class TestLastValue:
+    def test_predicts_last(self):
+        f = LastValue()
+        assert f.predict() is None
+        f.observe(3.0)
+        assert f.predict() == 3.0
+        f.observe(5.0)
+        assert f.predict() == 5.0
+
+
+class TestRunningMean:
+    def test_cumulative_mean(self):
+        f = RunningMean()
+        assert f.predict() is None
+        for v in (1.0, 2.0, 3.0):
+            f.observe(v)
+        assert f.predict() == pytest.approx(2.0)
+
+
+class TestSlidingWindowMean:
+    def test_window_limits_history(self):
+        f = SlidingWindowMean(2)
+        for v in (10.0, 1.0, 3.0):
+            f.observe(v)
+        assert f.predict() == pytest.approx(2.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMean(0)
+
+    def test_name_includes_window(self):
+        assert SlidingWindowMean(16).name == "mean_w16"
+
+
+class TestExponentialSmoothing:
+    def test_first_observation_initialises(self):
+        f = ExponentialSmoothing(0.3)
+        f.observe(10.0)
+        assert f.predict() == 10.0
+
+    def test_smoothing_update(self):
+        f = ExponentialSmoothing(0.5)
+        f.observe(0.0)
+        f.observe(10.0)
+        assert f.predict() == pytest.approx(5.0)
+
+    def test_gain_one_tracks_last(self):
+        f = ExponentialSmoothing(1.0)
+        f.observe(1.0)
+        f.observe(7.0)
+        assert f.predict() == 7.0
+
+    def test_invalid_gain_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(1.5)
+
+
+class TestMedians:
+    def test_sliding_median_robust_to_spike(self):
+        f = SlidingWindowMedian(5)
+        for v in (1.0, 1.0, 100.0, 1.0, 1.0):
+            f.observe(v)
+        assert f.predict() == 1.0
+
+    def test_adaptive_median_flushes_on_jump(self):
+        f = AdaptiveMedian(max_window=16, jump_factor=3.0)
+        for _ in range(10):
+            f.observe(0.9)
+        # A mode switch: the old history should be dropped.
+        f.observe(0.2)
+        f.observe(0.21)
+        assert f.predict() == pytest.approx(0.205, abs=0.01)
+
+    def test_adaptive_median_keeps_history_without_jump(self):
+        f = AdaptiveMedian(max_window=16)
+        rng = np.random.default_rng(0)
+        for v in 0.5 + 0.01 * rng.standard_normal(16):
+            f.observe(float(v))
+        assert f.predict() == pytest.approx(0.5, abs=0.02)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMedian(0)
+        with pytest.raises(ValueError):
+            AdaptiveMedian(max_window=1)
+        with pytest.raises(ValueError):
+            AdaptiveMedian(jump_factor=0.0)
+
+
+class TestAutoRegressive:
+    def test_learns_ar1_process(self):
+        rng = np.random.default_rng(1)
+        f = AutoRegressive(window=64)
+        phi, x = 0.9, 0.0
+        errs_ar, errs_mean = [], []
+        mean_f = RunningMean()
+        for _ in range(500):
+            nxt = phi * x + rng.normal(0, 0.1)
+            p_ar, p_mean = f.predict(), mean_f.predict()
+            if p_ar is not None and p_mean is not None:
+                errs_ar.append(abs(p_ar - nxt))
+                errs_mean.append(abs(p_mean - nxt))
+            f.observe(nxt)
+            mean_f.observe(nxt)
+            x = nxt
+        # On a strongly autocorrelated series, AR beats the global mean.
+        assert np.mean(errs_ar) < np.mean(errs_mean)
+
+    def test_constant_series_predicts_constant(self):
+        f = AutoRegressive(window=8)
+        for _ in range(10):
+            f.observe(4.2)
+        assert f.predict() == pytest.approx(4.2)
+
+    def test_small_window_rejected(self):
+        with pytest.raises(ValueError):
+            AutoRegressive(window=3)
+
+
+class TestDefaults:
+    def test_names_unique(self):
+        names = [f.name for f in default_forecasters()]
+        assert len(set(names)) == len(names)
+
+    def test_family_size(self):
+        assert len(default_forecasters()) >= 10
+
+    def test_fresh_instances_each_call(self):
+        a, b = default_forecasters(), default_forecasters()
+        a[0].observe(1.0)
+        assert b[0].predict() is None

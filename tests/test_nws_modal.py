@@ -1,0 +1,116 @@
+"""Tests for repro.nws.modal — Section 2.1.2 modal load characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.nws.modal import ModalCombination, ModalLoadCharacterizer, select_n_modes_bic
+from repro.nws.sensors import Sensor
+from repro.nws.service import NetworkWeatherService
+from repro.workload.loadgen import bursty_trace, single_mode_trace
+from repro.workload.modes import PLATFORM1_MODES, PLATFORM2_MODES
+from repro.workload.traces import Trace
+
+
+def bimodal(n=2000, rng=0):
+    gen = np.random.default_rng(rng)
+    return np.concatenate(
+        [gen.normal(0.8, 0.03, int(0.6 * n)), gen.normal(0.3, 0.03, int(0.4 * n))]
+    )
+
+
+class TestBicSelection:
+    def test_picks_two_for_bimodal(self):
+        gmm = select_n_modes_bic(bimodal(), max_modes=5)
+        assert gmm.n_components == 2
+
+    def test_picks_one_for_unimodal(self):
+        rng = np.random.default_rng(1)
+        gmm = select_n_modes_bic(rng.normal(0.5, 0.05, 2000), max_modes=4)
+        assert gmm.n_components == 1
+
+    def test_respects_max_modes(self):
+        gmm = select_n_modes_bic(bimodal(), max_modes=1)
+        assert gmm.n_components == 1
+
+    def test_invalid_max_modes_rejected(self):
+        with pytest.raises(ValueError):
+            select_n_modes_bic(bimodal(), max_modes=0)
+
+    def test_small_data_caps_components(self):
+        rng = np.random.default_rng(2)
+        gmm = select_n_modes_bic(rng.normal(0, 1, 7), max_modes=5)
+        assert gmm.n_components <= 3
+
+
+class TestCharacterizer:
+    def test_mixture_mean_matches_data(self):
+        data = bimodal()
+        sv = ModalLoadCharacterizer().characterize(data)
+        assert sv.mean == pytest.approx(float(data.mean()), abs=0.02)
+        assert sv.spread == pytest.approx(2.0 * float(data.std()), rel=0.1)
+
+    def test_linear_spread_smaller_than_mixture(self):
+        data = bimodal()
+        mix = ModalLoadCharacterizer(combination=ModalCombination.MIXTURE).characterize(data)
+        lin = ModalLoadCharacterizer(combination=ModalCombination.LINEAR).characterize(data)
+        assert mix.mean == pytest.approx(lin.mean, abs=1e-6)
+        assert lin.spread < mix.spread
+
+    def test_short_history_falls_back_to_summary(self):
+        data = [0.5, 0.51, 0.49, 0.52]
+        sv = ModalLoadCharacterizer(min_history=30).characterize(data)
+        assert sv == StochasticValue.from_samples(data)
+
+    def test_single_value_history(self):
+        sv = ModalLoadCharacterizer().characterize([0.7])
+        assert sv == StochasticValue.point(0.7)
+
+    def test_constant_history(self):
+        sv = ModalLoadCharacterizer().characterize([0.5] * 100)
+        assert sv.mean == pytest.approx(0.5)
+        assert sv.spread == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_mode_trace_summary(self):
+        trace = single_mode_trace(PLATFORM1_MODES.modes[1], 3600.0, rng=3)
+        sv = ModalLoadCharacterizer().characterize(trace.values)
+        assert sv.mean == pytest.approx(0.48, abs=0.03)
+
+    def test_from_sensor_window(self):
+        trace = bursty_trace(PLATFORM2_MODES, 3600.0, rng=4)
+        sensor = Sensor(resource="cpu", trace=trace, period=5.0)
+        sensor.advance_to(3600.0)
+        sv = ModalLoadCharacterizer().from_sensor(sensor, 1800.0)
+        assert 0.2 < sv.mean < 0.9
+        assert sv.spread > 0.05
+
+    def test_from_sensor_without_measurements_rejected(self):
+        sensor = Sensor(resource="cpu", trace=Trace.constant(0.5))
+        with pytest.raises(RuntimeError):
+            ModalLoadCharacterizer().from_sensor(sensor, 100.0)
+
+    def test_from_sensor_invalid_window_rejected(self):
+        sensor = Sensor(resource="cpu", trace=Trace.constant(0.5))
+        sensor.advance_to(10.0)
+        with pytest.raises(ValueError):
+            ModalLoadCharacterizer().from_sensor(sensor, 0.0)
+
+
+class TestServiceIntegration:
+    def test_query_modal(self):
+        nws = NetworkWeatherService()
+        nws.register("cpu", bursty_trace(PLATFORM2_MODES, 3600.0, rng=5))
+        nws.advance_to(3600.0)
+        sv = nws.query_modal("cpu", 1800.0)
+        assert isinstance(sv, StochasticValue)
+        assert sv.spread > 0.05
+
+    def test_query_modal_custom_characterizer(self):
+        nws = NetworkWeatherService()
+        nws.register("cpu", bursty_trace(PLATFORM2_MODES, 3600.0, rng=6))
+        nws.advance_to(3600.0)
+        lin = nws.query_modal(
+            "cpu", 1800.0, characterizer=ModalLoadCharacterizer(ModalCombination.LINEAR)
+        )
+        mix = nws.query_modal("cpu", 1800.0)
+        assert lin.spread < mix.spread

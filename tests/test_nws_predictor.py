@@ -1,0 +1,101 @@
+"""Tests for repro.nws.predictor — adaptive forecaster selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.nws.forecasters import LastValue, RunningMean, SlidingWindowMean
+from repro.nws.predictor import AdaptivePredictor
+
+
+class TestScoring:
+    def test_scores_are_out_of_sample(self):
+        # The first observation can't be scored (no prior prediction).
+        p = AdaptivePredictor([LastValue()])
+        p.observe(1.0)
+        assert p.scores() == []
+        p.observe(2.0)
+        s = p.scores()[0]
+        assert s.n_scored == 1
+        assert s.mae == pytest.approx(1.0)  # predicted 1.0, saw 2.0
+
+    def test_best_picks_lowest_mae(self):
+        p = AdaptivePredictor([LastValue(), RunningMean()])
+        # Trending series: last-value beats the global mean.
+        for v in np.linspace(0.0, 10.0, 50):
+            p.observe(float(v))
+        assert p.best().name == "last_value"
+
+    def test_mean_wins_on_noise_around_constant(self):
+        rng = np.random.default_rng(0)
+        p = AdaptivePredictor([LastValue(), SlidingWindowMean(32)])
+        for v in 5.0 + rng.normal(0, 1.0, 300):
+            p.observe(float(v))
+        assert p.best().name == "mean_w32"
+
+    def test_scores_sorted_by_mae(self):
+        rng = np.random.default_rng(1)
+        p = AdaptivePredictor()
+        for v in rng.random(100):
+            p.observe(float(v))
+        maes = [s.mae for s in p.scores()]
+        assert maes == sorted(maes)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptivePredictor([LastValue(), LastValue()])
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptivePredictor([])
+
+    def test_invalid_error_window_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptivePredictor(error_window=1)
+
+    def test_invalid_spread_method_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptivePredictor(spread_method="variance")
+
+
+class TestForecast:
+    def test_forecast_before_data_rejected(self):
+        with pytest.raises(RuntimeError):
+            AdaptivePredictor().forecast()
+
+    def test_forecast_is_stochastic_value(self):
+        p = AdaptivePredictor()
+        p.observe_series([1.0, 1.1, 0.9, 1.0, 1.05])
+        out = p.forecast()
+        assert isinstance(out, StochasticValue)
+
+    def test_spread_reflects_noise_level(self):
+        rng = np.random.default_rng(2)
+        quiet, noisy = AdaptivePredictor(), AdaptivePredictor()
+        quiet.observe_series(5.0 + rng.normal(0, 0.01, 200))
+        noisy.observe_series(5.0 + rng.normal(0, 1.0, 200))
+        assert noisy.forecast().spread > 10 * quiet.forecast().spread
+
+    def test_forecast_tracks_level(self):
+        rng = np.random.default_rng(3)
+        p = AdaptivePredictor()
+        p.observe_series(0.48 + rng.normal(0, 0.02, 300))
+        out = p.forecast()
+        assert out.mean == pytest.approx(0.48, abs=0.03)
+        assert out.contains(0.48)
+
+    def test_rmse_spread_at_least_mad_spread_on_bursty(self):
+        rng = np.random.default_rng(4)
+        series = np.concatenate(
+            [0.9 + rng.normal(0, 0.02, 100), 0.2 + rng.normal(0, 0.02, 5)]
+        )
+        a = AdaptivePredictor(spread_method="rmse")
+        b = AdaptivePredictor(spread_method="mad")
+        a.observe_series(series)
+        b.observe_series(series)
+        assert a.forecast().spread > b.forecast().spread
+
+    def test_n_observations(self):
+        p = AdaptivePredictor()
+        p.observe_series([1.0, 2.0, 3.0])
+        assert p.n_observations == 3

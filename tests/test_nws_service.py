@@ -1,0 +1,158 @@
+"""Tests for repro.nws series, sensors, and the service facade."""
+
+import numpy as np
+import pytest
+
+from repro.nws.sensors import NWS_DEFAULT_PERIOD, Sensor
+from repro.nws.series import MeasurementSeries
+from repro.nws.service import NetworkWeatherService
+from repro.workload.traces import Trace
+
+
+class TestMeasurementSeries:
+    def test_append_and_read(self):
+        s = MeasurementSeries()
+        s.append(0.0, 1.0)
+        s.append(5.0, 2.0)
+        assert len(s) == 2
+        assert s.last_time == 5.0
+        assert s.last_value == 2.0
+        np.testing.assert_array_equal(s.values(), [1.0, 2.0])
+
+    def test_window_view(self):
+        s = MeasurementSeries()
+        for i in range(10):
+            s.append(float(i), float(i))
+        np.testing.assert_array_equal(s.values(3), [7.0, 8.0, 9.0])
+        np.testing.assert_array_equal(s.times(3), [7.0, 8.0, 9.0])
+
+    def test_values_since(self):
+        s = MeasurementSeries()
+        for i in range(10):
+            s.append(float(i), float(i * 10))
+        np.testing.assert_array_equal(s.values_since(7.0), [70.0, 80.0, 90.0])
+
+    def test_maxlen_bounds_memory(self):
+        s = MeasurementSeries(maxlen=3)
+        for i in range(10):
+            s.append(float(i), float(i))
+        assert len(s) == 3
+        np.testing.assert_array_equal(s.values(), [7.0, 8.0, 9.0])
+
+    def test_time_monotonicity_enforced(self):
+        s = MeasurementSeries()
+        s.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.append(4.0, 1.0)
+
+    def test_empty_accessors_raise(self):
+        s = MeasurementSeries()
+        with pytest.raises(IndexError):
+            _ = s.last_time
+        with pytest.raises(IndexError):
+            _ = s.last_value
+
+    def test_invalid_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementSeries(maxlen=0)
+
+
+class TestSensor:
+    def test_samples_on_cadence(self):
+        trace = Trace.from_samples(0.0, 5.0, np.linspace(0.1, 1.0, 20))
+        sensor = Sensor(resource="cpu", trace=trace, period=5.0)
+        taken = sensor.advance_to(31.0)
+        assert taken == 7  # samples at 0, 5, ..., 30
+        assert sensor.last_measurement_time == 30.0
+
+    def test_advance_is_incremental(self):
+        trace = Trace.constant(0.5)
+        sensor = Sensor(resource="cpu", trace=trace, period=5.0)
+        sensor.advance_to(10.0)
+        assert sensor.advance_to(10.0) == 0
+        assert sensor.advance_to(20.0) == 2
+
+    def test_measures_trace_values(self):
+        trace = Trace.from_samples(0.0, 5.0, [0.2, 0.8])
+        sensor = Sensor(resource="cpu", trace=trace, period=5.0)
+        sensor.advance_to(5.0)
+        np.testing.assert_array_equal(sensor.series.values(), [0.2, 0.8])
+
+    def test_default_period_matches_paper(self):
+        assert NWS_DEFAULT_PERIOD == 5.0
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            Sensor(resource="cpu", trace=Trace.constant(1.0), period=0.0)
+
+
+class TestService:
+    def make_service(self):
+        nws = NetworkWeatherService()
+        nws.register("cpu:a", Trace.constant(0.5))
+        nws.register("cpu:b", Trace.from_samples(0.0, 5.0, [0.2, 0.4, 0.6, 0.8] * 50))
+        return nws
+
+    def test_register_and_list(self):
+        nws = self.make_service()
+        assert nws.resources == ["cpu:a", "cpu:b"]
+
+    def test_duplicate_registration_rejected(self):
+        nws = self.make_service()
+        with pytest.raises(ValueError):
+            nws.register("cpu:a", Trace.constant(1.0))
+
+    def test_unknown_resource_rejected(self):
+        nws = self.make_service()
+        nws.advance_to(50.0)
+        with pytest.raises(KeyError, match="cpu:zzz"):
+            nws.query("cpu:zzz")
+
+    def test_query_before_measurements_rejected(self):
+        nws = NetworkWeatherService()
+        nws.register("cpu:a", Trace.constant(0.5))
+        with pytest.raises(RuntimeError):
+            nws.query("cpu:a", t=None)
+
+    def test_query_constant_resource(self):
+        nws = self.make_service()
+        out = nws.query("cpu:a", t=100.0)
+        assert out.mean == pytest.approx(0.5, abs=0.01)
+        assert out.spread == pytest.approx(0.0, abs=0.01)
+
+    def test_query_advances_time(self):
+        nws = self.make_service()
+        nws.query("cpu:a", t=42.0)
+        assert nws.now == 42.0
+
+    def test_rewind_rejected(self):
+        nws = self.make_service()
+        nws.advance_to(100.0)
+        with pytest.raises(ValueError):
+            nws.advance_to(50.0)
+
+    def test_last_measurement(self):
+        nws = self.make_service()
+        nws.advance_to(12.0)
+        t, v = nws.last_measurement("cpu:a")
+        assert t == 10.0 and v == 0.5
+
+    def test_query_window_statistics(self):
+        nws = self.make_service()
+        nws.advance_to(1000.0)
+        out = nws.query_window("cpu:b", 200.0)
+        # The cycle 0.2/0.4/0.6/0.8 has mean 0.5.
+        assert out.mean == pytest.approx(0.5, abs=0.05)
+        assert out.spread > 0.3
+
+    def test_query_window_shorter_than_period_falls_back(self):
+        nws = self.make_service()
+        nws.advance_to(100.0)
+        out = nws.query_window("cpu:a", 0.5)
+        assert out.mean == pytest.approx(0.5)
+
+    def test_query_window_invalid_window_rejected(self):
+        nws = self.make_service()
+        nws.advance_to(10.0)
+        with pytest.raises(ValueError):
+            nws.query_window("cpu:a", 0.0)

@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the stochastic-value core."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arithmetic import (
+    Relatedness,
+    add,
+    multiply,
+    reciprocal,
+    scale,
+    shift,
+    subtract,
+    sum_stochastic,
+)
+from repro.core.group_ops import MaxStrategy, clark_max, stochastic_max
+from repro.core.intervals import out_of_range_error
+from repro.core.stochastic import StochasticValue as SV
+
+means = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+pos_means = st.floats(1e-3, 1e6, allow_nan=False, allow_infinity=False)
+spreads = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def stochastic_values(draw, mean_strategy=means):
+    return SV(draw(mean_strategy), draw(spreads))
+
+
+class TestArithmeticProperties:
+    @given(stochastic_values(), stochastic_values())
+    def test_add_means_always_sum(self, x, y):
+        for rel in Relatedness:
+            assert add(x, y, rel).mean == x.mean + y.mean
+
+    @given(stochastic_values(), stochastic_values())
+    def test_add_commutative(self, x, y):
+        for rel in Relatedness:
+            a, b = add(x, y, rel), add(y, x, rel)
+            assert a.mean == b.mean and a.spread == b.spread
+
+    @given(stochastic_values(), stochastic_values())
+    def test_related_spread_dominates_unrelated(self, x, y):
+        rel = add(x, y, Relatedness.RELATED)
+        unrel = add(x, y, Relatedness.UNRELATED)
+        assert rel.spread >= unrel.spread - 1e-9 * max(rel.spread, 1.0)
+
+    @given(stochastic_values())
+    def test_add_zero_identity(self, x):
+        out = shift(x, 0.0)
+        assert out.mean == x.mean and out.spread == x.spread
+
+    @given(stochastic_values())
+    def test_scale_one_identity(self, x):
+        out = scale(x, 1.0)
+        assert out.mean == x.mean and out.spread == x.spread
+
+    @given(stochastic_values(), st.floats(-1e3, 1e3, allow_nan=False))
+    def test_scale_spread_nonnegative(self, x, c):
+        assert scale(x, c).spread >= 0.0
+
+    @given(stochastic_values(), stochastic_values())
+    def test_subtract_is_add_of_negation(self, x, y):
+        for rel in Relatedness:
+            a = subtract(x, y, rel)
+            b = add(x, -y, rel)
+            assert a.mean == b.mean and a.spread == b.spread
+
+    @given(stochastic_values(), stochastic_values())
+    def test_multiply_spread_nonnegative(self, x, y):
+        for rel in Relatedness:
+            assert multiply(x, y, rel).spread >= 0.0
+
+    @given(stochastic_values(pos_means))
+    def test_reciprocal_point_limit(self, x):
+        # As spread -> 0 the reciprocal must approach the point reciprocal.
+        point = reciprocal(SV.point(x.mean))
+        assert point.mean == 1.0 / x.mean
+        small = reciprocal(SV(x.mean, 1e-12))
+        assert math.isclose(small.mean, point.mean)
+        assert small.spread <= 1e-6 * max(abs(point.mean), 1.0) + 1e-9
+
+    @given(st.lists(stochastic_values(), min_size=1, max_size=8))
+    def test_sum_related_spread_is_total(self, values):
+        out = sum_stochastic(values, Relatedness.RELATED)
+        assert math.isclose(
+            out.spread, sum(v.spread for v in values), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(st.lists(stochastic_values(), min_size=1, max_size=8))
+    def test_sum_unrelated_quadrature(self, values):
+        out = sum_stochastic(values, Relatedness.UNRELATED)
+        expected = math.sqrt(sum(v.spread**2 for v in values))
+        assert math.isclose(out.spread, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestIntervalProperties:
+    @given(stochastic_values(), means)
+    def test_out_of_range_error_nonnegative(self, sv, actual):
+        assert out_of_range_error(sv, actual) >= 0.0
+
+    @given(stochastic_values(), means)
+    def test_out_of_range_zero_iff_contained(self, sv, actual):
+        err = out_of_range_error(sv, actual)
+        assert (err == 0.0) == sv.contains(actual)
+
+    @given(stochastic_values(), means)
+    def test_out_of_range_at_most_distance_to_mean(self, sv, actual):
+        assert out_of_range_error(sv, actual) <= abs(actual - sv.mean) + 1e-9
+
+
+class TestMaxProperties:
+    @settings(max_examples=50)
+    @given(st.lists(stochastic_values(st.floats(-100, 100)), min_size=1, max_size=5))
+    def test_selector_max_mean_dominates_all_means(self, values):
+        out = stochastic_max(values, MaxStrategy.BY_MEAN)
+        assert out.mean >= max(v.mean for v in values) - 1e-12
+
+    @settings(max_examples=50)
+    @given(
+        stochastic_values(st.floats(-100, 100)),
+        stochastic_values(st.floats(-100, 100)),
+    )
+    def test_clark_mean_at_least_individual_means(self, x, y):
+        out = clark_max(x, y)
+        assert out.mean >= max(x.mean, y.mean) - 1e-6 * (1 + abs(out.mean))
+
+    @settings(max_examples=50)
+    @given(
+        stochastic_values(st.floats(-100, 100)),
+        stochastic_values(st.floats(-100, 100)),
+    )
+    def test_clark_commutative(self, x, y):
+        a, b = clark_max(x, y), clark_max(y, x)
+        assert math.isclose(a.mean, b.mean, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(a.spread, b.spread, rel_tol=1e-7, abs_tol=1e-7)
+
+
+class TestQuantileProperties:
+    @settings(max_examples=50)
+    @given(
+        stochastic_values(st.floats(-100, 100)),
+        st.floats(0.01, 0.99),
+        st.floats(0.01, 0.99),
+    )
+    def test_quantile_monotone(self, sv, p1, p2):
+        if sv.is_point:
+            return
+        lo, hi = sorted((p1, p2))
+        assert sv.quantile(lo) <= sv.quantile(hi) + 1e-12

@@ -1,0 +1,149 @@
+"""Property-based tests for the extension layers (empirical, batch, QoS)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arithmetic import Relatedness, add
+from repro.core.empirical import EmpiricalValue
+from repro.core.stochastic import StochasticValue
+from repro.scheduling.allocation import allocate_inverse_time, completion_times
+from repro.scheduling.qos import ServiceRange
+from repro.scheduling.strategies import allocate_risk_averse
+
+clouds = st.lists(
+    st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False), min_size=2, max_size=40
+)
+
+
+@st.composite
+def cloud_pairs(draw):
+    """Two sample clouds of equal size (exact arithmetic, no resampling)."""
+    n = draw(st.integers(2, 40))
+    elems = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+    a = draw(st.lists(elems, min_size=n, max_size=n))
+    b = draw(st.lists(elems, min_size=n, max_size=n))
+    return a, b
+sv_means = st.floats(-1e3, 1e3, allow_nan=False)
+sv_spreads = st.floats(0.0, 1e3, allow_nan=False)
+
+
+class TestEmpiricalProperties:
+    @given(cloud_pairs())
+    def test_add_means_always_sum(self, pair):
+        a, b = pair
+        x, y = EmpiricalValue.from_samples(a), EmpiricalValue.from_samples(b)
+        for rel in Relatedness:
+            out = x.add(y, rel, rng=0)
+            assert out.mean == pytest.approx(x.mean + y.mean, rel=1e-9, abs=1e-6)
+
+    @given(clouds)
+    def test_scale_shift_exact(self, a):
+        x = EmpiricalValue.from_samples(a)
+        assert x.scale(3.0).mean == pytest.approx(3.0 * x.mean, rel=1e-9, abs=1e-9)
+        assert x.shift(5.0).mean == pytest.approx(x.mean + 5.0, rel=1e-9, abs=1e-9)
+        assert x.scale(-2.0).std == pytest.approx(2.0 * x.std, rel=1e-9, abs=1e-9)
+
+    @given(cloud_pairs())
+    def test_related_add_spread_dominates_unrelated(self, pair):
+        # Comonotonic coupling maximises the variance of a sum.
+        a, b = pair
+        x, y = EmpiricalValue.from_samples(a), EmpiricalValue.from_samples(b)
+        rel = x.add(y, Relatedness.RELATED)
+        unrel = x.add(y, Relatedness.UNRELATED, rng=1)
+        assert rel.std >= unrel.std - 1e-9 * max(rel.std, 1.0) - 1e-9
+
+    @given(clouds)
+    def test_quantiles_monotone(self, a):
+        x = EmpiricalValue.from_samples(a)
+        qs = [x.quantile(p) for p in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert qs == sorted(qs)
+
+    @given(st.integers(2, 30), st.integers(1, 4), st.randoms(use_true_random=False))
+    def test_maximum_dominates_component_means(self, n, k, rnd):
+        # Equal-size clouds: no quantile resampling, so the dominance
+        # E[max] >= max(E[X_i]) holds exactly up to float error.
+        groups = [[rnd.uniform(-100, 100) for _ in range(n)] for _ in range(k)]
+        values = [EmpiricalValue.from_samples(g) for g in groups]
+        out = EmpiricalValue.maximum(values, rng=2)
+        assert out.mean >= max(v.mean for v in values) - 1e-6 * (
+            1 + abs(out.mean)
+        )
+
+    @given(clouds)
+    def test_to_stochastic_roundtrip_summary(self, a):
+        x = EmpiricalValue.from_samples(a)
+        sv = x.to_stochastic()
+        assert sv.mean == pytest.approx(x.mean, rel=1e-9, abs=1e-9)
+        assert sv.spread == pytest.approx(2 * x.std, rel=1e-9, abs=1e-9)
+
+
+unit_times = st.lists(
+    st.builds(
+        StochasticValue,
+        st.floats(0.1, 100.0, allow_nan=False),
+        st.floats(0.0, 50.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestAllocationProperties:
+    @settings(max_examples=60)
+    @given(st.integers(0, 500), unit_times)
+    def test_total_units_preserved(self, total, times):
+        alloc = allocate_inverse_time(total, times)
+        assert alloc.total == total
+        assert all(u >= 0 for u in alloc.units)
+
+    @settings(max_examples=60)
+    @given(st.integers(1, 500), unit_times, st.floats(0.0, 5.0, allow_nan=False))
+    def test_risk_averse_total_preserved(self, total, times, lam):
+        alloc = allocate_risk_averse(total, times, lam)
+        assert alloc.total == total
+
+    @settings(max_examples=60)
+    @given(st.integers(1, 500), unit_times)
+    def test_faster_machine_never_gets_less(self, total, times):
+        alloc = allocate_inverse_time(total, times)
+        means = [t.mean for t in times]
+        for i in range(len(times)):
+            for j in range(len(times)):
+                if means[i] < means[j]:
+                    # Faster (smaller unit time) machine gets at least as
+                    # many units, modulo rounding by one.
+                    assert alloc.units[i] >= alloc.units[j] - 1
+
+    @settings(max_examples=60)
+    @given(st.integers(1, 200), unit_times)
+    def test_completion_time_means_scale_with_units(self, total, times):
+        alloc = allocate_inverse_time(total, times)
+        for u, t, c in zip(alloc.units, times, completion_times(alloc)):
+            assert c.mean == pytest.approx(u * t.mean, rel=1e-9, abs=1e-9)
+
+
+class TestServiceRangeProperties:
+    @settings(max_examples=60)
+    @given(
+        st.floats(-100, 100, allow_nan=False),
+        st.floats(0.01, 100, allow_nan=False),
+        st.floats(0.05, 0.95),
+    )
+    def test_guaranteed_bound_roundtrip(self, mean, spread, confidence):
+        sr = ServiceRange(StochasticValue(mean, spread))
+        bound = sr.guaranteed_bound(confidence)
+        assert sr.violation_probability(bound) == pytest.approx(
+            1.0 - confidence, abs=1e-6
+        )
+
+    @settings(max_examples=60)
+    @given(st.floats(-100, 100, allow_nan=False), st.floats(0.01, 100, allow_nan=False))
+    def test_violation_probability_monotone_in_bound(self, mean, spread):
+        sr = ServiceRange(StochasticValue(mean, spread))
+        bounds = np.linspace(mean - 3 * spread, mean + 3 * spread, 7)
+        probs = [sr.violation_probability(float(b)) for b in bounds]
+        assert probs == sorted(probs, reverse=True)

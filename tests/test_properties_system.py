@@ -1,0 +1,117 @@
+"""Property-based tests for traces, capacity inversion, and decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.capacity import completion_time
+from repro.distributions.histogram import empirical_cdf
+from repro.sor.decomposition import equal_strips, weighted_strips
+from repro.workload.traces import Trace
+
+# Strategy: a random piecewise-constant availability trace.
+trace_values = st.lists(
+    st.floats(0.05, 1.0, allow_nan=False), min_size=1, max_size=30
+)
+
+
+@st.composite
+def traces(draw):
+    values = draw(trace_values)
+    dt = draw(st.floats(0.5, 20.0, allow_nan=False))
+    start = draw(st.floats(-50.0, 50.0, allow_nan=False))
+    return Trace.from_samples(start, dt, values)
+
+
+class TestTraceProperties:
+    @given(traces(), st.floats(-100, 200), st.floats(0, 100), st.floats(0, 100))
+    def test_integrate_additive(self, trace, t0, d1, d2):
+        a = trace.integrate(t0, t0 + d1)
+        b = trace.integrate(t0 + d1, t0 + d1 + d2)
+        whole = trace.integrate(t0, t0 + d1 + d2)
+        assert whole == pytest.approx(a + b, rel=1e-9, abs=1e-9)
+
+    @given(traces(), st.floats(-100, 200), st.floats(0.001, 100))
+    def test_integral_bounded_by_extremes(self, trace, t0, d):
+        total = trace.integrate(t0, t0 + d)
+        vmin, vmax = trace.values.min(), trace.values.max()
+        assert vmin * d - 1e-9 <= total <= vmax * d + 1e-9
+
+    @given(traces(), st.floats(-100, 200))
+    def test_value_at_in_range(self, trace, t):
+        v = trace.value_at(t)
+        assert trace.values.min() <= v <= trace.values.max()
+
+    @given(traces())
+    def test_mean_within_value_range(self, trace):
+        m = trace.mean()
+        assert trace.values.min() - 1e-12 <= m <= trace.values.max() + 1e-12
+
+
+class TestCapacityProperties:
+    @settings(max_examples=60)
+    @given(
+        traces(),
+        st.floats(0.0, 500.0),
+        st.floats(0.5, 50.0),
+        st.floats(-100.0, 200.0),
+    )
+    def test_inversion_roundtrip(self, trace, work, rate, t0):
+        t1 = completion_time(work, rate, trace, t0)
+        assert t1 >= t0
+        delivered = rate * trace.integrate(t0, t1)
+        assert delivered == pytest.approx(work, rel=1e-7, abs=1e-7)
+
+    @settings(max_examples=60)
+    @given(traces(), st.floats(0.1, 100.0), st.floats(0.5, 20.0), st.floats(-50, 100))
+    def test_more_work_takes_longer(self, trace, work, rate, t0):
+        t_small = completion_time(work, rate, trace, t0)
+        t_big = completion_time(2 * work, rate, trace, t0)
+        assert t_big >= t_small
+
+    @settings(max_examples=60)
+    @given(traces(), st.floats(0.1, 100.0), st.floats(0.5, 20.0), st.floats(-50, 100))
+    def test_faster_rate_finishes_earlier(self, trace, work, rate, t0):
+        slow = completion_time(work, rate, trace, t0)
+        fast = completion_time(work, 2 * rate, trace, t0)
+        assert fast <= slow + 1e-12
+
+
+class TestDecompositionProperties:
+    @given(st.integers(3, 500), st.integers(1, 12))
+    def test_equal_strips_partition(self, n, p):
+        if p > n - 2:
+            return
+        dec = equal_strips(n, p)
+        assert sum(s.rows for s in dec.strips) == n - 2
+        # Balanced: strip sizes differ by at most one row.
+        sizes = [s.rows for s in dec.strips]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        st.integers(10, 300),
+        st.lists(st.floats(0.1, 10.0, allow_nan=False), min_size=1, max_size=6),
+    )
+    def test_weighted_strips_partition(self, n, weights):
+        if len(weights) > n - 2:
+            return
+        dec = weighted_strips(n, weights)
+        assert sum(s.rows for s in dec.strips) == n - 2
+        assert all(s.rows >= 1 for s in dec.strips)
+
+    @given(st.integers(10, 300), st.integers(1, 8))
+    def test_elements_sum_to_interior(self, n, p):
+        if p > n - 2:
+            return
+        dec = equal_strips(n, p)
+        assert sum(dec.elements(q) for q in range(p)) == (n - 2) * (n - 2)
+
+
+class TestEmpiricalCdfProperties:
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100))
+    def test_cdf_is_distribution(self, data):
+        x, p = empirical_cdf(data)
+        assert np.all(np.diff(x) >= 0)
+        assert np.all((p > 0) & (p <= 1.0))
+        assert p[-1] == 1.0

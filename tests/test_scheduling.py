@@ -1,0 +1,159 @@
+"""Tests for repro.scheduling — allocation, strategies, service ranges."""
+
+import pytest
+
+from repro.core.group_ops import MaxStrategy
+from repro.core.stochastic import StochasticValue as SV
+from repro.scheduling.allocation import (
+    Allocation,
+    allocate_inverse_time,
+    completion_times,
+    makespan,
+)
+from repro.scheduling.qos import ServiceRange
+from repro.scheduling.strategies import (
+    allocate_risk_averse,
+    compare_strategies,
+    risk_adjusted_time,
+)
+
+# Table 1's machines.
+DED_A, DED_B = SV.point(10.0), SV.point(5.0)
+PROD_A = SV.from_percent(12.0, 5.0)
+PROD_B = SV.from_percent(12.0, 30.0)
+
+
+class TestAllocateInverseTime:
+    def test_dedicated_b_gets_twice_the_work(self):
+        # Section 1.2: "machine B should receive twice as much work".
+        alloc = allocate_inverse_time(90, [DED_A, DED_B])
+        assert alloc.units == (30, 60)
+
+    def test_equal_means_split_evenly(self):
+        alloc = allocate_inverse_time(100, [PROD_A, PROD_B])
+        assert alloc.units == (50, 50)
+
+    def test_total_preserved_with_rounding(self):
+        alloc = allocate_inverse_time(101, [DED_A, DED_B])
+        assert alloc.total == 101
+
+    def test_zero_units(self):
+        alloc = allocate_inverse_time(0, [DED_A, DED_B])
+        assert alloc.units == (0, 0)
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_inverse_time(-1, [DED_A])
+
+    def test_empty_machines_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_inverse_time(10, [])
+
+    def test_nonpositive_effective_time_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_inverse_time(10, [SV.point(0.0)])
+
+
+class TestCompletionAndMakespan:
+    def test_completion_times(self):
+        alloc = allocate_inverse_time(90, [DED_A, DED_B])
+        times = completion_times(alloc)
+        assert times[0].mean == pytest.approx(300.0)
+        assert times[1].mean == pytest.approx(300.0)
+
+    def test_makespan_balanced(self):
+        alloc = allocate_inverse_time(90, [DED_A, DED_B])
+        span = makespan(alloc, MaxStrategy.BY_MEAN)
+        assert span.mean == pytest.approx(300.0)
+
+    def test_makespan_ignores_idle_machines(self):
+        alloc = Allocation(units=(10, 0), effective_unit_times=(SV.point(1.0), SV.point(100.0)))
+        span = makespan(alloc, MaxStrategy.BY_MEAN)
+        assert span.mean == pytest.approx(10.0)
+
+    def test_makespan_empty_allocation(self):
+        alloc = Allocation(units=(0,), effective_unit_times=(SV.point(1.0),))
+        assert makespan(alloc).mean == 0.0
+
+    def test_makespan_variance_grows_with_unit_spread(self):
+        tight = allocate_inverse_time(50, [PROD_A, PROD_A])
+        loose = allocate_inverse_time(50, [PROD_B, PROD_B])
+        assert makespan(loose, MaxStrategy.CLARK).spread > makespan(
+            tight, MaxStrategy.CLARK
+        ).spread
+
+
+class TestRiskStrategies:
+    def test_risk_adjusted_time(self):
+        assert risk_adjusted_time(PROD_B, 0.0) == 12.0
+        assert risk_adjusted_time(PROD_B, 1.0) == pytest.approx(15.6)
+
+    def test_negative_lam_rejected(self):
+        with pytest.raises(ValueError):
+            risk_adjusted_time(PROD_A, -0.5)
+
+    def test_risk_averse_shifts_work_to_stable_machine(self):
+        # Section 1.2: with stochastic information, a risk-averse
+        # scheduler assigns more work to the low-variance machine A.
+        neutral = allocate_risk_averse(100, [PROD_A, PROD_B], 0.0)
+        averse = allocate_risk_averse(100, [PROD_A, PROD_B], 2.0)
+        assert neutral.units == (50, 50)
+        assert averse.units[0] > averse.units[1]
+
+    def test_more_risk_aversion_more_shift(self):
+        mild = allocate_risk_averse(1000, [PROD_A, PROD_B], 0.5)
+        strong = allocate_risk_averse(1000, [PROD_A, PROD_B], 3.0)
+        assert strong.units[0] > mild.units[0]
+
+    def test_compare_strategies_rows(self):
+        outcomes = compare_strategies(100, [PROD_A, PROD_B], lams=(0.0, 1.0), rng=0)
+        assert [o.lam for o in outcomes] == [0.0, 1.0]
+        assert all(o.predicted_makespan.mean > 0 for o in outcomes)
+
+    def test_risk_aversion_reduces_makespan_uncertainty(self):
+        outcomes = compare_strategies(200, [PROD_A, PROD_B], lams=(0.0, 3.0), rng=0)
+        assert outcomes[1].predicted_makespan.spread < outcomes[0].predicted_makespan.spread
+
+
+class TestServiceRange:
+    def test_violation_probability_cost_metric(self):
+        sr = ServiceRange(SV(100.0, 20.0))  # execution time
+        assert sr.violation_probability(100.0) == pytest.approx(0.5)
+        assert sr.violation_probability(1000.0) < 0.001
+        assert sr.violation_probability(10.0) > 0.999
+
+    def test_violation_probability_capacity_metric(self):
+        sr = ServiceRange(SV(8.0, 2.0), higher_is_better=True)  # bandwidth
+        assert sr.violation_probability(8.0) == pytest.approx(0.5)
+        assert sr.violation_probability(2.0) < 0.001
+
+    def test_guaranteed_bound_cost(self):
+        sr = ServiceRange(SV(100.0, 20.0))
+        bound = sr.guaranteed_bound(0.95)
+        assert sr.violation_probability(bound) == pytest.approx(0.05, abs=1e-6)
+
+    def test_guaranteed_bound_capacity(self):
+        sr = ServiceRange(SV(8.0, 2.0), higher_is_better=True)
+        bound = sr.guaranteed_bound(0.9)
+        assert bound < 8.0
+        assert sr.violation_probability(bound) == pytest.approx(0.1, abs=1e-6)
+
+    def test_tolerates(self):
+        # Section 1.2: poor performance tolerated a small percentage of
+        # the time.
+        sr = ServiceRange(SV(100.0, 20.0))
+        assert sr.tolerates(sr.guaranteed_bound(0.95), 0.06)
+        assert not sr.tolerates(sr.guaranteed_bound(0.95), 0.04)
+
+    def test_point_value_degenerates(self):
+        sr = ServiceRange(SV.point(50.0))
+        assert sr.violation_probability(60.0) == 0.0
+        assert sr.violation_probability(40.0) == 1.0
+        assert sr.guaranteed_bound(0.99) == 50.0
+
+    def test_invalid_confidence_rejected(self):
+        sr = ServiceRange(SV(1.0, 0.1))
+        with pytest.raises(ValueError):
+            sr.guaranteed_bound(1.0)
+        with pytest.raises(ValueError):
+            sr.tolerates(1.0, 1.5)

@@ -1,0 +1,195 @@
+"""Tests for repro.cluster.simulator — phase program execution."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network, SharedEthernet
+from repro.cluster.simulator import ClusterSimulator, IterativeProgram, Message, Phase
+from repro.workload.traces import Trace
+
+
+def two_machines(avail_a=1.0, avail_b=1.0, rate_a=100.0, rate_b=100.0):
+    return [
+        Machine("a", rate_a, availability=Trace.constant(avail_a)),
+        Machine("b", rate_b, availability=Trace.constant(avail_b)),
+    ]
+
+
+def fast_network():
+    return Network(SharedEthernet(dedicated_bytes_per_sec=1e12, latency=0.0))
+
+
+class TestProgramValidation:
+    def test_message_self_send_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 0, 10.0)
+
+    def test_message_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, -1.0)
+
+    def test_phase_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Phase("p", (-1.0, 0.0))
+
+    def test_phase_message_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Phase("p", (1.0, 1.0), (Message(0, 2, 1.0),))
+
+    def test_program_needs_phases(self):
+        with pytest.raises(ValueError):
+            IterativeProgram("p", (), 1)
+
+    def test_program_needs_iterations(self):
+        with pytest.raises(ValueError):
+            IterativeProgram("p", (Phase("a", (1.0,)),), 0)
+
+    def test_program_consistent_widths(self):
+        with pytest.raises(ValueError):
+            IterativeProgram("p", (Phase("a", (1.0,)), Phase("b", (1.0, 2.0))), 1)
+
+    def test_n_processors(self):
+        prog = IterativeProgram("p", (Phase("a", (1.0, 2.0, 3.0)),), 2)
+        assert prog.n_processors == 3
+
+
+class TestSimulatorBasics:
+    def test_compute_only_analytic(self):
+        prog = IterativeProgram("p", (Phase("c", (100.0, 200.0)),), 3)
+        sim = ClusterSimulator(two_machines(), fast_network())
+        result = sim.run(prog)
+        # Slower processor: 200 elements at 100/s = 2 s per iteration.
+        assert result.elapsed == pytest.approx(6.0)
+        np.testing.assert_allclose(result.iteration_ends, [2.0, 4.0, 6.0])
+
+    def test_availability_scales_compute(self):
+        prog = IterativeProgram("p", (Phase("c", (100.0, 100.0)),), 1)
+        sim = ClusterSimulator(two_machines(avail_a=0.5), fast_network())
+        assert sim.run(prog).elapsed == pytest.approx(2.0)
+
+    def test_start_time_offsets_everything(self):
+        prog = IterativeProgram("p", (Phase("c", (100.0, 100.0)),), 1)
+        sim = ClusterSimulator(two_machines(), fast_network())
+        result = sim.run(prog, start_time=50.0)
+        assert result.start == 50.0
+        assert result.end == pytest.approx(51.0)
+        assert result.elapsed == pytest.approx(1.0)
+
+    def test_machine_count_mismatch_rejected(self):
+        prog = IterativeProgram("p", (Phase("c", (1.0,)),), 1)
+        sim = ClusterSimulator(two_machines(), fast_network())
+        with pytest.raises(ValueError):
+            sim.run(prog)
+
+    def test_duplicate_machine_names_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator([Machine("a", 1.0), Machine("a", 1.0)])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator([])
+
+
+class TestCommunication:
+    def test_transfer_time_charged(self):
+        prog = IterativeProgram(
+            "p",
+            (Phase("c", (100.0, 100.0), (Message(0, 1, 1000.0),)),),
+            1,
+        )
+        net = Network(SharedEthernet(dedicated_bytes_per_sec=1000.0, latency=0.0))
+        sim = ClusterSimulator(two_machines(), net)
+        # 1 s compute + 1 s transfer.
+        assert sim.run(prog).elapsed == pytest.approx(2.0)
+
+    def test_endpoint_serialization(self):
+        # Two messages sharing a sender must serialize.
+        prog = IterativeProgram(
+            "p",
+            (
+                Phase(
+                    "c",
+                    (0.0, 0.0, 0.0),
+                    (Message(0, 1, 1000.0), Message(0, 2, 1000.0)),
+                ),
+            ),
+            1,
+        )
+        machines = [Machine(n, 100.0) for n in "abc"]
+        net = Network(SharedEthernet(dedicated_bytes_per_sec=1000.0, latency=0.0))
+        result = ClusterSimulator(machines, net).run(prog)
+        assert result.elapsed == pytest.approx(2.0)
+
+    def test_disjoint_pairs_parallel(self):
+        prog = IterativeProgram(
+            "p",
+            (
+                Phase(
+                    "c",
+                    (0.0, 0.0, 0.0, 0.0),
+                    (Message(0, 1, 1000.0), Message(2, 3, 1000.0)),
+                ),
+            ),
+            1,
+        )
+        machines = [Machine(n, 100.0) for n in "abcd"]
+        net = Network(SharedEthernet(dedicated_bytes_per_sec=1000.0, latency=0.0))
+        result = ClusterSimulator(machines, net).run(prog)
+        assert result.elapsed == pytest.approx(1.0)
+
+    def test_skew_emerges_from_uneven_load(self):
+        # Processor a is slower; at the end of the compute phase its
+        # neighbour sits idle waiting for the ghost row (Figure 7).
+        prog = IterativeProgram(
+            "p",
+            (
+                Phase("compute", (100.0, 100.0)),
+                Phase("comm", (0.0, 0.0), (Message(0, 1, 1.0), Message(1, 0, 1.0))),
+            ),
+            2,
+        )
+        sim = ClusterSimulator(two_machines(avail_a=0.5), fast_network())
+        result = sim.run(prog)
+        assert result.max_skew > 0.9  # a finishes compute ~1 s after b
+
+    def test_exchange_resynchronizes_neighbours(self):
+        # After a blocking exchange both endpoints are aligned again, so
+        # a balanced program shows no skew at comm-phase boundaries.
+        prog = IterativeProgram(
+            "p", (Phase("c", (100.0, 100.0), (Message(0, 1, 1.0), Message(1, 0, 1.0))),), 2
+        )
+        sim = ClusterSimulator(two_machines(), fast_network())
+        assert sim.run(prog).max_skew < 1e-6
+
+
+class TestAccounting:
+    def test_phase_time_sums_to_elapsed(self):
+        prog = IterativeProgram(
+            "p",
+            (
+                Phase("compute", (100.0, 50.0)),
+                Phase("comm", (0.0, 0.0), (Message(0, 1, 500.0), Message(1, 0, 500.0))),
+            ),
+            4,
+        )
+        net = Network(SharedEthernet(dedicated_bytes_per_sec=1000.0, latency=0.0))
+        sim = ClusterSimulator(two_machines(), net)
+        result = sim.run(prog)
+        assert sum(result.phase_time.values()) == pytest.approx(result.elapsed)
+
+    def test_iteration_ends_monotone(self):
+        prog = IterativeProgram("p", (Phase("c", (10.0, 20.0)),), 5)
+        sim = ClusterSimulator(two_machines(), fast_network())
+        ends = sim.run(prog).iteration_ends
+        assert np.all(np.diff(ends) > 0)
+
+    def test_time_varying_load_changes_iterations(self):
+        # First half slow, second half fast: iteration times shrink.
+        trace = Trace.from_samples(0.0, 10.0, [0.25, 0.25, 1.0, 1.0])
+        machines = [Machine("a", 100.0, availability=trace)]
+        prog = IterativeProgram("p", (Phase("c", (500.0,)),), 2)
+        result = ClusterSimulator(machines, Network()).run(prog)
+        it1 = result.iteration_ends[0]
+        it2 = result.iteration_ends[1] - result.iteration_ends[0]
+        assert it1 > it2

@@ -1,0 +1,112 @@
+"""Tests for repro.sor.adaptive — mid-run repartitioning."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network, SharedEthernet
+from repro.core.stochastic import StochasticValue as SV
+from repro.sor.adaptive import (
+    simulate_adaptive_sor,
+    window_load_query,
+)
+from repro.sor.distributed import simulate_sor
+from repro.workload.traces import Trace
+
+
+def dedicated_machines():
+    return [Machine(f"m{i}", 1e5) for i in range(3)]
+
+
+class TestWindowLoadQuery:
+    def test_windowed_summary(self):
+        trace = Trace.from_samples(0.0, 5.0, [0.4] * 20 + [0.8] * 20)
+        machines = [Machine("m", 1e5, availability=trace)]
+        query = window_load_query(machines, window_seconds=50.0)
+        early = query(0, 60.0)
+        late = query(0, 200.0)
+        assert early.mean == pytest.approx(0.4, abs=0.05)
+        assert late.mean == pytest.approx(0.8, abs=0.05)
+
+    def test_query_before_history_uses_point(self):
+        machines = [Machine("m", 1e5, availability=Trace.from_samples(100.0, 5.0, [0.5]))]
+        query = window_load_query(machines, window_seconds=50.0)
+        out = query(0, 100.0)
+        assert out.mean == pytest.approx(0.5)
+
+
+class TestAdaptiveExecution:
+    def test_dedicated_equals_static(self):
+        # Constant availability: re-balancing never moves a row, so the
+        # adaptive run matches the plain simulation exactly.
+        machines = dedicated_machines()
+        net = Network()
+        adaptive = simulate_adaptive_sor(machines, net, 302, 12, segment_iterations=4)
+        static = simulate_sor(machines, net, 302, 12)
+        assert adaptive.elapsed == pytest.approx(static.elapsed, rel=1e-9)
+        assert adaptive.total_rows_moved == 0
+        assert adaptive.total_redistribution_time == 0.0
+
+    def test_segment_count(self):
+        machines = dedicated_machines()
+        run = simulate_adaptive_sor(machines, Network(), 302, 12, segment_iterations=5)
+        assert [s.iterations for s in run.segments] == [5, 5, 2]
+
+    def test_segments_contiguous(self):
+        machines = dedicated_machines()
+        run = simulate_adaptive_sor(machines, Network(), 302, 10, segment_iterations=3)
+        for a, b in zip(run.segments[:-1], run.segments[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_rebalances_after_load_shift(self):
+        # One machine collapses 15 s in: the adaptive run shifts rows
+        # away from it and beats the static decomposition.
+        shift = Trace.from_samples(0.0, 5.0, [1.0] * 3 + [0.08] * 400)
+        machines = [
+            Machine("volatile", 1e5, availability=shift),
+            Machine("steady", 1e5),
+        ]
+        net = Network(SharedEthernet(dedicated_bytes_per_sec=1e7, latency=0.0))
+        adaptive = simulate_adaptive_sor(
+            machines, net, 402, 60, segment_iterations=5,
+            load_query=window_load_query(machines, window_seconds=20.0),
+        )
+        static = simulate_sor(machines, net, 402, 60)
+        assert adaptive.total_rows_moved > 0
+        assert adaptive.elapsed < static.elapsed
+        # Later segments give the collapsed machine fewer rows.
+        assert adaptive.segments[-1].rows[0] < adaptive.segments[0].rows[0]
+
+    def test_redistribution_time_charged(self):
+        shift = Trace.from_samples(0.0, 5.0, [1.0] * 3 + [0.08] * 400)
+        machines = [Machine("v", 1e5, availability=shift), Machine("s", 1e5)]
+        net = Network(SharedEthernet(dedicated_bytes_per_sec=1e5, latency=0.0))
+        run = simulate_adaptive_sor(
+            machines, net, 402, 60, segment_iterations=5,
+            load_query=window_load_query(machines, window_seconds=20.0),
+        )
+        assert run.total_rows_moved > 0
+        assert run.total_redistribution_time > 0
+
+    def test_custom_load_query(self):
+        calls = []
+
+        def query(index, t):
+            calls.append((index, t))
+            return SV.point(1.0)
+
+        machines = dedicated_machines()
+        simulate_adaptive_sor(
+            machines, Network(), 302, 10, segment_iterations=5, load_query=query
+        )
+        # Initial balance + one re-balance, for each of 3 machines.
+        assert len(calls) == 6
+
+    def test_invalid_args_rejected(self):
+        machines = dedicated_machines()
+        with pytest.raises(ValueError):
+            simulate_adaptive_sor(machines, Network(), 302, 10, segment_iterations=0)
+        with pytest.raises(ValueError):
+            simulate_adaptive_sor(machines, Network(), 302, 0)
+        with pytest.raises(ValueError):
+            simulate_adaptive_sor(machines, Network(), 302, 10, lam=-1.0)

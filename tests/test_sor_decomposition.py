@@ -1,0 +1,105 @@
+"""Tests for repro.sor.decomposition — strip partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.sor.decomposition import (
+    ELEMENT_BYTES,
+    Strip,
+    StripDecomposition,
+    equal_strips,
+    weighted_strips,
+)
+
+
+class TestEqualStrips:
+    def test_covers_all_rows(self):
+        dec = equal_strips(102, 4)
+        assert dec.strips[0].row_start == 0
+        assert dec.strips[-1].row_end == 100
+        assert sum(s.rows for s in dec.strips) == 100
+
+    def test_even_split(self):
+        dec = equal_strips(102, 4)
+        assert [s.rows for s in dec.strips] == [25, 25, 25, 25]
+
+    def test_remainder_to_leading_strips(self):
+        dec = equal_strips(101, 4)  # 99 interior rows
+        assert [s.rows for s in dec.strips] == [25, 25, 25, 24]
+
+    def test_single_processor(self):
+        dec = equal_strips(10, 1)
+        assert dec.strips[0].rows == 8
+
+    def test_elements(self):
+        dec = equal_strips(102, 4)
+        assert dec.elements(0) == 25 * 100
+        assert dec.elements_per_color(0) == 12.5 * 100
+
+    def test_ghost_row_bytes(self):
+        dec = equal_strips(1602, 4)
+        assert dec.ghost_row_bytes() == 1600 * ELEMENT_BYTES
+
+    def test_neighbors(self):
+        dec = equal_strips(102, 4)
+        assert dec.neighbors(0) == [1]
+        assert dec.neighbors(1) == [0, 2]
+        assert dec.neighbors(3) == [2]
+
+    def test_too_many_procs_rejected(self):
+        with pytest.raises(ValueError):
+            equal_strips(5, 4)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            equal_strips(10, 0)
+
+
+class TestWeightedStrips:
+    def test_proportional_split(self):
+        dec = weighted_strips(102, [1.0, 3.0])
+        assert [s.rows for s in dec.strips] == [25, 75]
+
+    def test_total_preserved(self):
+        dec = weighted_strips(100, [1.0, 2.0, 3.0, 4.0])
+        assert sum(s.rows for s in dec.strips) == 98
+
+    def test_every_proc_gets_a_row(self):
+        dec = weighted_strips(102, [1000.0, 1.0])
+        assert all(s.rows >= 1 for s in dec.strips)
+
+    def test_capacity_balancing_effect(self):
+        # Footnote 2: a machine with twice the capacity should finish its
+        # (twice larger) strip in the same time.
+        dec = weighted_strips(202, [1.0, 2.0])
+        t0 = dec.elements(0) / 1.0
+        t1 = dec.elements(1) / 2.0
+        assert abs(t0 - t1) / t0 < 0.05
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_strips(10, [1.0, 0.0])
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_strips(10, [])
+
+
+class TestValidation:
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError):
+            StripDecomposition(
+                n=10, strips=(Strip(0, 0, 3), Strip(1, 4, 8))
+            )
+
+    def test_wrong_total_rejected(self):
+        with pytest.raises(ValueError):
+            StripDecomposition(n=10, strips=(Strip(0, 0, 4),))
+
+    def test_bad_proc_order_rejected(self):
+        with pytest.raises(ValueError):
+            StripDecomposition(n=10, strips=(Strip(1, 0, 8),))
+
+    def test_empty_strip_rejected(self):
+        with pytest.raises(ValueError):
+            StripDecomposition(n=10, strips=(Strip(0, 0, 0), Strip(1, 0, 8)))

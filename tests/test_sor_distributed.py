@@ -1,0 +1,138 @@
+"""Tests for repro.sor.distributed — numerical equivalence + timing program."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network
+from repro.sor.decomposition import ELEMENT_BYTES, equal_strips, weighted_strips
+from repro.sor.distributed import build_sor_program, distributed_solve, simulate_sor
+from repro.sor.grid import SORGrid
+from repro.sor.kernel import sor_iteration
+from repro.workload.traces import Trace
+
+
+def sequential_reference(grid, iterations):
+    u = grid.initial_field()
+    source = grid.source if np.any(grid.source) else None
+    for _ in range(iterations):
+        sor_iteration(u, grid.omega, source)
+    return u
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("n_procs", [1, 2, 3, 4, 7])
+    def test_bit_identical_to_sequential(self, n_procs):
+        g = SORGrid.laplace_problem(25)
+        ref = sequential_reference(g, 30)
+        dist = distributed_solve(g, n_procs=n_procs, iterations=30)
+        np.testing.assert_array_equal(dist, ref)
+
+    def test_bit_identical_with_source_term(self):
+        g = SORGrid.poisson_problem(21, lambda x, y: np.exp(x * y))
+        ref = sequential_reference(g, 25)
+        dist = distributed_solve(g, n_procs=3, iterations=25)
+        np.testing.assert_array_equal(dist, ref)
+
+    def test_bit_identical_with_weighted_strips(self):
+        g = SORGrid.laplace_problem(30)
+        ref = sequential_reference(g, 20)
+        dec = weighted_strips(30, [1.0, 2.0, 3.0])
+        dist = distributed_solve(g, dec, iterations=20)
+        np.testing.assert_array_equal(dist, ref)
+
+    def test_hot_edge_boundary_preserved(self):
+        g = SORGrid.hot_edge_problem(17)
+        dist = distributed_solve(g, n_procs=2, iterations=10)
+        np.testing.assert_array_equal(dist[0, :], g.boundary[0, :])
+
+    def test_requires_decomposition_or_nprocs(self):
+        g = SORGrid.laplace_problem(9)
+        with pytest.raises(ValueError):
+            distributed_solve(g)
+
+    def test_mismatched_decomposition_rejected(self):
+        g = SORGrid.laplace_problem(9)
+        with pytest.raises(ValueError):
+            distributed_solve(g, equal_strips(11, 2))
+
+    def test_zero_iterations_rejected(self):
+        g = SORGrid.laplace_problem(9)
+        with pytest.raises(ValueError):
+            distributed_solve(g, n_procs=2, iterations=0)
+
+
+class TestProgramStructure:
+    def test_four_phases_per_iteration(self):
+        dec = equal_strips(102, 4)
+        prog = build_sor_program(102, dec, 10)
+        names = [p.name for p in prog.phases]
+        assert names == ["red_compute", "red_comm", "black_compute", "black_comm"]
+        assert prog.iterations == 10
+
+    def test_compute_work_is_half_strip(self):
+        dec = equal_strips(102, 4)
+        prog = build_sor_program(102, dec, 1)
+        red = prog.phases[0]
+        assert red.work[0] == dec.elements(0) / 2.0
+
+    def test_comm_messages_neighbours_only(self):
+        dec = equal_strips(102, 4)
+        prog = build_sor_program(102, dec, 1)
+        comm = prog.phases[1]
+        pairs = {(m.src, m.dst) for m in comm.messages}
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)}
+
+    def test_message_bytes_one_ghost_row(self):
+        dec = equal_strips(102, 4)
+        prog = build_sor_program(102, dec, 1)
+        for m in prog.phases[1].messages:
+            assert m.nbytes == 100 * ELEMENT_BYTES
+
+    def test_single_proc_no_messages(self):
+        dec = equal_strips(10, 1)
+        prog = build_sor_program(10, dec, 1)
+        assert all(len(p.messages) == 0 for p in prog.phases)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_sor_program(100, equal_strips(102, 4), 1)
+
+
+class TestSimulateSor:
+    def test_dedicated_time_scales_with_problem_size(self):
+        machines = [Machine(f"m{i}", 1e5) for i in range(4)]
+        net = Network()
+        t1 = simulate_sor(machines, net, 500, 5).elapsed
+        t2 = simulate_sor(machines, net, 1000, 5).elapsed
+        assert t2 / t1 == pytest.approx(4.0, rel=0.1)
+
+    def test_dedicated_analytic_time(self):
+        # One machine, no comm: time = iterations * elements / rate.
+        machines = [Machine("m", 1e5)]
+        result = simulate_sor(machines, Network(), 102, 10)
+        assert result.elapsed == pytest.approx(10 * 100 * 100 / 1e5, rel=0.01)
+
+    def test_slow_availability_slows_run(self):
+        fast = [Machine(f"m{i}", 1e5) for i in range(2)]
+        slow = [m.with_availability(Trace.constant(0.5)) for m in fast]
+        net = Network()
+        t_fast = simulate_sor(fast, net, 200, 5).elapsed
+        t_slow = simulate_sor(slow, net, 200, 5).elapsed
+        assert t_slow == pytest.approx(2 * t_fast, rel=0.05)
+
+    def test_memory_limit_enforced(self):
+        machines = [Machine("tiny", 1e5, memory_elements=10.0)]
+        with pytest.raises(ValueError, match="does not fit"):
+            simulate_sor(machines, Network(), 100, 1)
+
+    def test_weighted_decomposition_balances_heterogeneous(self):
+        machines = [Machine("slow", 1e5), Machine("fast", 4e5)]
+        net = Network()
+        n = 402
+        equal = simulate_sor(machines, net, n, 5)
+        weighted = simulate_sor(
+            machines, net, n, 5, decomposition=weighted_strips(n, [1.0, 4.0])
+        )
+        assert weighted.elapsed < equal.elapsed
+        assert weighted.max_skew < equal.max_skew

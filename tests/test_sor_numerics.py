@@ -1,0 +1,177 @@
+"""Tests for repro.sor grid, kernel, and solver numerics."""
+
+import numpy as np
+import pytest
+
+from repro.sor.grid import SORGrid, optimal_omega
+from repro.sor.kernel import color_mask, residual_norm, sor_iteration, sor_sweep_color
+from repro.sor.solver import solve
+
+
+class TestGrid:
+    def test_laplace_problem_shapes(self):
+        g = SORGrid.laplace_problem(17)
+        assert g.boundary.shape == (17, 17)
+        assert g.source.shape == (15, 15)
+        assert g.interior_points == 225
+
+    def test_optimal_omega_range(self):
+        for n in (10, 100, 1000):
+            w = optimal_omega(n)
+            assert 1.0 < w < 2.0
+
+    def test_optimal_omega_grows_with_n(self):
+        assert optimal_omega(100) > optimal_omega(10)
+
+    def test_initial_field_zero_interior(self):
+        g = SORGrid.laplace_problem(9)
+        u = g.initial_field()
+        assert np.all(u[1:-1, 1:-1] == 0.0)
+        np.testing.assert_array_equal(u[0, :], g.boundary[0, :])
+
+    def test_exact_solution_harmonic(self):
+        g = SORGrid.laplace_problem(9)
+        exact = g.exact_laplace_solution()
+        # x + y is discrete-harmonic: residual of exact solution is 0.
+        assert residual_norm(exact) < 1e-14
+
+    def test_hot_edge_problem(self):
+        g = SORGrid.hot_edge_problem(9)
+        assert np.all(g.boundary[0, :] == 1.0)
+        assert np.all(g.boundary[-1, :] == 0.0)
+
+    def test_poisson_problem_source_scaling(self):
+        g = SORGrid.poisson_problem(11, lambda x, y: np.ones_like(x))
+        h = 1.0 / 10.0
+        np.testing.assert_allclose(g.source, h * h)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SORGrid.laplace_problem(2)
+
+    def test_bad_omega_rejected(self):
+        with pytest.raises(ValueError):
+            SORGrid.laplace_problem(9, omega=2.0)
+        with pytest.raises(ValueError):
+            SORGrid.laplace_problem(9, omega=0.0)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            SORGrid(n=5, boundary=np.zeros((4, 4)), source=np.zeros((3, 3)), omega=1.5)
+        with pytest.raises(ValueError):
+            SORGrid(n=5, boundary=np.zeros((5, 5)), source=np.zeros((4, 4)), omega=1.5)
+
+
+class TestKernel:
+    def test_color_masks_partition_interior(self):
+        red = color_mask(9, 0)
+        black = color_mask(9, 1)
+        assert np.all(red ^ black)
+
+    def test_color_mask_checkerboard(self):
+        red = color_mask(5, 0)
+        # Interior point (1,1) in full coordinates has parity 0 -> red.
+        assert red[0, 0]
+        assert not red[0, 1]
+        assert red[1, 1]
+
+    def test_offset_shifts_parity(self):
+        base = color_mask(5, 0, offset=0)
+        shifted = color_mask(5, 0, offset=1)
+        np.testing.assert_array_equal(shifted, ~base)
+
+    def test_invalid_color_rejected(self):
+        with pytest.raises(ValueError):
+            color_mask(5, 2)
+
+    def test_sweep_updates_only_one_color(self):
+        g = SORGrid.laplace_problem(9)
+        u = g.initial_field()
+        before = u.copy()
+        sor_sweep_color(u, g.omega, 0)
+        changed = u[1:-1, 1:-1] != before[1:-1, 1:-1]
+        np.testing.assert_array_equal(changed[~color_mask(9, 0)], False)
+
+    def test_sweep_returns_point_count(self):
+        g = SORGrid.laplace_problem(9)
+        u = g.initial_field()
+        red = sor_sweep_color(u, g.omega, 0)
+        black = sor_sweep_color(u, g.omega, 1)
+        assert red + black == g.interior_points
+
+    def test_iteration_reduces_residual(self):
+        g = SORGrid.laplace_problem(17)
+        u = g.initial_field()
+        r0 = residual_norm(u)
+        for _ in range(10):
+            sor_iteration(u, g.omega)
+        assert residual_norm(u) < r0
+
+    def test_tiny_field_rejected(self):
+        with pytest.raises(ValueError):
+            sor_sweep_color(np.zeros((2, 2)), 1.5, 0)
+
+    def test_exact_solution_is_fixed_point(self):
+        g = SORGrid.laplace_problem(9)
+        u = g.exact_laplace_solution().copy()
+        sor_iteration(u, g.omega)
+        np.testing.assert_allclose(u, g.exact_laplace_solution(), atol=1e-13)
+
+
+class TestSolver:
+    def test_converges_to_exact(self):
+        g = SORGrid.laplace_problem(33)
+        result = solve(g, tol=1e-10)
+        assert result.converged
+        err = np.abs(result.field - g.exact_laplace_solution()).max()
+        assert err < 1e-8
+
+    def test_residuals_decrease_overall(self):
+        g = SORGrid.laplace_problem(33)
+        result = solve(g, tol=1e-10)
+        assert result.residuals[-1] < result.residuals[0]
+
+    def test_max_iterations_caps(self):
+        g = SORGrid.laplace_problem(65)
+        result = solve(g, tol=1e-14, max_iterations=5)
+        assert not result.converged
+        assert result.iterations == 5
+
+    def test_check_every_spacing(self):
+        g = SORGrid.laplace_problem(17)
+        result = solve(g, tol=1e-10, check_every=10)
+        assert result.converged
+        assert result.iterations % 10 == 0 or result.iterations <= 10_000
+
+    def test_optimal_omega_faster_than_gauss_seidel(self):
+        g_opt = SORGrid.laplace_problem(33)
+        g_gs = SORGrid.laplace_problem(33, omega=1.0)
+        assert solve(g_opt, tol=1e-8).iterations < solve(g_gs, tol=1e-8).iterations
+
+    def test_poisson_matches_manufactured_solution(self):
+        # -laplace(u) = 2 pi^2 sin(pi x) sin(pi y), u = sin(pi x) sin(pi y).
+        n = 41
+        g = SORGrid.poisson_problem(
+            n, lambda x, y: 2 * np.pi**2 * np.sin(np.pi * x) * np.sin(np.pi * y)
+        )
+        result = solve(g, tol=1e-10)
+        xs = np.linspace(0, 1, n)
+        exact = np.sin(np.pi * xs)[:, None] * np.sin(np.pi * xs)[None, :]
+        err = np.abs(result.field - exact).max()
+        assert err < 5e-3  # discretisation error at h = 1/40
+
+    def test_hot_edge_maximum_principle(self):
+        g = SORGrid.hot_edge_problem(25)
+        result = solve(g, tol=1e-9)
+        interior = result.field[1:-1, 1:-1]
+        assert interior.min() >= 0.0
+        assert interior.max() <= 1.0
+
+    def test_bad_args_rejected(self):
+        g = SORGrid.laplace_problem(9)
+        with pytest.raises(ValueError):
+            solve(g, tol=0.0)
+        with pytest.raises(ValueError):
+            solve(g, max_iterations=0)
+        with pytest.raises(ValueError):
+            solve(g, check_every=0)

@@ -1,0 +1,194 @@
+"""Tests for repro.core.stochastic — the StochasticValue abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.normal import NormalDistribution
+from repro.core.stochastic import StochasticValue, as_stochastic
+
+
+class TestConstruction:
+    def test_basic(self):
+        sv = StochasticValue(12.0, 0.6)
+        assert sv.mean == 12.0
+        assert sv.spread == 0.6
+
+    def test_point(self):
+        sv = StochasticValue.point(5.0)
+        assert sv.is_point
+        assert sv.spread == 0.0
+
+    def test_from_percent_table1(self):
+        # Table 1: 12 sec +/- 30% -> absolute range 3.6.
+        sv = StochasticValue.from_percent(12.0, 30.0)
+        assert sv.spread == pytest.approx(3.6)
+        assert sv.percent == pytest.approx(30.0)
+
+    def test_from_percent_negative_mean_spread_positive(self):
+        sv = StochasticValue.from_percent(-10.0, 10.0)
+        assert sv.spread == pytest.approx(1.0)
+
+    def test_from_std(self):
+        sv = StochasticValue.from_std(1.0, 0.25)
+        assert sv.spread == pytest.approx(0.5)
+        assert sv.std == pytest.approx(0.25)
+
+    def test_from_samples(self):
+        data = [1.0, 2.0, 3.0]
+        sv = StochasticValue.from_samples(data)
+        assert sv.mean == pytest.approx(2.0)
+        assert sv.spread == pytest.approx(2.0 * np.std(data, ddof=1))
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticValue(0.0, -0.1)
+
+    def test_nonfinite_mean_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticValue(float("nan"), 0.0)
+
+    def test_frozen(self):
+        sv = StochasticValue(1.0, 0.1)
+        with pytest.raises(AttributeError):
+            sv.mean = 2.0
+
+
+class TestViews:
+    def test_interval_endpoints(self):
+        sv = StochasticValue(10.0, 2.0)
+        assert sv.lo == 8.0
+        assert sv.hi == 12.0
+        assert sv.interval == (8.0, 12.0)
+
+    def test_variance(self):
+        sv = StochasticValue.from_std(0.0, 3.0)
+        assert sv.variance == pytest.approx(9.0)
+
+    def test_percent_zero_mean_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            _ = StochasticValue(0.0, 1.0).percent
+
+    def test_distribution(self):
+        sv = StochasticValue(4.0, 1.0)
+        dist = sv.distribution
+        assert isinstance(dist, NormalDistribution)
+        assert dist.mean == 4.0
+        assert dist.std == 0.5
+
+    def test_contains(self):
+        sv = StochasticValue(5.25, 0.8)
+        assert sv.contains(5.25)
+        assert sv.contains(4.45)
+        assert sv.contains(6.05)
+        assert not sv.contains(4.44)
+        assert not sv.contains(6.06)
+
+
+class TestProbability:
+    def test_cdf_median(self):
+        assert StochasticValue(3.0, 1.0).cdf(3.0) == pytest.approx(0.5)
+
+    def test_two_sigma_interval_mass(self):
+        sv = StochasticValue(0.0, 2.0)  # spread = 2 std -> std = 1
+        mass = sv.cdf(sv.hi) - sv.cdf(sv.lo)
+        assert mass == pytest.approx(0.9545, abs=1e-3)
+
+    def test_prob_above_below_sum_to_one(self):
+        sv = StochasticValue(10.0, 3.0)
+        assert sv.prob_above(11.0) + sv.prob_below(11.0) == pytest.approx(1.0)
+
+    def test_quantile_symmetry(self):
+        sv = StochasticValue(0.0, 1.0)
+        assert sv.quantile(0.975) == pytest.approx(-sv.quantile(0.025))
+
+    def test_sampling_statistics(self):
+        sv = StochasticValue(7.0, 2.0)
+        samples = sv.sample(100_000, rng=0)
+        assert samples.mean() == pytest.approx(7.0, abs=0.02)
+        assert samples.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_point_sampling_constant(self):
+        samples = StochasticValue.point(2.5).sample(10, rng=0)
+        assert np.all(samples == 2.5)
+
+    def test_point_pdf_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticValue.point(1.0).pdf(1.0)
+
+
+class TestOperators:
+    def test_add_point(self):
+        sv = StochasticValue(2.0, 0.5) + 3.0
+        assert (sv.mean, sv.spread) == (5.0, 0.5)
+
+    def test_radd(self):
+        sv = 3.0 + StochasticValue(2.0, 0.5)
+        assert (sv.mean, sv.spread) == (5.0, 0.5)
+
+    def test_sub(self):
+        sv = StochasticValue(5.0, 1.0) - StochasticValue(2.0, 0.0)
+        assert (sv.mean, sv.spread) == (3.0, 1.0)
+
+    def test_rsub(self):
+        sv = 10.0 - StochasticValue(4.0, 1.0)
+        assert (sv.mean, sv.spread) == (6.0, 1.0)
+
+    def test_mul_point(self):
+        sv = 2.0 * StochasticValue(3.0, 0.3)
+        assert (sv.mean, sv.spread) == (6.0, 0.6)
+
+    def test_div_point(self):
+        sv = StochasticValue(6.0, 0.6) / 2.0
+        assert (sv.mean, sv.spread) == (3.0, 0.3)
+
+    def test_rdiv(self):
+        sv = 1.0 / StochasticValue(2.0, 0.0)
+        assert sv.mean == pytest.approx(0.5)
+
+    def test_neg(self):
+        sv = -StochasticValue(3.0, 1.0)
+        assert (sv.mean, sv.spread) == (-3.0, 1.0)
+
+    def test_pos(self):
+        sv = StochasticValue(3.0, 1.0)
+        assert +sv is sv
+
+    def test_unrelated_add_quadrature(self):
+        sv = StochasticValue(1.0, 3.0) + StochasticValue(1.0, 4.0)
+        assert sv.spread == pytest.approx(5.0)
+
+
+class TestFormatting:
+    def test_str_point(self):
+        assert str(StochasticValue.point(3.0)) == "3"
+
+    def test_str_stochastic(self):
+        assert str(StochasticValue(8.0, 2.0)) == "8 +/- 2"
+
+    def test_describe_percent(self):
+        assert StochasticValue.from_percent(12.0, 30.0).describe(as_percent=True) == (
+            "12 +/- 30%"
+        )
+
+    def test_describe_point(self):
+        assert StochasticValue.point(4.0).describe() == "4"
+
+
+class TestAsStochastic:
+    def test_passthrough(self):
+        sv = StochasticValue(1.0, 0.1)
+        assert as_stochastic(sv) is sv
+
+    def test_float_coercion(self):
+        sv = as_stochastic(2.5)
+        assert sv.is_point and sv.mean == 2.5
+
+    def test_int_coercion(self):
+        assert as_stochastic(3).mean == 3.0
+
+    def test_numpy_scalar_coercion(self):
+        assert as_stochastic(np.float64(1.5)).mean == 1.5
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_stochastic("8 +/- 2")

@@ -1,0 +1,138 @@
+"""Tests for repro.structural.expr — the structural-model expression AST."""
+
+import pytest
+
+from repro.core.arithmetic import Relatedness, ReciprocalRule
+from repro.core.group_ops import MaxStrategy
+from repro.core.stochastic import StochasticValue as SV
+from repro.structural.expr import (
+    Add,
+    Const,
+    Div,
+    EvalPolicy,
+    Max,
+    Min,
+    Mul,
+    Param,
+    Sub,
+    Sum,
+    as_expr,
+)
+from repro.structural.parameters import Bindings
+
+B = Bindings({"x": SV(8.0, 2.0), "y": SV(5.0, 1.5), "p": 3.0})
+
+
+class TestLeaves:
+    def test_const(self):
+        assert Const(SV(1.0, 0.5)).evaluate(B) == SV(1.0, 0.5)
+
+    def test_param(self):
+        assert Param("x").evaluate(B) == SV(8.0, 2.0)
+
+    def test_param_unbound(self):
+        with pytest.raises(KeyError):
+            Param("zzz").evaluate(B)
+
+    def test_params_sets(self):
+        assert Param("x").params() == {"x"}
+        assert Const(SV.point(1.0)).params() == set()
+
+    def test_as_expr_coercions(self):
+        assert isinstance(as_expr(2.0), Const)
+        assert isinstance(as_expr(SV(1.0, 0.1)), Const)
+        e = Param("x")
+        assert as_expr(e) is e
+
+
+class TestOperatorSugar:
+    def test_add_sub_mul_div_nodes(self):
+        e = (Param("x") + Param("y")) * 2.0 - Param("p") / 3.0
+        assert isinstance(e, Sub)
+        assert e.params() == {"x", "y", "p"}
+
+    def test_reflected_operators(self):
+        e1 = 1.0 + Param("x")
+        e2 = 1.0 - Param("x")
+        e3 = 2.0 * Param("x")
+        e4 = 1.0 / Param("x")
+        assert isinstance(e1, Add) and isinstance(e2, Sub)
+        assert isinstance(e3, Mul) and isinstance(e4, Div)
+        assert e2.evaluate(B).mean == pytest.approx(-7.0)
+        assert e4.evaluate(B).mean == pytest.approx(1.0 / 8.0)
+
+
+class TestPolicies:
+    def test_default_policy_related(self):
+        out = Add(Param("x"), Param("y")).evaluate(B)
+        assert out.spread == pytest.approx(3.5)  # related: |a| sum
+
+    def test_unrelated_policy(self):
+        policy = EvalPolicy(relatedness=Relatedness.UNRELATED)
+        out = Add(Param("x"), Param("y")).evaluate(B, policy)
+        assert out.spread == pytest.approx((2.0**2 + 1.5**2) ** 0.5)
+
+    def test_division_rule_selection(self):
+        lit = EvalPolicy(reciprocal_rule=ReciprocalRule.PAPER_LITERAL)
+        default = Div(Const(SV.point(1.0)), Param("y")).evaluate(B)
+        literal = Div(Const(SV.point(1.0)), Param("y")).evaluate(B, lit)
+        assert literal.spread > default.spread
+
+    def test_mul_point_exact(self):
+        out = Mul(Const(SV.point(3.0)), Param("x")).evaluate(B)
+        assert (out.mean, out.spread) == (24.0, 6.0)
+
+
+class TestGroupNodes:
+    def test_max_by_mean_default(self):
+        out = Max(Param("x"), Param("y")).evaluate(B)
+        assert out == SV(8.0, 2.0)
+
+    def test_max_by_endpoint(self):
+        policy = EvalPolicy(max_strategy=MaxStrategy.BY_ENDPOINT)
+        vals = Bindings({"a": SV(4.0, 0.5), "b": SV(3.0, 2.0)})
+        out = Max(Param("a"), Param("b")).evaluate(vals, policy)
+        assert out == SV(3.0, 2.0)
+
+    def test_max_clark(self):
+        policy = EvalPolicy(max_strategy=MaxStrategy.CLARK)
+        out = Max(Param("x"), Param("y")).evaluate(B, policy)
+        assert out.mean >= 8.0
+
+    def test_max_monte_carlo_seeded(self):
+        policy = EvalPolicy(max_strategy=MaxStrategy.MONTE_CARLO, mc_rng=5, mc_samples=5000)
+        out1 = Max(Param("x"), Param("y")).evaluate(B, policy)
+        policy2 = EvalPolicy(max_strategy=MaxStrategy.MONTE_CARLO, mc_rng=5, mc_samples=5000)
+        out2 = Max(Param("x"), Param("y")).evaluate(B, policy2)
+        assert out1 == out2
+
+    def test_min(self):
+        out = Min(Param("x"), Param("y")).evaluate(B)
+        assert out.mean == 5.0
+
+    def test_empty_max_rejected(self):
+        with pytest.raises(ValueError):
+            Max()
+
+    def test_max_params_union(self):
+        assert Max(Param("x"), Param("y")).params() == {"x", "y"}
+
+    def test_max_accepts_literals(self):
+        out = Max(1.0, 5.0, Param("p")).evaluate(B)
+        assert out.mean == 5.0
+
+
+class TestSum:
+    def test_nary_related_rule(self):
+        out = Sum(Param("x"), Param("y"), Const(SV(1.0, 0.5))).evaluate(B)
+        assert out.mean == pytest.approx(14.0)
+        assert out.spread == pytest.approx(4.0)
+
+    def test_nary_unrelated_rule(self):
+        policy = EvalPolicy(relatedness=Relatedness.UNRELATED)
+        out = Sum(Const(SV(0.0, 3.0)), Const(SV(0.0, 4.0))).evaluate(B, policy)
+        assert out.spread == pytest.approx(5.0)
+
+    def test_empty_sum(self):
+        out = Sum().evaluate(B)
+        assert out.is_point and out.mean == 0.0

@@ -1,0 +1,110 @@
+"""Tests for repro.structural.generic — model compilation from programs."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network, SharedEthernet
+from repro.cluster.simulator import ClusterSimulator, IterativeProgram, Message, Phase
+from repro.core.stochastic import StochasticValue as SV
+from repro.sor.decomposition import equal_strips
+from repro.sor.distributed import build_sor_program
+from repro.structural.generic import model_from_program, phase_component, program_bindings
+from repro.structural.sor_model import SORModel, bindings_for_platform
+
+
+def platform():
+    machines = [Machine(f"m{i}", 1e5) for i in range(4)]
+    network = Network(SharedEthernet(dedicated_bytes_per_sec=1.25e6, latency=1e-3))
+    return machines, network
+
+
+class TestPhaseComponent:
+    def test_compute_only(self):
+        phase = Phase("c", (100.0, 0.0))
+        comp = phase_component(phase, 0)
+        b = program_bindings([Machine("a", 10.0), Machine("b", 10.0)], Network(),
+                             IterativeProgram("p", (phase,), 1))
+        assert comp.evaluate(b).mean == pytest.approx(10.0)
+
+    def test_idle_processor_zero(self):
+        phase = Phase("c", (100.0, 0.0))
+        comp = phase_component(phase, 1)
+        b = program_bindings([Machine("a", 10.0), Machine("b", 10.0)], Network(),
+                             IterativeProgram("p", (phase,), 1))
+        assert comp.evaluate(b).mean == 0.0
+
+    def test_messages_charged_to_both_endpoints(self):
+        phase = Phase("x", (0.0, 0.0), (Message(0, 1, 1000.0),))
+        prog = IterativeProgram("p", (phase,), 1)
+        machines = [Machine("a", 10.0), Machine("b", 10.0)]
+        net = Network(SharedEthernet(dedicated_bytes_per_sec=1000.0, latency=0.0))
+        b = program_bindings(machines, net, prog)
+        for p in (0, 1):
+            assert phase_component(phase, p).evaluate(b).mean == pytest.approx(1.0)
+
+
+class TestEquivalenceWithSORModel:
+    @pytest.mark.parametrize("latency", [False, True])
+    def test_compiled_model_matches_handwritten(self, latency):
+        machines, network = platform()
+        n, its = 802, 15
+        dec = equal_strips(n, 4)
+        program = build_sor_program(n, dec, its)
+
+        hand = SORModel(n_procs=4, iterations=its, include_latency=latency)
+        hand_b = bindings_for_platform(machines, network, dec, bw_avail=0.7)
+        compiled = model_from_program(program, include_latency=latency)
+        comp_b = program_bindings(machines, network, program, bw_avail=0.7)
+
+        assert compiled.evaluate(comp_b).mean == pytest.approx(
+            hand.predict(hand_b).mean, rel=1e-12
+        )
+
+    def test_equivalence_with_stochastic_loads(self):
+        machines, network = platform()
+        dec = equal_strips(602, 4)
+        program = build_sor_program(602, dec, 10)
+        loads = {i: SV(0.5, 0.1) for i in range(4)}
+
+        hand = SORModel(4, 10).predict(
+            bindings_for_platform(machines, network, dec, loads=loads)
+        )
+        compiled = model_from_program(program).evaluate(
+            program_bindings(machines, network, program, loads=loads)
+        )
+        assert compiled.mean == pytest.approx(hand.mean, rel=1e-12)
+        assert compiled.spread == pytest.approx(hand.spread, rel=1e-12)
+
+
+class TestArbitraryPrograms:
+    def test_pipeline_program_prediction_matches_simulation(self):
+        # A 3-stage pipeline-ish program the hand-written models don't
+        # cover: stage work descends, ring messages forward only.
+        machines = [Machine(f"m{i}", 1e4) for i in range(3)]
+        net = Network(SharedEthernet(dedicated_bytes_per_sec=1e6, latency=0.0))
+        program = IterativeProgram(
+            "pipeline",
+            (
+                Phase("work", (3000.0, 2000.0, 1000.0)),
+                Phase("fwd", (0.0, 0.0, 0.0), (Message(0, 1, 8000.0), Message(1, 2, 8000.0))),
+            ),
+            iterations=8,
+        )
+        b = program_bindings(machines, net, program)
+        predicted = model_from_program(program).evaluate(b)
+        actual = ClusterSimulator(machines, net).run(program)
+        # The Max-per-phase model slightly over-counts the serialized
+        # middle processor; it must still land within a few percent.
+        assert predicted.mean == pytest.approx(actual.elapsed, rel=0.05)
+
+    def test_machine_count_validated(self):
+        program = IterativeProgram("p", (Phase("c", (1.0, 1.0)),), 1)
+        with pytest.raises(ValueError):
+            program_bindings([Machine("a", 1.0)], Network(), program)
+
+    def test_dedbw_bound_once_per_pair(self):
+        machines, network = platform()
+        program = build_sor_program(402, equal_strips(402, 4), 2)
+        b = program_bindings(machines, network, program)
+        dedbw_names = [n for n in b.names() if n.startswith("dedbw")]
+        assert dedbw_names == ["dedbw[0,1]", "dedbw[1,2]", "dedbw[2,3]"]

@@ -1,0 +1,237 @@
+"""Tests for the Section 2.2.1 component models and the full SOR model."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network, SharedEthernet
+from repro.core.stochastic import StochasticValue as SV
+from repro.sor.decomposition import ELEMENT_BYTES, equal_strips
+from repro.structural.comm_models import comm_component, dedbw_name, pt_to_pt, rece_lr, send_lr
+from repro.structural.comp_models import comp_benchmark, comp_component, comp_op_count
+from repro.structural.components import ComponentModel
+from repro.structural.expr import EvalPolicy, Param
+from repro.structural.parameters import Bindings, param_name
+from repro.structural.skew import max_skew_delay, skew_widened_prediction
+from repro.structural.sor_model import SORModel, bindings_for_platform
+
+
+def comm_bindings():
+    b = Bindings()
+    b.bind("size_elt", 8.0)
+    b.bind("bw_avail", 0.5)
+    for p in range(3):
+        b.bind(param_name("msg_elts", p), 100.0)
+    b.bind(dedbw_name(0, 1), 1000.0)
+    b.bind(dedbw_name(1, 2), 1000.0)
+    return b
+
+
+class TestCommModels:
+    def test_pt_to_pt_formula(self):
+        # PtToPt = msg_elts * size_elt / (dedbw * bw_avail)
+        out = pt_to_pt(0, 1).evaluate(comm_bindings())
+        assert out.mean == pytest.approx(100.0 * 8.0 / (1000.0 * 0.5))
+
+    def test_pt_to_pt_symmetric_link_name(self):
+        assert dedbw_name(2, 0) == dedbw_name(0, 2) == "dedbw[0,2]"
+
+    def test_pt_to_pt_self_rejected(self):
+        with pytest.raises(ValueError):
+            pt_to_pt(1, 1)
+
+    def test_send_lr_interior_two_terms(self):
+        out = send_lr(1, 3).evaluate(comm_bindings())
+        assert out.mean == pytest.approx(2 * 1.6)
+
+    def test_send_lr_boundary_one_term(self):
+        out = send_lr(0, 3).evaluate(comm_bindings())
+        assert out.mean == pytest.approx(1.6)
+
+    def test_rece_lr_matches_send_for_symmetric_params(self):
+        b = comm_bindings()
+        assert rece_lr(1, 3).evaluate(b).mean == pytest.approx(send_lr(1, 3).evaluate(b).mean)
+
+    def test_comm_component_is_send_plus_receive(self):
+        b = comm_bindings()
+        total = comm_component(1, 3, "red").evaluate(b)
+        assert total.mean == pytest.approx(4 * 1.6)
+
+    def test_comm_component_bad_phase_rejected(self):
+        with pytest.raises(ValueError):
+            comm_component(0, 3, "green")
+
+    def test_stochastic_bw_avail_propagates(self):
+        b = comm_bindings()
+        b.bind_runtime("bw_avail", SV(0.5, 0.1))
+        out = pt_to_pt(0, 1).evaluate(b)
+        assert out.spread > 0
+
+
+class TestCompModels:
+    def test_benchmark_model(self):
+        b = Bindings({param_name("numelt", 0): 1000.0, param_name("bm", 0): 2e-3})
+        out = comp_benchmark(0).evaluate(b)
+        assert out.mean == pytest.approx(2.0)
+
+    def test_op_count_model(self):
+        b = Bindings(
+            {
+                param_name("numelt", 0): 1000.0,
+                param_name("ops_per_elt", 0): 6.0,
+                param_name("cpu_rate", 0): 3000.0,
+            }
+        )
+        out = comp_op_count(0).evaluate(b)
+        assert out.mean == pytest.approx(2.0)
+
+    def test_production_divides_by_load(self):
+        b = Bindings(
+            {
+                param_name("numelt", 0): 1000.0,
+                param_name("bm", 0): 2e-3,
+                param_name("load", 0): SV(0.5, 0.0),
+            }
+        )
+        out = comp_component(0, "red").evaluate(b)
+        assert out.mean == pytest.approx(4.0)
+
+    def test_stochastic_load_gives_stochastic_time(self):
+        b = Bindings(
+            {
+                param_name("numelt", 0): 1000.0,
+                param_name("bm", 0): 2e-3,
+                param_name("load", 0): SV(0.48, 0.05),
+            }
+        )
+        out = comp_component(0, "black").evaluate(b)
+        assert out.mean == pytest.approx(2.0 / 0.48)
+        assert out.spread / out.mean == pytest.approx(0.05 / 0.48, rel=1e-9)
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ValueError):
+            comp_component(0, "blue")
+
+
+class TestComponentModel:
+    def test_named_wrapper(self):
+        c = ComponentModel("C", Param("x") + 1.0)
+        b = Bindings({"x": 2.0})
+        assert c.evaluate(b).mean == 3.0
+        assert c.params() == {"x"}
+        name, value = c.breakdown(b)
+        assert name == "C" and value.mean == 3.0
+
+    def test_nesting(self):
+        inner = ComponentModel("inner", Param("x") * 2.0)
+        outer = ComponentModel("outer", inner + 1.0)
+        assert outer.evaluate(Bindings({"x": 5.0})).mean == 11.0
+
+
+class TestSORModel:
+    def make_platform(self):
+        machines = [Machine(f"m{i}", 1e5) for i in range(4)]
+        network = Network(SharedEthernet(dedicated_bytes_per_sec=1.25e6, latency=0.0))
+        return machines, network
+
+    def test_dedicated_prediction_analytic(self):
+        machines, network = self.make_platform()
+        n, its = 402, 10
+        dec = equal_strips(n, 4)
+        model = SORModel(n_procs=4, iterations=its)
+        b = bindings_for_platform(machines, network, dec, bw_avail=1.0)
+        pred = model.predict(b)
+        # Compute: per iteration 2 * (elements/2) / rate on the slowest
+        # (equal machines). Comm: interior processor sends 2 + receives 2
+        # ghost rows per colour phase.
+        comp = 2 * (dec.elements(0) / 2.0) / 1e5
+        ghost_t = dec.ghost_row_bytes() / 1.25e6
+        comm = 2 * 4 * ghost_t
+        assert pred.mean == pytest.approx(its * (comp + comm), rel=1e-9)
+
+    def test_iterations_scale_linearly(self):
+        machines, network = self.make_platform()
+        dec = equal_strips(402, 4)
+        b = bindings_for_platform(machines, network, dec)
+        p10 = SORModel(4, 10).predict(b)
+        p20 = SORModel(4, 20).predict(b)
+        assert p20.mean == pytest.approx(2 * p10.mean)
+
+    def test_stochastic_load_widens_prediction(self):
+        machines, network = self.make_platform()
+        dec = equal_strips(402, 4)
+        loads = {i: SV(0.5, 0.1) for i in range(4)}
+        b = bindings_for_platform(machines, network, dec, loads=loads)
+        pred = SORModel(4, 10).predict(b)
+        assert pred.spread > 0
+        # Relative spread approximately matches the load's relative spread.
+        assert pred.spread / pred.mean == pytest.approx(0.1 / 0.5, rel=0.2)
+
+    def test_single_processor_no_comm_terms(self):
+        model = SORModel(n_procs=1, iterations=5)
+        expr = model.iteration_expression()
+        names = expr.params()
+        assert not any(n.startswith("dedbw") for n in names)
+
+    def test_component_breakdown(self):
+        machines, network = self.make_platform()
+        dec = equal_strips(402, 4)
+        b = bindings_for_platform(machines, network, dec)
+        breakdown = SORModel(4, 10).component_breakdown(b)
+        assert "RedComp[0]" in breakdown
+        assert "RedComm[0]" in breakdown
+        assert all(v.mean > 0 for v in breakdown.values())
+
+    def test_op_count_variant(self):
+        machines, network = self.make_platform()
+        dec = equal_strips(402, 4)
+        b = bindings_for_platform(machines, network, dec)
+        bench = SORModel(4, 10, use_op_count=False).predict(b)
+        opcount = SORModel(4, 10, use_op_count=True).predict(b)
+        # The bindings calibrate ops/rate to the same effective speed.
+        assert opcount.mean == pytest.approx(bench.mean, rel=1e-9)
+
+    def test_machine_count_mismatch_rejected(self):
+        machines, network = self.make_platform()
+        with pytest.raises(ValueError):
+            bindings_for_platform(machines[:2], network, equal_strips(402, 4))
+
+    def test_invalid_model_args_rejected(self):
+        with pytest.raises(ValueError):
+            SORModel(0, 10)
+        with pytest.raises(ValueError):
+            SORModel(4, 0)
+
+    def test_bindings_mark_runtime_parameters(self):
+        machines, network = self.make_platform()
+        dec = equal_strips(402, 4)
+        b = bindings_for_platform(machines, network, dec)
+        runtime = b.runtime_names()
+        assert "bw_avail" in runtime
+        assert param_name("load", 0) in runtime
+
+
+class TestSkew:
+    def test_max_skew_delay_is_p_iterations(self):
+        out = max_skew_delay(SV(2.0, 0.4), 4)
+        assert out.mean == pytest.approx(8.0)
+        assert out.spread == pytest.approx(1.6)
+
+    def test_widened_prediction_contains_original_range(self):
+        pred = SV(100.0, 10.0)
+        widened = skew_widened_prediction(pred, SV(2.0, 0.4), 4, fraction=0.5)
+        assert widened.lo <= pred.lo + 1e-9
+        assert widened.hi >= pred.hi
+
+    def test_zero_fraction_identity(self):
+        pred = SV(100.0, 10.0)
+        out = skew_widened_prediction(pred, SV(2.0, 0.4), 4, fraction=0.0)
+        assert out.mean == pytest.approx(100.0)
+        assert out.spread == pytest.approx(10.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            skew_widened_prediction(SV(1.0, 0.1), SV(1.0, 0.1), 2, fraction=1.5)
+
+    def test_invalid_procs_rejected(self):
+        with pytest.raises(ValueError):
+            max_skew_delay(SV(1.0, 0.1), 0)

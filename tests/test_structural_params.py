@@ -1,0 +1,79 @@
+"""Tests for repro.structural.parameters — bindings and resolve times."""
+
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.structural.parameters import Bindings, ResolveTime, param_name
+
+
+class TestParamName:
+    def test_plain(self):
+        assert param_name("bw_avail") == "bw_avail"
+
+    def test_indexed(self):
+        assert param_name("load", 3) == "load[3]"
+
+    def test_multi_indexed(self):
+        assert param_name("dedbw", 0, 2) == "dedbw[0,2]"
+
+
+class TestBindings:
+    def test_bind_and_resolve(self):
+        b = Bindings({"x": 2.0})
+        assert b.resolve("x") == StochasticValue.point(2.0)
+
+    def test_stochastic_passthrough(self):
+        sv = StochasticValue(0.48, 0.05)
+        b = Bindings({"load": sv})
+        assert b.resolve("load") is sv
+
+    def test_unbound_error_lists_known(self):
+        b = Bindings({"alpha": 1.0})
+        with pytest.raises(KeyError, match="alpha"):
+            b.resolve("beta")
+
+    def test_contains_and_len(self):
+        b = Bindings({"x": 1.0, "y": 2.0})
+        assert "x" in b and "z" not in b
+        assert len(b) == 2
+
+    def test_names_sorted(self):
+        b = Bindings({"b": 1.0, "a": 2.0})
+        assert b.names() == ["a", "b"]
+
+    def test_resolve_time_tracking(self):
+        b = Bindings()
+        b.bind("size_elt", 8.0)
+        b.bind_runtime("load[0]", StochasticValue(0.5, 0.1))
+        assert b.resolve_time("size_elt") is ResolveTime.COMPILE_TIME
+        assert b.resolve_time("load[0]") is ResolveTime.RUN_TIME
+        assert b.runtime_names() == ["load[0]"]
+
+    def test_rebinding_overwrites(self):
+        b = Bindings({"x": 1.0})
+        b.bind("x", 2.0)
+        assert b.resolve("x").mean == 2.0
+
+    def test_copy_is_independent(self):
+        b = Bindings({"x": 1.0})
+        c = b.copy()
+        c.bind("x", 5.0)
+        assert b.resolve("x").mean == 1.0
+
+    def test_overlaid_preserves_original(self):
+        b = Bindings()
+        b.bind_runtime("load", 1.0)
+        c = b.overlaid({"load": StochasticValue(0.5, 0.1)})
+        assert b.resolve("load").mean == 1.0
+        assert c.resolve("load").mean == 0.5
+        # Run-time classification survives the overlay.
+        assert c.resolve_time("load") is ResolveTime.RUN_TIME
+
+    def test_overlaid_new_names_are_runtime(self):
+        b = Bindings()
+        c = b.overlaid({"fresh": 1.0})
+        assert c.resolve_time("fresh") is ResolveTime.RUN_TIME
+
+    def test_chaining(self):
+        b = Bindings().bind("a", 1.0).bind("b", 2.0)
+        assert len(b) == 2

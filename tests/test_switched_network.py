@@ -1,0 +1,66 @@
+"""Tests for heterogeneous links: the switched platform and per-pair DedBW."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network, SharedEthernet
+from repro.sor.decomposition import equal_strips
+from repro.sor.distributed import simulate_sor
+from repro.structural.comm_models import dedbw_name
+from repro.structural.sor_model import SORModel, bindings_for_platform
+from repro.workload.platforms import switched_platform
+
+
+class TestSwitchedPlatform:
+    def test_fast_pair_installed(self):
+        plat = switched_platform(rng=0)
+        fast = plat.network.link("ultra-1", "ultra-2")
+        slow = plat.network.link("sparc5", "sparc10")
+        assert fast.dedicated_bytes_per_sec == pytest.approx(1.25e7)
+        assert slow.dedicated_bytes_per_sec == pytest.approx(1.25e6)
+
+    def test_symmetric_lookup(self):
+        plat = switched_platform(rng=1)
+        assert (
+            plat.network.link("ultra-2", "ultra-1")
+            is plat.network.link("ultra-1", "ultra-2")
+        )
+
+    def test_same_machines_as_platform2(self):
+        plat = switched_platform(rng=2)
+        assert plat.names == ("sparc5", "sparc10", "ultra-1", "ultra-2")
+
+
+class TestPerPairModelParameters:
+    def make(self):
+        machines = [Machine(f"m{i}", 1e5) for i in range(3)]
+        network = Network(SharedEthernet(dedicated_bytes_per_sec=1e6, latency=0.0))
+        network.set_link("m1", "m2", SharedEthernet(dedicated_bytes_per_sec=1e8, latency=0.0))
+        return machines, network
+
+    def test_bindings_reflect_overrides(self):
+        machines, network = self.make()
+        dec = equal_strips(302, 3)
+        b = bindings_for_platform(machines, network, dec)
+        assert b.resolve(dedbw_name(0, 1)).mean == pytest.approx(1e6)
+        assert b.resolve(dedbw_name(1, 2)).mean == pytest.approx(1e8)
+
+    def test_model_tracks_simulator_with_heterogeneous_links(self):
+        machines, network = self.make()
+        n, its = 302, 10
+        dec = equal_strips(n, 3)
+        model = SORModel(n_procs=3, iterations=its, include_latency=True)
+        pred = model.predict(bindings_for_platform(machines, network, dec))
+        actual = simulate_sor(machines, network, n, its, decomposition=dec)
+        assert pred.mean == pytest.approx(actual.elapsed, rel=0.02)
+
+    def test_fast_pair_speeds_up_its_exchanges(self):
+        # With a very slow default segment, upgrading one link must
+        # shorten the run.
+        machines = [Machine(f"m{i}", 1e6) for i in range(3)]
+        slow_net = Network(SharedEthernet(dedicated_bytes_per_sec=1e4, latency=0.0))
+        base = simulate_sor(machines, slow_net, 302, 5).elapsed
+        upgraded = Network(SharedEthernet(dedicated_bytes_per_sec=1e4, latency=0.0))
+        upgraded.set_link("m1", "m2", SharedEthernet(dedicated_bytes_per_sec=1e8, latency=0.0))
+        faster = simulate_sor(machines, upgraded, 302, 5).elapsed
+        assert faster < base

@@ -1,0 +1,129 @@
+"""Tests for repro.workload.traces — piecewise-constant traces."""
+
+import numpy as np
+import pytest
+
+from repro.workload.traces import Trace
+
+
+def simple_trace():
+    # 0.5 on [0, 10), 1.0 on [10, 20), 0.25 on [20, 30)
+    return Trace(edges=np.array([0.0, 10.0, 20.0, 30.0]), values=np.array([0.5, 1.0, 0.25]))
+
+
+class TestConstruction:
+    def test_from_samples(self):
+        t = Trace.from_samples(5.0, 2.0, [1.0, 2.0, 3.0])
+        assert t.start == 5.0
+        assert t.end == 11.0
+        assert t.value_at(7.5) == 2.0
+
+    def test_constant(self):
+        t = Trace.constant(0.7)
+        assert t.value_at(-100.0) == 0.7
+        assert t.value_at(1e9) == 0.7
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(edges=np.array([0.0, 1.0]), values=np.array([1.0, 2.0]))
+
+    def test_nonmonotonic_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(edges=np.array([0.0, 2.0, 1.0]), values=np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(edges=np.array([0.0]), values=np.array([]))
+
+    def test_nan_values_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(edges=np.array([0.0, 1.0]), values=np.array([float("nan")]))
+
+    def test_nonpositive_dt_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.from_samples(0.0, 0.0, [1.0])
+
+
+class TestQueries:
+    def test_value_at_segments(self):
+        t = simple_trace()
+        assert t.value_at(0.0) == 0.5
+        assert t.value_at(9.999) == 0.5
+        assert t.value_at(10.0) == 1.0
+        assert t.value_at(25.0) == 0.25
+
+    def test_clamping(self):
+        t = simple_trace()
+        assert t.value_at(-5.0) == 0.5
+        assert t.value_at(35.0) == 0.25
+
+    def test_sample_vectorised(self):
+        t = simple_trace()
+        np.testing.assert_array_equal(t.sample([5.0, 15.0, 25.0]), [0.5, 1.0, 0.25])
+
+    def test_duration(self):
+        assert simple_trace().duration == 30.0
+
+
+class TestIntegrate:
+    def test_within_one_segment(self):
+        assert simple_trace().integrate(2.0, 6.0) == pytest.approx(4.0 * 0.5)
+
+    def test_across_segments(self):
+        # 0.5*10 + 1.0*10 + 0.25*5 = 16.25
+        assert simple_trace().integrate(0.0, 25.0) == pytest.approx(16.25)
+
+    def test_full_span(self):
+        assert simple_trace().integrate(0.0, 30.0) == pytest.approx(17.5)
+
+    def test_clamped_head(self):
+        assert simple_trace().integrate(-10.0, 0.0) == pytest.approx(5.0)
+
+    def test_clamped_tail(self):
+        assert simple_trace().integrate(30.0, 40.0) == pytest.approx(2.5)
+
+    def test_straddling_everything(self):
+        assert simple_trace().integrate(-10.0, 40.0) == pytest.approx(5.0 + 17.5 + 2.5)
+
+    def test_zero_width(self):
+        assert simple_trace().integrate(5.0, 5.0) == 0.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            simple_trace().integrate(5.0, 4.0)
+
+    def test_mean(self):
+        assert simple_trace().mean(0.0, 20.0) == pytest.approx(0.75)
+
+    def test_mean_default_full_span(self):
+        assert simple_trace().mean() == pytest.approx(17.5 / 30.0)
+
+    def test_mean_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            simple_trace().mean(5.0, 5.0)
+
+
+class TestTransforms:
+    def test_window(self):
+        w = simple_trace().window(5.0, 15.0)
+        assert w.start == 5.0 and w.end == 15.0
+        assert w.value_at(6.0) == 0.5
+        assert w.value_at(12.0) == 1.0
+        assert w.integrate(5.0, 15.0) == pytest.approx(0.5 * 5 + 1.0 * 5)
+
+    def test_window_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simple_trace().window(5.0, 5.0)
+
+    def test_scaled(self):
+        s = simple_trace().scaled(2.0)
+        assert s.value_at(5.0) == 1.0
+
+    def test_clipped(self):
+        c = simple_trace().clipped(0.4, 0.6)
+        assert c.value_at(15.0) == 0.6
+        assert c.value_at(25.0) == 0.4
+
+    def test_clipped_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            simple_trace().clipped(1.0, 0.0)

@@ -1,0 +1,125 @@
+"""Tests for repro.util validation, tables, and RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn
+from repro.util.tables import format_series, format_table
+from repro.util.validation import (
+    check_array_1d,
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class TestValidation:
+    def test_check_finite_passes(self):
+        assert check_finite(1.5, "x") == 1.5
+
+    def test_check_finite_rejects_nan_and_inf(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="x"):
+                check_finite(bad, "x")
+
+    def test_check_positive(self):
+        assert check_positive(0.1, "x") == 0.1
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.001, "x")
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=(False, True))
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 0.0, 1.0, inclusive=(True, False))
+
+    def test_check_in_range_message_names_argument(self):
+        with pytest.raises(ValueError, match="omega"):
+            check_in_range(5.0, "omega", 0.0, 2.0)
+
+    def test_check_array_1d_flattens(self):
+        arr = check_array_1d([[1.0, 2.0], [3.0, 4.0]], "a")
+        assert arr.shape == (4,)
+
+    def test_check_array_1d_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array_1d([], "a")
+
+    def test_check_array_1d_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array_1d([1.0, float("nan")], "a")
+
+
+class TestTables:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.0], [30, 4.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bbb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456789]])
+        assert "1.235" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_series(self):
+        out = format_series("s", [1.0, 2.0], [3.0, 4.0])
+        assert out.splitlines()[0] == "s"
+        assert len(out.splitlines()) == 4
+
+    def test_series_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1.0], [1.0, 2.0])
+
+
+class TestRng:
+    def test_as_generator_from_seed_is_deterministic(self):
+        a = as_generator(42).random(3)
+        b = as_generator(42).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_children_independent(self):
+        kids = spawn(7, 3)
+        assert len(kids) == 3
+        draws = [k.random() for k in kids]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn(7, 2)]
+        b = [g.random() for g in spawn(7, 2)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)

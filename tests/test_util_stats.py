@@ -1,0 +1,168 @@
+"""Tests for repro.util.stats — scratch statistical primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+from scipy.special import erf as scipy_erf
+
+from repro.util.stats import (
+    erf,
+    mean_and_std,
+    normal_cdf,
+    normal_pdf,
+    normal_quantile,
+    sample_kurtosis,
+    sample_skewness,
+    weighted_mean_and_std,
+)
+
+
+class TestErf:
+    def test_scalar_matches_math(self):
+        for x in (-3.0, -0.5, 0.0, 0.7, 2.5):
+            assert erf(x) == pytest.approx(math.erf(x), abs=1e-15)
+
+    def test_vector_matches_scipy(self):
+        xs = np.linspace(-4, 4, 101)
+        np.testing.assert_allclose(erf(xs), scipy_erf(xs), atol=2e-7)
+
+    def test_odd_symmetry(self):
+        xs = np.linspace(0, 3, 50)
+        np.testing.assert_allclose(erf(-xs), -erf(xs), atol=1e-12)
+
+    def test_limits(self):
+        assert erf(10.0) == pytest.approx(1.0)
+        assert erf(-10.0) == pytest.approx(-1.0)
+
+
+class TestNormalPdf:
+    def test_matches_scipy(self):
+        xs = np.linspace(-5, 5, 41)
+        np.testing.assert_allclose(
+            normal_pdf(xs, 1.0, 2.0), sps.norm.pdf(xs, 1.0, 2.0), rtol=1e-12
+        )
+
+    def test_scalar_output_type(self):
+        assert isinstance(normal_pdf(0.0), float)
+
+    def test_peak_at_mean(self):
+        assert normal_pdf(3.0, 3.0, 0.5) == pytest.approx(1.0 / (0.5 * math.sqrt(2 * math.pi)))
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            normal_pdf(0.0, 0.0, 0.0)
+
+
+class TestNormalCdf:
+    def test_matches_scipy(self):
+        xs = np.linspace(-5, 5, 41)
+        np.testing.assert_allclose(
+            normal_cdf(xs, -1.0, 1.5), sps.norm.cdf(xs, -1.0, 1.5), atol=2e-7
+        )
+
+    def test_median(self):
+        assert normal_cdf(2.0, 2.0, 3.0) == pytest.approx(0.5)
+
+    def test_point_mass_step(self):
+        assert normal_cdf(0.9, 1.0, 0.0) == 0.0
+        assert normal_cdf(1.0, 1.0, 0.0) == 1.0
+        assert normal_cdf(1.1, 1.0, 0.0) == 1.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            normal_cdf(0.0, 0.0, -1.0)
+
+
+class TestNormalQuantile:
+    def test_matches_scipy(self):
+        ps = np.linspace(0.001, 0.999, 97)
+        np.testing.assert_allclose(
+            normal_quantile(ps, 2.0, 3.0), sps.norm.ppf(ps, 2.0, 3.0), atol=1e-8
+        )
+
+    def test_roundtrip_with_cdf(self):
+        for p in (0.025, 0.5, 0.8, 0.975):
+            x = normal_quantile(p, 1.0, 2.0)
+            assert normal_cdf(x, 1.0, 2.0) == pytest.approx(p, abs=1e-7)
+
+    def test_extreme_tails(self):
+        assert normal_quantile(1e-10) == pytest.approx(sps.norm.ppf(1e-10), rel=1e-6)
+
+    def test_invalid_probability_rejected(self):
+        for p in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                normal_quantile(p)
+
+    def test_scalar_output_type(self):
+        assert isinstance(normal_quantile(0.3), float)
+
+
+class TestMoments:
+    def test_mean_and_std(self):
+        m, s = mean_and_std([1.0, 2.0, 3.0, 4.0])
+        assert m == pytest.approx(2.5)
+        assert s == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_sample_zero_std(self):
+        m, s = mean_and_std([7.0])
+        assert (m, s) == (7.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+    def test_weighted_mean_and_std(self):
+        m, s = weighted_mean_and_std([1.0, 3.0], [1.0, 1.0])
+        assert m == pytest.approx(2.0)
+        assert s == pytest.approx(1.0)
+
+    def test_weighted_unequal(self):
+        m, _ = weighted_mean_and_std([0.0, 10.0], [3.0, 1.0])
+        assert m == pytest.approx(2.5)
+
+    def test_weighted_rejects_negative(self):
+        with pytest.raises(ValueError):
+            weighted_mean_and_std([1.0], [-1.0])
+
+    def test_weighted_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            weighted_mean_and_std([1.0, 2.0], [0.0, 0.0])
+
+    def test_weighted_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean_and_std([1.0, 2.0], [1.0])
+
+    def test_skewness_symmetric_near_zero(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 1, 20_000)
+        assert abs(sample_skewness(data)) < 0.05
+
+    def test_skewness_positive_for_right_tail(self):
+        rng = np.random.default_rng(1)
+        data = rng.lognormal(0, 1, 5_000)
+        assert sample_skewness(data) > 1.0
+
+    def test_skewness_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        data = rng.gamma(2.0, 1.0, 500)
+        assert sample_skewness(data) == pytest.approx(
+            sps.skew(data, bias=False), rel=1e-10
+        )
+
+    def test_kurtosis_normal_near_zero(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0, 1, 50_000)
+        assert abs(sample_kurtosis(data)) < 0.1
+
+    def test_kurtosis_constant_zero(self):
+        assert sample_kurtosis([2.0] * 10) == 0.0
+
+    def test_skewness_needs_three(self):
+        with pytest.raises(ValueError):
+            sample_skewness([1.0, 2.0])
+
+    def test_kurtosis_needs_four(self):
+        with pytest.raises(ValueError):
+            sample_kurtosis([1.0, 2.0, 3.0])

@@ -1,0 +1,70 @@
+"""Tests for repro.workload.io — trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workload.io import (
+    load_trace_csv,
+    load_traces_npz,
+    save_trace_csv,
+    save_traces_npz,
+)
+from repro.workload.loadgen import bursty_trace
+from repro.workload.modes import PLATFORM2_MODES
+from repro.workload.traces import Trace
+
+
+def sample_trace():
+    return Trace.from_samples(2.5, 5.0, [0.2, 0.8, 0.5])
+
+
+class TestCsv:
+    def test_roundtrip_exact(self, tmp_path):
+        trace = sample_trace()
+        path = save_trace_csv(trace, tmp_path / "t.csv")
+        loaded = load_trace_csv(path)
+        np.testing.assert_array_equal(loaded.edges, trace.edges)
+        np.testing.assert_array_equal(loaded.values, trace.values)
+
+    def test_roundtrip_generated_trace(self, tmp_path):
+        trace = bursty_trace(PLATFORM2_MODES, 600.0, rng=0)
+        loaded = load_trace_csv(save_trace_csv(trace, tmp_path / "b.csv"))
+        np.testing.assert_array_equal(loaded.values, trace.values)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_trace_csv(sample_trace(), tmp_path / "deep" / "dir" / "t.csv")
+        assert path.exists()
+
+    def test_header_validated(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="not a trace CSV"):
+            load_trace_csv(bad)
+
+    def test_malformed_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("edge,value\n0.0,1.0\n5.0,2.0\n")  # missing final edge
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace_csv(bad)
+
+
+class TestNpz:
+    def test_roundtrip_multiple(self, tmp_path):
+        traces = {
+            "cpu-a": sample_trace(),
+            "cpu-b": bursty_trace(PLATFORM2_MODES, 300.0, rng=1),
+        }
+        path = save_traces_npz(traces, tmp_path / "set.npz")
+        loaded = load_traces_npz(path)
+        assert sorted(loaded) == ["cpu-a", "cpu-b"]
+        for name in traces:
+            np.testing.assert_array_equal(loaded[name].edges, traces[name].edges)
+            np.testing.assert_array_equal(loaded[name].values, traces[name].values)
+
+    def test_name_with_slash_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_traces_npz({"a/b": sample_trace()}, tmp_path / "x.npz")
+
+    def test_empty_set(self, tmp_path):
+        path = save_traces_npz({}, tmp_path / "empty.npz")
+        assert load_traces_npz(path) == {}

@@ -1,0 +1,135 @@
+"""Tests for repro.workload network traces, benchmarks, and platforms."""
+
+import numpy as np
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.workload.benchmarks import (
+    benchmark_value,
+    dedicated_sort_runtimes,
+    measure_sor_element_time,
+    time_sort,
+)
+from repro.workload.network import (
+    ETHERNET_10MBIT_BYTES_PER_SEC,
+    bandwidth_availability_trace,
+    figure3_bandwidth_samples,
+)
+from repro.workload.platforms import (
+    MACHINE_RATES,
+    dedicated_platform,
+    make_machine,
+    platform1,
+    platform2,
+)
+
+
+class TestBandwidthTraces:
+    def test_ethernet_constant(self):
+        assert ETHERNET_10MBIT_BYTES_PER_SEC == pytest.approx(1.25e6)
+
+    def test_availability_bounds(self):
+        t = bandwidth_availability_trace(3600.0, rng=0)
+        assert t.values.min() >= 0.05
+        assert t.values.max() <= 1.0
+
+    def test_availability_mean_near_target(self):
+        t = bandwidth_availability_trace(50_000.0, mean_avail=0.55, rng=1)
+        assert t.values.mean() == pytest.approx(0.53, abs=0.05)
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_availability_trace(100.0, mean_avail=0.0)
+
+    def test_figure3_statistics(self):
+        s = figure3_bandwidth_samples(30_000, rng=2)
+        assert s.mean() == pytest.approx(5.25, abs=0.15)
+        assert s.max() <= 6.1
+        assert np.median(s) > s.mean()  # long left tail
+
+
+class TestBenchmarks:
+    def test_dedicated_sort_runtimes_shape(self):
+        s = dedicated_sort_runtimes(2000, rng=0)
+        assert s.mean() == pytest.approx(11.0, abs=0.2)
+        assert s.std() == pytest.approx(11.0 * 0.125, rel=0.1)
+        assert s.min() > 0
+
+    def test_dedicated_sort_runtimes_seeded(self):
+        np.testing.assert_array_equal(
+            dedicated_sort_runtimes(10, rng=3), dedicated_sort_runtimes(10, rng=3)
+        )
+
+    def test_dedicated_sort_invalid_count(self):
+        with pytest.raises(ValueError):
+            dedicated_sort_runtimes(0)
+
+    def test_time_sort_returns_positive_times(self):
+        times = time_sort(10_000, repeats=3, rng=0)
+        assert times.shape == (3,)
+        assert np.all(times > 0)
+
+    def test_time_sort_invalid_args(self):
+        with pytest.raises(ValueError):
+            time_sort(0)
+        with pytest.raises(ValueError):
+            time_sort(10, repeats=0)
+
+    def test_measure_sor_element_time_positive(self):
+        t = measure_sor_element_time(n=100, iterations=2)
+        assert 0 < t < 1e-3  # well under a millisecond per element
+
+    def test_benchmark_value(self):
+        sv = benchmark_value([10.0, 12.0, 11.0])
+        assert isinstance(sv, StochasticValue)
+        assert sv.mean == pytest.approx(11.0)
+
+
+class TestPlatforms:
+    def test_make_machine_kinds(self):
+        for kind, rate in MACHINE_RATES.items():
+            m = make_machine(kind)
+            assert m.elements_per_sec == rate
+            assert m.benchmark_time == pytest.approx(1.0 / rate)
+
+    def test_make_machine_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown machine kind"):
+            make_machine("cray")
+
+    def test_platform1_composition(self):
+        p = platform1(rng=0)
+        assert p.names == ("sparc2-a", "sparc2-b", "sparc5", "sparc10")
+        assert p.slowest_index() == 0
+
+    def test_platform1_slow_machines_in_center_mode(self):
+        p = platform1(rng=1)
+        for i in (0, 1):
+            mean = p.machines[i].availability.values.mean()
+            assert mean == pytest.approx(0.48, abs=0.03)
+
+    def test_platform2_composition(self):
+        p = platform2(rng=2)
+        assert p.names == ("sparc5", "sparc10", "ultra-1", "ultra-2")
+        assert len(p.load_model.modes) == 4
+
+    def test_platform2_traces_are_bursty(self):
+        p = platform2(duration=3600.0, rng=3)
+        vals = p.machines[0].availability.values
+        assert vals.std() > 0.08
+
+    def test_dedicated_platform_full_availability(self):
+        p = dedicated_platform()
+        for m in p.machines:
+            assert m.availability.value_at(12345.0) == 1.0
+
+    def test_platforms_deterministic(self):
+        a = platform1(rng=7)
+        b = platform1(rng=7)
+        np.testing.assert_array_equal(
+            a.machines[0].availability.values, b.machines[0].availability.values
+        )
+
+    def test_machines_have_unique_names(self):
+        p = platform2(rng=4)
+        names = [m.name for m in p.machines]
+        assert len(set(names)) == len(names)
