@@ -1,0 +1,80 @@
+"""SOR prediction with a mid-run sensor dropout: graceful degradation.
+
+The production scenario the fault layer exists for: the NWS is watching
+a Platform 1 style cluster, one machine's sensor goes silent right
+before the scheduler needs a forecast, and the machine itself crashes
+briefly during the run.  The service keeps answering — the silent
+resource's interval widens with staleness instead of the query raising —
+and the simulated execution rides out the crash with paused compute and
+message retries.
+
+Run:  python examples/chaos_prediction.py
+"""
+
+from repro.core.stochastic import StochasticValue
+from repro.faults import FaultPlan, Outage
+from repro.nws.service import DegradationPolicy, NetworkWeatherService
+from repro.sor import equal_strips, simulate_sor
+from repro.structural import SORModel, bindings_for_platform
+from repro.workload import platform1
+
+
+def main() -> None:
+    n, iterations = 600, 10
+    decision_time = 600.0
+
+    plat = platform1(duration=1800.0, rng=11)
+    slow = plat.machines[plat.slowest_index()]
+
+    # The hand-written incident: the slow machine's sensor goes silent at
+    # t=450 and never recovers; the machine itself crashes for 3 seconds
+    # shortly after the run starts.
+    plan = FaultPlan(
+        sensor_dropouts={f"cpu:{slow.name}": (Outage(450.0, 1e9),)},
+        machine_crashes={slow.name: (Outage(decision_time + 2.0, decision_time + 5.0),)},
+    )
+    policy = DegradationPolicy(prior=StochasticValue(0.5, 0.3))
+
+    nws = NetworkWeatherService(degradation=policy, faults=plan)
+    for m in plat.machines:
+        nws.register(f"cpu:{m.name}", m.availability)
+
+    # Watch the fresh interval turn into a widening stale one.
+    print(f"degradation of cpu:{slow.name} after its sensor dies at t=450 s:")
+    for t in (440.0, 500.0, 560.0, 600.0):
+        q = nws.query_qualified(f"cpu:{slow.name}", t=t)
+        print(
+            f"  t={t:6.0f}  quality={q.quality:8s} staleness={q.staleness:5.0f} s  "
+            f"interval width={q.value.spread:.4f}"
+        )
+
+    # The scheduler still gets a full set of loads at decision time.
+    loads = {}
+    print(f"\nstochastic loads at t={decision_time:.0f} s (degraded where needed):")
+    for i, m in enumerate(plat.machines):
+        q = nws.query_qualified(f"cpu:{m.name}")
+        loads[i] = q.value
+        tag = "" if q.quality == "fresh" else f"   <- {q.quality}"
+        print(f"  load[{m.name:10s}] = {q.value}{tag}")
+
+    dec = equal_strips(n, len(plat.machines))
+    model = SORModel(n_procs=len(plat.machines), iterations=iterations)
+    pred = model.predict(bindings_for_platform(plat.machines, plat.network, dec, loads=loads))
+    print(f"\ndegraded stochastic prediction: {pred} s")
+
+    # Execute under the same plan: the crash pauses the slow machine.
+    clean = simulate_sor(
+        plat.machines, plat.network, n, iterations, decomposition=dec, start_time=decision_time
+    )
+    run = simulate_sor(
+        plat.machines, plat.network, n, iterations,
+        decomposition=dec, start_time=decision_time, faults=plan,
+    )
+    print(f"fault-free execution : {clean.elapsed:.1f} s")
+    print(f"execution under crash: {run.elapsed:.1f} s "
+          f"(downtime {run.machine_downtime:.1f} s, retries {run.message_retries})")
+    print(f"inside prediction?   : {pred.contains(run.elapsed)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,14 @@ execution) used by the scheduling ablation benchmark.
 
 from repro.batch.application import BatchApplication, BatchRunResult, simulate_batch
 from repro.batch.model import BatchModel, batch_bindings
-from repro.batch.scheduler import SchedulingRound, SchedulingStudy, run_scheduling_study
+from repro.batch.scheduler import (
+    RecoveredBatchResult,
+    RescheduleEvent,
+    SchedulingRound,
+    SchedulingStudy,
+    run_scheduling_study,
+    simulate_batch_with_recovery,
+)
 
 __all__ = [
     "BatchApplication",
@@ -22,4 +29,7 @@ __all__ = [
     "SchedulingRound",
     "SchedulingStudy",
     "run_scheduling_study",
+    "RescheduleEvent",
+    "RecoveredBatchResult",
+    "simulate_batch_with_recovery",
 ]

@@ -19,6 +19,7 @@ more work to the small variance machine".
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from collections.abc import Sequence
 
@@ -28,11 +29,19 @@ from repro.batch.application import BatchApplication, simulate_batch
 from repro.batch.model import BatchModel, batch_bindings
 from repro.core.arithmetic import divide
 from repro.core.stochastic import StochasticValue
-from repro.nws.service import NetworkWeatherService
+from repro.faults.plan import FaultPlan
+from repro.nws.service import DegradationPolicy, NetworkWeatherService
 from repro.scheduling.strategies import allocate_risk_averse
 from repro.workload.platforms import PlatformPreset
 
-__all__ = ["SchedulingRound", "SchedulingStudy", "run_scheduling_study"]
+__all__ = [
+    "SchedulingRound",
+    "SchedulingStudy",
+    "run_scheduling_study",
+    "RescheduleEvent",
+    "RecoveredBatchResult",
+    "simulate_batch_with_recovery",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +105,186 @@ class SchedulingStudy:
         return float(self.realized.std(ddof=1)) if len(self.rounds) > 1 else 0.0
 
 
+@dataclass(frozen=True)
+class RescheduleEvent:
+    """One crash-triggered redistribution of work.
+
+    Attributes
+    ----------
+    time:
+        Simulated time the crash orphaned the units.
+    source:
+        Name of the crashed machine.
+    units:
+        Units pulled off the crashed machine (in-flight unit included —
+        the batch layer models crash loss, unlike the SOR simulator's
+        checkpointed pause).
+    targets:
+        ``(machine_name, units)`` pairs the work was reassigned to.
+    """
+
+    time: float
+    source: str
+    units: int
+    targets: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class RecoveredBatchResult:
+    """Outcome of a batch execution with crash rescheduling.
+
+    Attributes
+    ----------
+    start:
+        Wall-clock start in simulated seconds.
+    finish_times:
+        Per-machine completion time (equals ``start`` for idle machines).
+    initial_units:
+        The allocation the round started with.
+    executed_units:
+        Units each machine actually completed (sums to the app total).
+    reschedules:
+        Every crash-triggered redistribution, in time order.
+    """
+
+    start: float
+    finish_times: np.ndarray
+    initial_units: tuple[int, ...]
+    executed_units: tuple[int, ...]
+    reschedules: tuple[RescheduleEvent, ...]
+
+    @property
+    def makespan(self) -> float:
+        """Elapsed time until the last worker finished."""
+        return float(self.finish_times.max() - self.start)
+
+    @property
+    def rescheduled_units(self) -> int:
+        """Total units moved off crashed machines."""
+        return sum(e.units for e in self.reschedules)
+
+
+def simulate_batch_with_recovery(
+    machines,
+    app: BatchApplication,
+    units: Sequence[int],
+    *,
+    start_time: float = 0.0,
+    faults: FaultPlan,
+    unit_times: Sequence | None = None,
+    lam: float = 1.0,
+    max_rounds: int = 64,
+) -> RecoveredBatchResult:
+    """Execute an allocation, rescheduling work off crashed machines.
+
+    Workers crunch their queues unit by unit.  When a machine crashes
+    mid-unit, that unit and the machine's remaining queue are orphaned at
+    the crash instant and immediately redistributed over the machines
+    currently up, using a risk-averse split of the (possibly degraded)
+    stochastic ``unit_times`` — "reschedule using the stochastic
+    predictions you have, not the health you wish you had".  The crashed
+    machine rejoins only if a later reschedule assigns it work after its
+    restart.
+
+    Parameters
+    ----------
+    unit_times:
+        Per-machine stochastic unit times used for rescheduling splits;
+        defaults to the dedicated (point-value) unit times.
+    lam:
+        Risk aversion of the rescheduling split.
+    max_rounds:
+        Safety bound on reschedule cascades (a machine receiving
+        rescheduled work can itself crash).
+    """
+    machines = list(machines)
+    units = tuple(int(u) for u in units)
+    if len(units) != len(machines):
+        raise ValueError(f"{len(units)} allocations for {len(machines)} machines")
+    if any(u < 0 for u in units):
+        raise ValueError("allocations must be nonnegative")
+    if sum(units) != app.total_units:
+        raise ValueError(
+            f"allocation sums to {sum(units)}, application has {app.total_units} units"
+        )
+    if unit_times is None:
+        unit_times = [StochasticValue.point(app.dedicated_unit_time(m)) for m in machines]
+    unit_times = list(unit_times)
+    if len(unit_times) != len(machines):
+        raise ValueError(f"{len(unit_times)} unit times for {len(machines)} machines")
+
+    n = len(machines)
+    executed = [0] * n
+    avail = [float(start_time)] * n  # time each machine can next start work
+    finish = [float(start_time)] * n  # time each machine last completed a unit
+    orphans: list[tuple[float, int, str]] = []  # (time, units, source machine)
+
+    def process(i: int, k: int, from_t: float) -> None:
+        """Run ``k`` units on machine ``i`` starting no earlier than ``from_t``."""
+        name = machines[i].name
+        cur = max(avail[i], from_t)
+        if faults.machine_down(name, cur):
+            # Assigned while down: everything is orphaned immediately.
+            heapq.heappush(orphans, (cur, k, name))
+            return
+        done = 0
+        while done < k:
+            fin = machines[i].compute_finish(app.elements_per_unit, cur)
+            crash = faults.first_crash_overlapping(name, cur, fin)
+            if crash is not None:
+                # The in-flight unit dies with the machine; the rest of
+                # the queue is orphaned at the crash instant.
+                avail[i] = crash.end
+                break
+            cur = fin
+            done += 1
+        else:
+            avail[i] = cur
+        executed[i] += done
+        if done > 0:
+            finish[i] = cur
+        if done < k:
+            heapq.heappush(orphans, (crash.start, k - done, name))
+
+    for i, u in enumerate(units):
+        if u > 0:
+            process(i, u, float(start_time))
+
+    reschedules: list[RescheduleEvent] = []
+    rounds = 0
+    while orphans:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                f"rescheduling did not converge within {max_rounds} rounds "
+                "(crash schedule too dense for the retry budget)"
+            )
+        t, k, source = heapq.heappop(orphans)
+        up = [i for i in range(n) if not faults.machine_down(machines[i].name, t)]
+        if not up:
+            # Total outage: wait for the earliest restart, then retry.
+            t_up = min(faults.next_machine_up(m.name, t) for m in machines)
+            heapq.heappush(orphans, (t_up, k, source))
+            continue
+        alloc = allocate_risk_averse(k, [unit_times[i] for i in up], lam)
+        targets = []
+        for i, extra in zip(up, alloc.units):
+            if extra > 0:
+                targets.append((machines[i].name, int(extra)))
+                process(i, int(extra), t)
+        reschedules.append(
+            RescheduleEvent(time=t, source=source, units=k, targets=tuple(targets))
+        )
+
+    return RecoveredBatchResult(
+        start=float(start_time),
+        finish_times=np.asarray(finish, dtype=float),
+        initial_units=units,
+        executed_units=tuple(executed),
+        reschedules=tuple(reschedules),
+    )
+
+
 def run_scheduling_study(
     platform: PlatformPreset,
     app: BatchApplication,
@@ -105,18 +294,28 @@ def run_scheduling_study(
     warmup: float = 600.0,
     round_spacing: float = 120.0,
     query_window: float = 90.0,
+    faults: FaultPlan | None = None,
+    degradation: DegradationPolicy | None = None,
 ) -> list[SchedulingStudy]:
     """Run the closed loop for each risk level on the same trace windows.
 
     All risk levels see identical system conditions (same platform
     traces, same decision instants), so differences in realized makespan
     are attributable to the allocation policy alone.
+
+    With ``faults`` installed the loop runs under adversity: sensors drop
+    samples per the plan, queries degrade per ``degradation``, and the
+    realized makespans come from
+    :func:`simulate_batch_with_recovery` — crashes orphan queued work and
+    the scheduler redistributes it using the degraded stochastic unit
+    times.  With both left ``None`` the study is bit-identical to the
+    fault-free original.
     """
     if n_rounds < 1:
         raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
     machines = list(platform.machines)
 
-    nws = NetworkWeatherService()
+    nws = NetworkWeatherService(degradation=degradation, faults=faults)
     for m in machines:
         nws.register(f"cpu:{m.name}", m.availability)
 
@@ -139,14 +338,25 @@ def run_scheduling_study(
             )
             busy = [p for p, u in enumerate(alloc.units) if u > 0]
             predicted = model.predict(bindings, busy=busy)
-            run = simulate_batch(machines, app, alloc.units, start_time=t)
+            if faults is None:
+                realized = simulate_batch(machines, app, alloc.units, start_time=t).makespan
+            else:
+                realized = simulate_batch_with_recovery(
+                    machines,
+                    app,
+                    alloc.units,
+                    start_time=t,
+                    faults=faults,
+                    unit_times=unit_times,
+                    lam=lam,
+                ).makespan
             studies[lam].append(
                 SchedulingRound(
                     timestamp=t,
                     lam=lam,
                     units=alloc.units,
                     predicted=predicted,
-                    realized=run.makespan,
+                    realized=realized,
                 )
             )
 

@@ -208,6 +208,80 @@ def _cmd_advise(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import math
+
+    from repro.core.stochastic import StochasticValue
+    from repro.faults import FaultPlan, FaultPlanConfig
+    from repro.nws.service import DegradationPolicy, NetworkWeatherService
+    from repro.sor.decomposition import equal_strips
+    from repro.sor.distributed import simulate_sor
+    from repro.structural.sor_model import SORModel, bindings_for_platform
+    from repro.workload.platforms import platform1
+
+    decision_time = 600.0
+    plat = platform1(duration=1800.0, rng=args.seed)
+    names = [m.name for m in plat.machines]
+    resources = [f"cpu:{n}" for n in names]
+    plan = FaultPlan.generate(
+        FaultPlanConfig(
+            sensor_dropout_rate=args.dropout_rate,
+            machine_crash_rate=args.crash_rate,
+            machine_restart_mean=30.0,
+            link_outage_rate=args.outage_rate,
+            link_outage_mean_duration=4.0,
+            corruption_rate=args.corruption_rate,
+        ),
+        resources=resources,
+        machines=names,
+        links=[(a, b) for i, a in enumerate(names) for b in names[i + 1 :]],
+        horizon=1800.0,
+        rng=args.seed,
+    )
+    print(f"fault plan (seed {args.seed}): {plan}")
+    print(f"fingerprint: {plan.fingerprint()[:16]}")
+
+    nws = NetworkWeatherService(
+        degradation=DegradationPolicy(prior=StochasticValue(0.5, 0.3)), faults=plan
+    )
+    for m in plat.machines:
+        nws.register(f"cpu:{m.name}", m.availability)
+    nws.advance_to(decision_time)
+
+    loads = {}
+    rows = []
+    for i, (m, r) in enumerate(zip(plat.machines, resources)):
+        q = nws.query_qualified(r)
+        loads[i] = q.value
+        h = nws.health()[r]
+        rows.append(
+            [m.name, q.quality, f"{q.staleness:.0f}", str(q.value),
+             int(h["missed"]), int(h["corrupt"]), int(h["late"])]
+        )
+    print(
+        format_table(
+            ["machine", "quality", "stale_s", "stochastic load", "missed", "corrupt", "late"],
+            rows,
+            title=f"NWS under faults at t={decision_time:.0f} s",
+        )
+    )
+
+    dec = equal_strips(args.size, len(plat.machines))
+    model = SORModel(n_procs=len(plat.machines), iterations=args.iterations)
+    pred = model.predict(bindings_for_platform(plat.machines, plat.network, dec, loads=loads))
+    run = simulate_sor(
+        plat.machines, plat.network, args.size, args.iterations,
+        decomposition=dec, start_time=decision_time, faults=plan,
+    )
+    print(f"\ndegraded stochastic prediction: {pred} s")
+    print(f"actual execution under faults : {run.elapsed:.1f} s")
+    print(f"  message retries   : {run.message_retries}")
+    print(f"  machine downtime  : {run.machine_downtime:.1f} s")
+    print(f"  inside prediction?: {pred.contains(run.elapsed)}")
+    ok = all(math.isfinite(x) for x in (pred.mean, pred.spread, run.elapsed))
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -262,6 +336,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--windows", type=float, nargs="+", default=[15.0, 45.0, 90.0, 180.0, 360.0])
     p.add_argument("--seed", type=int, default=3)
     p.set_defaults(func=_cmd_calibration)
+
+    p = sub.add_parser("chaos", help="Platform 1 prediction cycle under injected faults")
+    p.add_argument("--size", type=int, default=600)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--seed", type=int, default=23)
+    p.add_argument("--dropout-rate", type=float, default=1 / 120.0)
+    p.add_argument("--crash-rate", type=float, default=1 / 900.0)
+    p.add_argument("--outage-rate", type=float, default=1 / 600.0)
+    p.add_argument("--corruption-rate", type=float, default=1 / 90.0)
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("advise", help="SOR decomposition advice on Platform 2")
     p.add_argument("--size", type=int, default=1600)

@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.cluster.machine import Machine
 from repro.cluster.network import Network
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 
 __all__ = ["Message", "Phase", "IterativeProgram", "RunResult", "ClusterSimulator"]
 
@@ -113,6 +115,10 @@ class RunResult:
     max_skew:
         Largest spread between the fastest and slowest processor's ready
         times observed at any phase boundary (the Figure 7 effect).
+    message_retries:
+        Deliveries that needed at least one retry (0 on fault-free runs).
+    machine_downtime:
+        Total machine-down seconds overlapping the run (0 when healthy).
     """
 
     start: float
@@ -120,6 +126,8 @@ class RunResult:
     iteration_ends: np.ndarray
     phase_time: dict[str, float]
     max_skew: float
+    message_retries: int = 0
+    machine_downtime: float = 0.0
 
     @property
     def elapsed(self) -> float:
@@ -128,9 +136,28 @@ class RunResult:
 
 
 class ClusterSimulator:
-    """Executes :class:`IterativeProgram` on machines + network."""
+    """Executes :class:`IterativeProgram` on machines + network.
 
-    def __init__(self, machines, network: Network | None = None):
+    Parameters
+    ----------
+    machines, network:
+        The execution substrate.
+    faults:
+        Optional fault schedule (a :class:`~repro.faults.plan.FaultPlan`
+        or a pre-configured :class:`~repro.faults.injector.FaultInjector`
+        when custom retry behaviour is wanted).  With faults installed a
+        crashed machine pauses its compute until restart, and message
+        delivery retries on a bounded exponential backoff; without them
+        the simulation is bit-identical to the fault-free original.
+    """
+
+    def __init__(
+        self,
+        machines,
+        network: Network | None = None,
+        *,
+        faults: FaultPlan | FaultInjector | None = None,
+    ):
         self.machines: list[Machine] = list(machines)
         if not self.machines:
             raise ValueError("a cluster needs at least one machine")
@@ -138,6 +165,9 @@ class ClusterSimulator:
         if len(set(names)) != len(names):
             raise ValueError(f"machine names must be unique, got {names}")
         self.network = network if network is not None else Network()
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.injector: FaultInjector | None = faults
 
     def run(self, program: IterativeProgram, start_time: float = 0.0) -> RunResult:
         """Simulate ``program`` starting at ``start_time``."""
@@ -146,21 +176,31 @@ class ClusterSimulator:
             raise ValueError(
                 f"program spans {n} processors but the cluster has {len(self.machines)}"
             )
+        injector = self.injector
 
         ready = np.full(n, float(start_time))
         iteration_ends = np.empty(program.iterations)
         phase_time: dict[str, float] = {p.name: 0.0 for p in program.phases}
         max_skew = 0.0
+        retries_before = injector.message_retries if injector is not None else 0
 
         for it in range(program.iterations):
             for phase in program.phases:
                 phase_start = float(ready.max())
-                comp_end = np.array(
-                    [
-                        self.machines[p].compute_finish(phase.work[p], float(ready[p]))
-                        for p in range(n)
-                    ]
-                )
+                if injector is None:
+                    comp_end = np.array(
+                        [
+                            self.machines[p].compute_finish(phase.work[p], float(ready[p]))
+                            for p in range(n)
+                        ]
+                    )
+                else:
+                    comp_end = np.array(
+                        [
+                            injector.compute_finish(self.machines[p], phase.work[p], float(ready[p]))
+                            for p in range(n)
+                        ]
+                    )
                 next_ready = comp_end.copy()
                 for msg in phase.messages:
                     src_name = self.machines[msg.src].name
@@ -171,7 +211,10 @@ class ClusterSimulator:
                     # until it completes — so one processor's exchanges
                     # serialize, matching the model's SendLR + ReceLR sum.
                     begin = max(float(next_ready[msg.src]), float(next_ready[msg.dst]))
-                    arrive = self.network.transfer_finish(src_name, dst_name, msg.nbytes, begin)
+                    if injector is None:
+                        arrive = self.network.transfer_finish(src_name, dst_name, msg.nbytes, begin)
+                    else:
+                        arrive = injector.deliver(self.network, src_name, dst_name, msg.nbytes, begin)
                     next_ready[msg.src] = arrive
                     next_ready[msg.dst] = arrive
                 ready = next_ready
@@ -179,10 +222,20 @@ class ClusterSimulator:
                 max_skew = max(max_skew, float(ready.max() - ready.min()))
             iteration_ends[it] = float(ready.max())
 
+        end = float(ready.max())
+        message_retries = 0
+        machine_downtime = 0.0
+        if injector is not None:
+            message_retries = injector.message_retries - retries_before
+            machine_downtime = injector.downtime(
+                (m.name for m in self.machines), float(start_time), end
+            )
         return RunResult(
             start=float(start_time),
-            end=float(ready.max()),
+            end=end,
             iteration_ends=iteration_ends,
             phase_time=phase_time,
             max_skew=max_skew,
+            message_retries=message_retries,
+            machine_downtime=machine_downtime,
         )

@@ -1,0 +1,42 @@
+"""Fault injection and graceful degradation for the production pipeline.
+
+The paper's premise is prediction in *production* environments — and
+production environments fail.  This subpackage supplies the fault model
+the rest of the library degrades against:
+
+* :class:`FaultPlan` — a seeded, deterministic schedule of sensor
+  dropouts, machine crash/restart windows, link outages, and telemetry
+  corruption (NaN / duplicated / late samples) against simulated time.
+* :class:`FaultInjector` — applies a plan to the cluster substrate:
+  crashed machines pause compute, messages retry on a bounded
+  exponential backoff (:class:`RetryPolicy`).
+
+Consumers opt in explicitly: with no plan (or an empty one) every layer
+behaves bit-identically to the fault-free library.  The degradation
+semantics on the NWS side (staleness tracking, interval widening,
+fallback forecasts) live in :mod:`repro.nws.service`; work rescheduling
+after crashes lives in :mod:`repro.batch.scheduler`.  See
+``docs/fault_model.md`` for the full taxonomy.
+"""
+
+from repro.faults.injector import DeliveryError, FaultInjector, RetryPolicy
+from repro.faults.plan import (
+    ALL_LINKS,
+    CORRUPTION_KINDS,
+    Corruption,
+    FaultPlan,
+    FaultPlanConfig,
+    Outage,
+)
+
+__all__ = [
+    "Outage",
+    "Corruption",
+    "CORRUPTION_KINDS",
+    "ALL_LINKS",
+    "FaultPlan",
+    "FaultPlanConfig",
+    "FaultInjector",
+    "RetryPolicy",
+    "DeliveryError",
+]

@@ -12,6 +12,7 @@ from repro.nws.forecasters import (
     ExponentialSmoothing,
     Forecaster,
     LastValue,
+    PriorForecaster,
     RunningMean,
     SlidingWindowMean,
     SlidingWindowMedian,
@@ -22,7 +23,7 @@ from repro.nws.modal import ModalCombination, ModalLoadCharacterizer, select_n_m
 from repro.nws.predictor import AdaptivePredictor, ForecasterScore
 from repro.nws.sensors import NWS_DEFAULT_PERIOD, Sensor
 from repro.nws.series import MeasurementSeries
-from repro.nws.service import NetworkWeatherService
+from repro.nws.service import DegradationPolicy, NetworkWeatherService, QualifiedForecast
 
 __all__ = [
     "CalibrationReport",
@@ -39,6 +40,7 @@ __all__ = [
     "SlidingWindowMedian",
     "AdaptiveMedian",
     "AutoRegressive",
+    "PriorForecaster",
     "default_forecasters",
     "AdaptivePredictor",
     "ForecasterScore",
@@ -46,4 +48,6 @@ __all__ = [
     "Sensor",
     "NWS_DEFAULT_PERIOD",
     "NetworkWeatherService",
+    "DegradationPolicy",
+    "QualifiedForecast",
 ]

@@ -16,6 +16,7 @@ forecast residuals — a stochastic value in the paper's canonical form.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -98,6 +99,11 @@ class AdaptivePredictor:
     def observe(self, value: float) -> None:
         """Score every forecaster against ``value``, then let them see it."""
         value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"cannot observe non-finite measurement {value!r}; "
+                "corrupted readings must be rejected upstream"
+            )
         for f in self.forecasters:
             pred = f.predict()
             if pred is not None:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 import numpy as np
@@ -14,20 +15,39 @@ class MeasurementSeries:
 
     The real NWS keeps a rolling history per resource; forecasters read
     the recent window.  ``maxlen`` bounds memory for long experiments.
+
+    Measurements are validated on entry: a NaN/infinite reading (a
+    corrupted telemetry sample) is always rejected, and negative
+    readings are rejected unless ``allow_negative`` is set — every
+    quantity the NWS measures here (availability fractions, bandwidth)
+    is physically nonnegative, so a negative sample is sensor breakage,
+    not data.
     """
 
-    def __init__(self, maxlen: int | None = 10_000):
+    def __init__(self, maxlen: int | None = 10_000, *, allow_negative: bool = False):
         if maxlen is not None and maxlen < 1:
             raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.allow_negative = allow_negative
         self._times: deque[float] = deque(maxlen=maxlen)
         self._values: deque[float] = deque(maxlen=maxlen)
 
     def append(self, t: float, value: float) -> None:
-        """Record a measurement; times must be nondecreasing."""
+        """Record a measurement; times must be nondecreasing, values valid."""
+        t = float(t)
+        value = float(value)
+        if not math.isfinite(t):
+            raise ValueError(f"measurement time must be finite, got {t!r}")
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite measurement {value!r} at t={t}")
+        if value < 0 and not self.allow_negative:
+            raise ValueError(
+                f"negative measurement {value!r} at t={t} "
+                "(pass allow_negative=True for signed series)"
+            )
         if self._times and t < self._times[-1]:
             raise ValueError(f"time went backwards: {t} after {self._times[-1]}")
-        self._times.append(float(t))
-        self._values.append(float(value))
+        self._times.append(t)
+        self._values.append(value)
 
     def __len__(self) -> int:
         return len(self._values)

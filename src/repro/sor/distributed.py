@@ -135,6 +135,7 @@ def simulate_sor(
     start_time: float = 0.0,
     allow_paging: bool = False,
     paging_penalty: float = 25.0,
+    faults=None,
 ) -> RunResult:
     """Simulate one distributed SOR execution on the given cluster.
 
@@ -145,6 +146,11 @@ def simulate_sor(
     ``paging_penalty`` (a thrashing model); the memory-limit experiment
     uses this to show how silently exceeding memory breaks an unaware
     prediction model.
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultPlan` or
+    :class:`~repro.faults.injector.FaultInjector`) injects machine
+    crashes and link outages into the execution: compute pauses while a
+    machine is down and messages retry with bounded backoff.
     """
     from dataclasses import replace
 
@@ -166,4 +172,4 @@ def simulate_sor(
                 f"strip of {decomposition.elements(p)} elements does not fit on {m.name}"
             )
     program = build_sor_program(n, decomposition, iterations)
-    return ClusterSimulator(effective, network).run(program, start_time)
+    return ClusterSimulator(effective, network, faults=faults).run(program, start_time)

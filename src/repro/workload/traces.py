@@ -161,3 +161,35 @@ class Trace:
         if hi < lo:
             raise ValueError(f"empty clip range [{lo}, {hi}]")
         return Trace(edges=self.edges, values=np.clip(self.values, lo, hi))
+
+    def masked(self, windows, value: float = 0.0) -> "Trace":
+        """Override the trace with ``value`` inside each ``(start, end)`` window.
+
+        Used by the fault layer to model crash/outage intervals: masking
+        availability to zero makes work pause exactly for the window via
+        the ordinary closed-form inversion.  The returned trace always
+        extends past the last window, so the after-the-end clamp value is
+        the *original* trace's — a machine that restarts recovers its
+        pre-crash capacity.
+        """
+        windows = [(float(a), float(b)) for a, b in windows]
+        if not windows:
+            return self
+        for a, b in windows:
+            if not (np.isfinite(a) and np.isfinite(b)):
+                raise ValueError(f"window bounds must be finite, got ({a}, {b})")
+            if b <= a:
+                raise ValueError(f"window must have end > start, got ({a}, {b})")
+        last_window_end = max(b for _, b in windows)
+        new_start = min(self.start, min(a for a, _ in windows))
+        new_end = max(self.end, last_window_end + 1.0)
+        breakpoints = {new_start, new_end}
+        breakpoints.update(float(e) for e in self.edges if new_start < e < new_end)
+        for a, b in windows:
+            breakpoints.update((a, b))
+        edges = np.array(sorted(breakpoints))
+        mids = 0.5 * (edges[:-1] + edges[1:])
+        values = self.sample(mids)
+        for a, b in windows:
+            values = np.where((mids >= a) & (mids < b), value, values)
+        return Trace(edges=edges, values=values)

@@ -1,0 +1,144 @@
+"""Chaos integration: the full prediction pipeline under injected faults.
+
+One seeded fault plan drives all three layers at once — sensors drop
+samples and deliver corrupted telemetry, the NWS degrades its answers,
+machines crash mid-execution and messages retry — and the Platform-1
+style SOR prediction cycle must still hold together: every forecast and
+prediction stays finite, intervals only widen as staleness grows, and
+the simulated run completes.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.faults import FaultPlan, FaultPlanConfig, Outage
+from repro.nws.service import DegradationPolicy, NetworkWeatherService
+from repro.sor.decomposition import equal_strips
+from repro.sor.distributed import simulate_sor
+from repro.structural.sor_model import SORModel, bindings_for_platform
+from repro.workload.platforms import platform1
+
+
+CHAOS_CONFIG = FaultPlanConfig(
+    sensor_dropout_rate=1 / 120.0,
+    sensor_dropout_mean_duration=40.0,
+    machine_crash_rate=1 / 900.0,
+    machine_restart_mean=30.0,
+    link_outage_rate=1 / 600.0,
+    link_outage_mean_duration=4.0,
+    corruption_rate=1 / 90.0,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    """The Platform 1 cycle with every fault class active."""
+    plat = platform1(duration=1800.0, rng=11)
+    names = [m.name for m in plat.machines]
+    resources = [f"cpu:{n}" for n in names]
+    plan = FaultPlan.generate(
+        CHAOS_CONFIG,
+        resources=resources,
+        machines=names,
+        links=[(a, b) for i, a in enumerate(names) for b in names[i + 1 :]],
+        horizon=1800.0,
+        rng=23,
+    )
+    policy = DegradationPolicy(prior=StochasticValue(0.5, 0.3))
+    nws = NetworkWeatherService(degradation=policy, faults=plan)
+    for name, r in zip(names, resources):
+        m = next(mm for mm in plat.machines if mm.name == name)
+        nws.register(r, m.availability)
+    return plat, plan, nws, resources
+
+
+class TestChaosPipeline:
+    def test_plan_actually_schedules_faults(self, chaos_run):
+        _, plan, _, _ = chaos_run
+        assert not plan.is_empty
+        assert sum(len(v) for v in plan.sensor_dropouts.values()) > 0
+        assert sum(len(v) for v in plan.corruptions.values()) > 0
+
+    def test_sensors_record_the_damage(self, chaos_run):
+        _, _, nws, _ = chaos_run
+        nws.advance_to(600.0)
+        health = nws.health()
+        assert sum(h["missed"] for h in health.values()) > 0
+        assert all(h["delivered"] > 0 for h in health.values())
+
+    def test_all_forecasts_finite_and_tagged(self, chaos_run):
+        _, _, nws, resources = chaos_run
+        nws.advance_to(700.0)
+        for r in resources:
+            q = nws.query_qualified(r)
+            assert q.quality in ("fresh", "stale", "fallback")
+            assert math.isfinite(q.value.mean) and math.isfinite(q.value.spread)
+            assert q.value.spread >= 0.0
+
+    def test_prediction_finite_under_degraded_inputs(self, chaos_run):
+        plat, _, nws, resources = chaos_run
+        nws.advance_to(700.0)
+        loads = {i: nws.query_qualified(r).value for i, r in enumerate(resources)}
+        dec = equal_strips(600, len(plat.machines))
+        model = SORModel(n_procs=len(plat.machines), iterations=10)
+        pred = model.predict(bindings_for_platform(plat.machines, plat.network, dec, loads=loads))
+        assert math.isfinite(pred.mean) and math.isfinite(pred.spread)
+        assert pred.mean > 0.0
+
+    def test_run_completes_under_faults(self, chaos_run):
+        plat, plan, _, _ = chaos_run
+        clean = simulate_sor(plat.machines, plat.network, 600, 10, start_time=700.0)
+        out = simulate_sor(plat.machines, plat.network, 600, 10, start_time=700.0, faults=plan)
+        assert math.isfinite(out.elapsed)
+        assert out.elapsed >= clean.elapsed  # faults never speed a run up
+        assert np.all(np.diff(out.iteration_ends) > 0)
+
+    def test_interval_widens_monotonically_with_staleness(self):
+        # A dedicated service whose only sensor goes permanently silent.
+        plan = FaultPlan(sensor_dropouts={"cpu:x": (Outage(300.0, 1e9),)})
+        nws = NetworkWeatherService(
+            degradation=DegradationPolicy(prior=StochasticValue(0.5, 0.1)), faults=plan
+        )
+        plat = platform1(duration=400.0, rng=5)
+        nws.register("cpu:x", plat.machines[0].availability)
+        spreads = []
+        for t in (290.0, 330.0, 420.0, 600.0, 1200.0, 5000.0):
+            spreads.append(nws.query_qualified("cpu:x", t=t).value.spread)
+        assert spreads == sorted(spreads)
+        assert spreads[-1] > spreads[0]
+        q = nws.query_qualified("cpu:x")
+        assert q.quality == "fallback"
+
+    def test_zero_rate_plan_is_bit_identical(self):
+        """Acceptance gate: all-zero rates must not perturb a single bit."""
+        plat = platform1(duration=900.0, rng=3)
+        null_plan = FaultPlan.generate(
+            FaultPlanConfig(),
+            resources=["cpu:a"],
+            machines=[m.name for m in plat.machines],
+            links=[],
+            horizon=900.0,
+            rng=99,
+        )
+        clean_nws = NetworkWeatherService()
+        faulted_nws = NetworkWeatherService(faults=null_plan)
+        for m in plat.machines:
+            clean_nws.register(f"cpu:{m.name}", m.availability)
+            faulted_nws.register(f"cpu:{m.name}", m.availability)
+        clean_nws.advance_to(600.0)
+        faulted_nws.advance_to(600.0)
+        for m in plat.machines:
+            a = clean_nws.query(f"cpu:{m.name}")
+            b = faulted_nws.query(f"cpu:{m.name}")
+            assert a.mean == b.mean and a.spread == b.spread
+
+        clean_run = simulate_sor(plat.machines, plat.network, 400, 5, start_time=600.0)
+        faulted_run = simulate_sor(
+            plat.machines, plat.network, 400, 5, start_time=600.0, faults=null_plan
+        )
+        assert clean_run.end == faulted_run.end
+        assert clean_run.phase_time == faulted_run.phase_time
+        assert clean_run.max_skew == faulted_run.max_skew

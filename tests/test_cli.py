@@ -84,3 +84,20 @@ class TestCommands:
         assert main(["advise", "--size", "800", "--iterations", "5"]) == 0
         out = capsys.readouterr().out
         assert "advice:" in out and "mean-balanced" in out
+
+    def test_chaos_command(self, capsys):
+        assert main(["chaos", "--size", "400", "--iterations", "5", "--seed", "23"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out and "NWS under faults" in out
+        assert "degraded stochastic prediction" in out
+        assert "quality" in out
+
+    def test_chaos_command_zero_rates_is_healthy(self, capsys):
+        assert main([
+            "chaos", "--size", "400", "--iterations", "5",
+            "--dropout-rate", "0", "--crash-rate", "0",
+            "--outage-rate", "0", "--corruption-rate", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dropout_windows=0" in out
+        assert "fresh" in out and "stale" not in out.replace("stale_s", "")

@@ -62,3 +62,9 @@ class TestExamples:
         assert "static balanced" in out
         assert "adaptive" in out
         assert "moved" in out
+
+    def test_chaos_prediction(self, capsys):
+        out = run_example("chaos_prediction.py", capsys)
+        assert "quality=fresh" in out and "quality=stale" in out
+        assert "degraded stochastic prediction" in out
+        assert "execution under crash" in out

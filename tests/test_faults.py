@@ -1,0 +1,493 @@
+"""Tests for repro.faults — plans, injection, and graceful degradation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.batch.application import BatchApplication, simulate_batch
+from repro.batch.scheduler import simulate_batch_with_recovery
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.stochastic import StochasticValue
+from repro.faults import (
+    ALL_LINKS,
+    Corruption,
+    DeliveryError,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanConfig,
+    Outage,
+    RetryPolicy,
+)
+from repro.nws.sensors import Sensor
+from repro.nws.service import DegradationPolicy, NetworkWeatherService
+from repro.sor.distributed import build_sor_program, simulate_sor
+from repro.sor.decomposition import equal_strips
+from repro.workload.traces import Trace
+
+
+def machine(name, rate=100.0, avail=1.0, duration=100_000.0):
+    return Machine(
+        name=name,
+        elements_per_sec=rate,
+        availability=Trace.constant(avail, 0.0, duration),
+        memory_elements=10**9,
+    )
+
+
+class TestOutage:
+    def test_half_open_contains(self):
+        o = Outage(10.0, 20.0)
+        assert o.contains(10.0) and o.contains(19.999)
+        assert not o.contains(20.0) and not o.contains(9.999)
+        assert o.duration == 10.0
+
+    def test_overlaps_open_interval(self):
+        o = Outage(10.0, 20.0)
+        assert o.overlaps(5.0, 11.0) and o.overlaps(19.0, 30.0)
+        assert not o.overlaps(0.0, 10.0)  # touching at the edge is no overlap
+        assert not o.overlaps(20.0, 30.0)
+
+    def test_overlap_seconds(self):
+        o = Outage(10.0, 20.0)
+        assert o.overlap_seconds(0.0, 15.0) == 5.0
+        assert o.overlap_seconds(12.0, 18.0) == 6.0
+        assert o.overlap_seconds(25.0, 30.0) == 0.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Outage(5.0, 5.0)
+        with pytest.raises(ValueError):
+            Outage(float("nan"), 5.0)
+
+
+class TestCorruption:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            Corruption(time=1.0, kind="gamma-ray")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Corruption(time=1.0, kind="late", delay=-1.0)
+
+
+class TestFaultPlanConfig:
+    def test_default_is_null(self):
+        assert FaultPlanConfig().is_null
+
+    def test_any_rate_breaks_null(self):
+        assert not FaultPlanConfig(machine_crash_rate=0.01).is_null
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlanConfig(corruption_kinds=("nan", "bogus"))
+
+
+class TestFaultPlanGeneration:
+    def test_null_config_generates_empty_plan(self):
+        plan = FaultPlan.generate(
+            FaultPlanConfig(), resources=["a"], machines=["m"], links=[], horizon=1000.0, rng=0
+        )
+        assert plan.is_empty
+        assert plan == FaultPlan.none()
+
+    def test_same_seed_same_fingerprint(self):
+        cfg = FaultPlanConfig(
+            sensor_dropout_rate=0.01, machine_crash_rate=0.005, corruption_rate=0.02
+        )
+        kw = dict(resources=["r1", "r2"], machines=["m1", "m2"], links=[], horizon=2000.0)
+        a = FaultPlan.generate(cfg, rng=42, **kw)
+        b = FaultPlan.generate(cfg, rng=42, **kw)
+        assert a.fingerprint() == b.fingerprint()
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_seed_different_schedule(self):
+        cfg = FaultPlanConfig(sensor_dropout_rate=0.05)
+        kw = dict(resources=["r"], machines=[], links=[], horizon=5000.0)
+        a = FaultPlan.generate(cfg, rng=1, **kw)
+        b = FaultPlan.generate(cfg, rng=2, **kw)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_entity_order_irrelevant(self):
+        cfg = FaultPlanConfig(sensor_dropout_rate=0.02, machine_crash_rate=0.01)
+        a = FaultPlan.generate(
+            cfg, resources=["x", "y"], machines=["p", "q"], links=[], horizon=3000.0, rng=9
+        )
+        b = FaultPlan.generate(
+            cfg, resources=["y", "x"], machines=["q", "p"], links=[], horizon=3000.0, rng=9
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_windows_sorted_and_disjoint_per_entity(self):
+        plan = FaultPlan.generate(
+            FaultPlanConfig(machine_crash_rate=0.05, machine_restart_mean=10.0),
+            resources=[],
+            machines=["m"],
+            links=[],
+            horizon=10_000.0,
+            rng=3,
+        )
+        windows = plan.machine_crashes["m"]
+        assert len(windows) > 5
+        for prev, cur in zip(windows, windows[1:]):
+            assert prev.end <= cur.start
+
+    def test_horizon_bounds_starts(self):
+        plan = FaultPlan.generate(
+            FaultPlanConfig(sensor_dropout_rate=0.1),
+            resources=["r"],
+            machines=[],
+            links=[],
+            horizon=500.0,
+            rng=7,
+        )
+        assert all(o.start < 500.0 for o in plan.sensor_dropouts["r"])
+
+
+class TestFaultPlanQueries:
+    def plan(self):
+        return FaultPlan(
+            sensor_dropouts={"r": (Outage(10.0, 20.0),)},
+            machine_crashes={"m": (Outage(100.0, 150.0), Outage(300.0, 310.0))},
+            link_outages={("b", "a"): (Outage(5.0, 6.0),), ALL_LINKS: (Outage(50.0, 55.0),)},
+            corruptions={"r": (Corruption(time=2.0, kind="nan"),)},
+        )
+
+    def test_sensor_down(self):
+        p = self.plan()
+        assert p.sensor_down("r", 15.0) and not p.sensor_down("r", 25.0)
+        assert not p.sensor_down("other", 15.0)
+
+    def test_machine_down_and_next_up(self):
+        p = self.plan()
+        assert p.machine_down("m", 120.0)
+        assert p.next_machine_up("m", 120.0) == 150.0
+        assert p.next_machine_up("m", 99.0) == 99.0
+
+    def test_link_key_is_unordered(self):
+        p = self.plan()
+        assert p.link_down("a", "b", 5.5) and p.link_down("b", "a", 5.5)
+
+    def test_all_links_partition(self):
+        p = self.plan()
+        assert p.link_down("x", "y", 52.0)
+        assert not p.link_down("x", "y", 60.0)
+
+    def test_first_crash_overlapping(self):
+        p = self.plan()
+        hit = p.first_crash_overlapping("m", 90.0, 105.0)
+        assert hit is not None and hit.start == 100.0
+        assert p.first_crash_overlapping("m", 160.0, 290.0) is None
+
+    def test_machine_downtime(self):
+        p = self.plan()
+        assert p.machine_downtime("m", 0.0, 400.0) == pytest.approx(60.0)
+        assert p.machine_downtime("m", 125.0, 305.0) == pytest.approx(30.0)
+
+
+class TestTraceMasked:
+    def test_masking_zeroes_window(self):
+        t = Trace.constant(0.8, 0.0, 100.0)
+        m = t.masked([(10.0, 20.0)], 0.0)
+        assert m.value_at(15.0) == 0.0
+        assert m.value_at(5.0) == 0.8
+        assert m.value_at(25.0) == 0.8
+
+    def test_clamp_beyond_end_restores_value(self):
+        t = Trace.constant(0.8, 0.0, 100.0)
+        m = t.masked([(90.0, 150.0)], 0.0)
+        assert m.value_at(120.0) == 0.0
+        assert m.value_at(10_000.0) == 0.8  # clamp never sticks at zero
+
+    def test_bad_window_rejected(self):
+        t = Trace.constant(1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            t.masked([(5.0, 5.0)], 0.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        r = RetryPolicy(timeout=5.0, backoff=2.0, max_attempts=4)
+        assert [r.retry_delay(k) for k in (1, 2, 3)] == [5.0, 10.0, 20.0]
+        assert r.max_retry_horizon == 35.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestFaultInjectorCompute:
+    def test_crash_pauses_work(self):
+        # 1000 elements at 100 elt/s = 10 s of work; crash [5, 15) pauses it.
+        inj = FaultInjector(FaultPlan(machine_crashes={"m": (Outage(5.0, 15.0),)}))
+        finish = inj.compute_finish(machine("m"), 1000.0, 0.0)
+        assert finish == pytest.approx(20.0)
+
+    def test_no_crash_matches_plain_machine(self):
+        inj = FaultInjector(FaultPlan.none())
+        m = machine("m")
+        assert inj.compute_finish(m, 1234.0, 3.0) == m.compute_finish(1234.0, 3.0)
+
+
+class TestFaultInjectorDeliver:
+    def test_outage_forces_retries(self):
+        plan = FaultPlan(link_outages={ALL_LINKS: (Outage(0.0, 8.0),)})
+        inj = FaultInjector(plan, retry=RetryPolicy(timeout=5.0, backoff=2.0, max_attempts=6))
+        arrive = inj.deliver(Network(), "a", "b", 1000.0, 0.0)
+        # Attempts at t=0 and t=5 fail (outage), t=15 succeeds.
+        assert arrive > 15.0
+        assert inj.message_retries == 2
+        assert inj.messages_failed == 0
+
+    def test_exhausted_budget_raises(self):
+        plan = FaultPlan(link_outages={ALL_LINKS: (Outage(0.0, 10_000.0),)})
+        inj = FaultInjector(plan, retry=RetryPolicy(timeout=1.0, backoff=2.0, max_attempts=3))
+        with pytest.raises(DeliveryError):
+            inj.deliver(Network(), "a", "b", 100.0, 0.0)
+        assert inj.messages_failed == 1
+
+    def test_healthy_delivery_untouched(self):
+        inj = FaultInjector(FaultPlan.none())
+        net = Network()
+        assert inj.deliver(net, "a", "b", 500.0, 1.0) == net.transfer_finish("a", "b", 500.0, 1.0)
+        assert inj.message_retries == 0
+
+
+class TestSensorUnderFaults:
+    def trace(self):
+        return Trace.constant(0.5, 0.0, 10_000.0)
+
+    def test_dropout_window_skips_samples(self):
+        plan = FaultPlan(sensor_dropouts={"cpu": (Outage(10.0, 21.0),)})
+        s = Sensor(resource="cpu", trace=self.trace(), period=5.0, faults=plan)
+        s.advance_to(30.0)
+        # Samples at 10, 15, 20 fall in the window.
+        assert s.missed_samples == 3
+        assert s.series.times().tolist() == [0.0, 5.0, 25.0, 30.0]
+
+    def test_nan_corruption_rejected_and_counted(self):
+        plan = FaultPlan(corruptions={"cpu": (Corruption(time=4.0, kind="nan"),)})
+        s = Sensor(resource="cpu", trace=self.trace(), period=5.0, faults=plan)
+        s.advance_to(20.0)
+        assert s.corrupt_samples == 1
+        assert np.isfinite(s.series.values()).all()
+        assert 5.0 not in s.series.times()
+
+    def test_duplicate_corruption_delivers_twice(self):
+        plan = FaultPlan(corruptions={"cpu": (Corruption(time=4.0, kind="duplicate"),)})
+        s = Sensor(resource="cpu", trace=self.trace(), period=5.0, faults=plan)
+        s.advance_to(20.0)
+        assert s.duplicate_samples == 1
+        assert s.series.times().tolist().count(5.0) == 2
+
+    def test_late_sample_arrives_at_delivery_time(self):
+        plan = FaultPlan(
+            corruptions={"cpu": (Corruption(time=4.0, kind="late", delay=12.0),)}
+        )
+        s = Sensor(resource="cpu", trace=self.trace(), period=5.0, faults=plan)
+        s.advance_to(10.0)
+        # The t=5 sample is pending until t=17; series holds 0 and 10 only.
+        assert s.late_samples == 1
+        assert 5.0 not in [round(x, 6) for x in s.series.times()]
+        s.advance_to(20.0)
+        assert 17.0 in s.series.times()
+
+    def test_staleness_accounts_for_gaps(self):
+        plan = FaultPlan(sensor_dropouts={"cpu": (Outage(4.0, 100.0),)})
+        s = Sensor(resource="cpu", trace=self.trace(), period=5.0, faults=plan)
+        s.advance_to(90.0)
+        assert s.staleness(90.0) == pytest.approx(90.0)
+
+    def test_no_faults_is_bit_identical(self):
+        clean = Sensor(resource="cpu", trace=self.trace(), period=5.0)
+        nulled = Sensor(resource="cpu", trace=self.trace(), period=5.0, faults=FaultPlan.none())
+        clean.advance_to(500.0)
+        nulled.advance_to(500.0)
+        np.testing.assert_array_equal(clean.series.values(), nulled.series.values())
+        np.testing.assert_array_equal(clean.series.times(), nulled.series.times())
+
+
+class TestDegradationPolicy:
+    def test_fresh_untouched(self):
+        p = DegradationPolicy(staleness_threshold=15.0)
+        base = StochasticValue(2.0, 0.5)
+        assert p.widen(base, 10.0) is base
+
+    def test_widening_monotone_in_staleness(self):
+        p = DegradationPolicy(staleness_threshold=15.0, staleness_penalty=0.02)
+        base = StochasticValue(2.0, 0.5)
+        spreads = [p.widen(base, s).spread for s in (20.0, 60.0, 120.0, 600.0)]
+        assert spreads == sorted(spreads)
+        assert len(set(spreads)) == len(spreads)  # strictly increasing
+        assert all(sp > base.spread for sp in spreads)
+
+    def test_mean_preserved(self):
+        p = DegradationPolicy()
+        base = StochasticValue(3.0, 0.1)
+        assert p.widen(base, 1e4).mean == 3.0
+
+    def test_fallback_before_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(staleness_threshold=100.0, fallback_after=50.0)
+
+
+class TestServiceDegradation:
+    def make(self, *, dropout_from=600.0, policy=None):
+        plan = FaultPlan(sensor_dropouts={"cpu:a": (Outage(dropout_from, 1e7),)})
+        nws = NetworkWeatherService(
+            degradation=policy if policy is not None else DegradationPolicy(),
+            faults=plan,
+        )
+        nws.register("cpu:a", Trace.constant(0.5, 0.0, 1e7))
+        return nws
+
+    def test_fresh_quality_with_recent_data(self):
+        nws = self.make()
+        q = nws.query_qualified("cpu:a", t=300.0)
+        assert q.quality == "fresh" and not q.is_degraded
+        assert q.staleness <= 15.0
+
+    def test_stale_quality_widens(self):
+        nws = self.make()
+        fresh = nws.query_qualified("cpu:a", t=590.0).value
+        q = nws.query_qualified("cpu:a", t=700.0)
+        assert q.quality == "stale" and q.is_degraded
+        assert q.value.spread > fresh.spread
+        assert q.value.mean == fresh.mean
+
+    def test_widening_monotone_over_time(self):
+        nws = self.make()
+        widths = []
+        for t in (650.0, 700.0, 800.0):
+            widths.append(nws.query_qualified("cpu:a", t=t).value.spread)
+        assert widths == sorted(widths) and widths[0] < widths[-1]
+
+    def test_fallback_after_long_silence(self):
+        prior = StochasticValue(0.4, 0.2)
+        nws = self.make(policy=DegradationPolicy(fallback_after=120.0, prior=prior))
+        q = nws.query_qualified("cpu:a", t=2000.0)
+        assert q.quality == "fallback"
+        assert q.value.mean == prior.mean
+        assert q.value.spread > prior.spread
+
+    def test_silent_resource_with_prior_never_raises(self):
+        plan = FaultPlan(sensor_dropouts={"cpu:a": (Outage(0.0, 1e7),)})
+        nws = NetworkWeatherService(
+            degradation=DegradationPolicy(prior=StochasticValue(0.5, 0.3)), faults=plan
+        )
+        nws.register("cpu:a", Trace.constant(0.5, 0.0, 1e7))
+        q = nws.query_qualified("cpu:a", t=100.0)
+        assert q.quality == "fallback" and math.isinf(q.staleness)
+
+    def test_silent_resource_without_prior_raises(self):
+        plan = FaultPlan(sensor_dropouts={"cpu:a": (Outage(0.0, 1e7),)})
+        nws = NetworkWeatherService(degradation=DegradationPolicy(), faults=plan)
+        nws.register("cpu:a", Trace.constant(0.5, 0.0, 1e7))
+        with pytest.raises(RuntimeError):
+            nws.query_qualified("cpu:a", t=100.0)
+
+    def test_health_reports_counters(self):
+        nws = self.make()
+        nws.advance_to(700.0)
+        h = nws.health()["cpu:a"]
+        assert h["missed"] > 0 and h["staleness"] > 50.0 and h["delivered"] > 0
+
+    def test_query_matches_qualified_value(self):
+        nws = self.make()
+        assert nws.query("cpu:a", t=700.0) == nws.query_qualified("cpu:a").value
+
+
+class TestSimulatorUnderFaults:
+    def cluster(self, plan=None):
+        ms = [machine("m0"), machine("m1")]
+        return ms, ClusterSimulator(ms, Network(), faults=plan)
+
+    def program(self, iterations=3):
+        return build_sor_program(100, equal_strips(100, 2), iterations)
+
+    def test_null_plan_bit_identical(self):
+        ms, sim_faulted = self.cluster(FaultPlan.none())
+        sim_clean = ClusterSimulator(ms, Network())
+        prog = self.program()
+        a = sim_clean.run(prog)
+        b = sim_faulted.run(prog)
+        assert a.end == b.end
+        assert a.phase_time == b.phase_time
+        assert b.message_retries == 0 and b.machine_downtime == 0.0
+
+    def test_crash_delays_and_reports_downtime(self):
+        prog = self.program()
+        ms, clean = self.cluster()
+        base = clean.run(prog)
+        plan = FaultPlan(machine_crashes={"m0": (Outage(base.start, base.start + 2.0),)})
+        _, sim = self.cluster(plan)
+        out = sim.run(prog)
+        assert out.end > base.end
+        assert out.machine_downtime == pytest.approx(2.0)
+
+    def test_simulate_sor_accepts_plan(self):
+        ms = [machine("m0"), machine("m1")]
+        clean = simulate_sor(ms, Network(), 100, 3)
+        # Knock the segment out exactly around the first ghost-row exchange.
+        prog = build_sor_program(100, equal_strips(100, 2), 3)
+        first_comm = ms[0].compute_finish(prog.phases[0].work[0], 0.0)
+        plan = FaultPlan(
+            link_outages={ALL_LINKS: (Outage(first_comm - 0.5, first_comm + 1.0),)}
+        )
+        out = simulate_sor(ms, Network(), 100, 3, faults=plan)
+        assert out.message_retries > 0
+        assert out.elapsed > clean.elapsed
+
+
+class TestBatchRecovery:
+    def setup_method(self):
+        self.machines = [machine("a"), machine("b"), machine("c")]
+        self.app = BatchApplication(total_units=30, elements_per_unit=100.0)
+
+    def test_null_plan_matches_simulate_batch(self):
+        rec = simulate_batch_with_recovery(
+            self.machines, self.app, [10, 10, 10], faults=FaultPlan.none()
+        )
+        plain = simulate_batch(self.machines, self.app, [10, 10, 10])
+        assert rec.makespan == plain.makespan
+        assert rec.rescheduled_units == 0
+        assert rec.executed_units == (10, 10, 10)
+
+    def test_crash_reschedules_onto_survivors(self):
+        plan = FaultPlan(machine_crashes={"b": (Outage(3.0, 500.0),)})
+        rec = simulate_batch_with_recovery(self.machines, self.app, [10, 10, 10], faults=plan)
+        assert sum(rec.executed_units) == 30
+        assert rec.rescheduled_units > 0
+        assert rec.executed_units[1] < 10  # b lost work
+        assert len(rec.reschedules) == 1
+        ev = rec.reschedules[0]
+        assert ev.source == "b" and ev.time == 3.0
+        assert all(name in ("a", "c") for name, _ in ev.targets)
+
+    def test_total_outage_waits_for_restart(self):
+        plan = FaultPlan(
+            machine_crashes={
+                "a": (Outage(1.0, 50.0),),
+                "b": (Outage(1.0, 60.0),),
+                "c": (Outage(1.0, 70.0),),
+            }
+        )
+        rec = simulate_batch_with_recovery(self.machines, self.app, [10, 10, 10], faults=plan)
+        assert sum(rec.executed_units) == 30
+        assert rec.makespan > 49.0  # nothing can finish before the first restart
+
+    def test_bad_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_batch_with_recovery(
+                self.machines, self.app, [10, 10], faults=FaultPlan.none()
+            )
+        with pytest.raises(ValueError):
+            simulate_batch_with_recovery(
+                self.machines, self.app, [10, 10, 11], faults=FaultPlan.none()
+            )

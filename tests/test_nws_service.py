@@ -56,6 +56,35 @@ class TestMeasurementSeries:
         with pytest.raises(ValueError):
             MeasurementSeries(maxlen=0)
 
+    def test_nan_reading_rejected(self):
+        s = MeasurementSeries()
+        with pytest.raises(ValueError, match="finite"):
+            s.append(0.0, float("nan"))
+        assert len(s) == 0
+
+    def test_inf_reading_rejected(self):
+        s = MeasurementSeries()
+        with pytest.raises(ValueError, match="finite"):
+            s.append(0.0, float("inf"))
+
+    def test_nonfinite_time_rejected(self):
+        s = MeasurementSeries()
+        with pytest.raises(ValueError, match="finite"):
+            s.append(float("nan"), 1.0)
+
+    def test_negative_reading_rejected_by_default(self):
+        s = MeasurementSeries()
+        with pytest.raises(ValueError, match="negative"):
+            s.append(0.0, -0.1)
+
+    def test_negative_reading_allowed_when_opted_in(self):
+        s = MeasurementSeries(allow_negative=True)
+        s.append(0.0, -0.1)
+        assert s.last_value == -0.1
+        # Non-finite values stay rejected even then.
+        with pytest.raises(ValueError):
+            s.append(1.0, float("nan"))
+
 
 class TestSensor:
     def test_samples_on_cadence(self):
@@ -156,3 +185,45 @@ class TestService:
         nws.advance_to(10.0)
         with pytest.raises(ValueError):
             nws.query_window("cpu:a", 0.0)
+
+
+class TestUnregister:
+    def test_unregister_frees_the_name(self):
+        nws = NetworkWeatherService()
+        nws.register("cpu:a", Trace.constant(0.5))
+        nws.advance_to(50.0)
+        old = nws.unregister("cpu:a")
+        assert "cpu:a" not in nws.resources
+        assert len(old.series) > 0  # history survives for post-mortem
+        with pytest.raises(KeyError):
+            nws.query("cpu:a")
+
+    def test_unknown_unregister_rejected(self):
+        nws = NetworkWeatherService()
+        with pytest.raises(KeyError, match="cpu:zzz"):
+            nws.unregister("cpu:zzz")
+
+    def test_reregister_after_unregister_starts_clean(self):
+        nws = NetworkWeatherService()
+        nws.register("cpu:a", Trace.constant(0.2))
+        nws.advance_to(50.0)
+        nws.unregister("cpu:a")
+        nws.register("cpu:a", Trace.constant(0.8))
+        nws.advance_to(100.0)
+        assert len(nws.sensor("cpu:a").series) > 0
+        # The fresh sensor only ever saw the new trace.
+        assert nws.query("cpu:a").mean == pytest.approx(0.8, abs=0.01)
+
+    def test_register_replace_flag(self):
+        nws = NetworkWeatherService()
+        nws.register("cpu:a", Trace.constant(0.2))
+        nws.advance_to(50.0)
+        nws.register("cpu:a", Trace.constant(0.9), replace=True)
+        nws.advance_to(100.0)
+        assert nws.query("cpu:a").mean == pytest.approx(0.9, abs=0.01)
+
+    def test_replace_false_still_rejects_duplicates(self):
+        nws = NetworkWeatherService()
+        nws.register("cpu:a", Trace.constant(0.2))
+        with pytest.raises(ValueError):
+            nws.register("cpu:a", Trace.constant(0.9))

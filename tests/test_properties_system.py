@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.cluster.capacity import completion_time
 from repro.distributions.histogram import empirical_cdf
+from repro.faults import FaultPlan, FaultPlanConfig
+from repro.nws.service import DegradationPolicy, NetworkWeatherService
 from repro.sor.decomposition import equal_strips, weighted_strips
 from repro.workload.traces import Trace
 
@@ -106,6 +108,63 @@ class TestDecompositionProperties:
             return
         dec = equal_strips(n, p)
         assert sum(dec.elements(q) for q in range(p)) == (n - 2) * (n - 2)
+
+
+class TestFaultDeterminismProperties:
+    """Same seed => byte-identical fault schedules and identical outputs."""
+
+    CONFIG = FaultPlanConfig(
+        sensor_dropout_rate=0.01,
+        machine_crash_rate=0.002,
+        link_outage_rate=0.003,
+        corruption_rate=0.02,
+    )
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_byte_identical_schedule(self, seed):
+        kw = dict(
+            resources=["cpu:a", "cpu:b"],
+            machines=["a", "b"],
+            links=[("a", "b")],
+            horizon=2000.0,
+        )
+        first = FaultPlan.generate(self.CONFIG, rng=seed, **kw)
+        second = FaultPlan.generate(self.CONFIG, rng=seed, **kw)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.canonical() == second.canonical()
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_entity_insertion_order_does_not_matter(self, seed):
+        cfg = self.CONFIG
+        a = FaultPlan.generate(
+            cfg, resources=["r1", "r2", "r3"], machines=["x", "y"], links=[], horizon=1500.0,
+            rng=seed,
+        )
+        b = FaultPlan.generate(
+            cfg, resources=["r3", "r1", "r2"], machines=["y", "x"], links=[], horizon=1500.0,
+            rng=seed,
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_end_to_end_predictions_identical(self, seed):
+        """Two fresh pipelines from one seed agree measurement for measurement."""
+
+        def pipeline():
+            trace = Trace.from_samples(0.0, 5.0, [0.3, 0.5, 0.7, 0.4] * 40)
+            plan = FaultPlan.generate(
+                self.CONFIG, resources=["cpu:a"], machines=[], links=[], horizon=800.0, rng=seed
+            )
+            nws = NetworkWeatherService(degradation=DegradationPolicy(), faults=plan)
+            nws.register("cpu:a", trace)
+            q = nws.query_qualified("cpu:a", t=700.0)
+            h = nws.health()["cpu:a"]
+            return (q.value.mean, q.value.spread, q.quality, q.staleness, tuple(h.items()))
+
+        assert pipeline() == pipeline()
 
 
 class TestEmpiricalCdfProperties:

@@ -6,8 +6,10 @@ from pathlib import Path
 import pytest
 
 import repro
+import repro.batch
 import repro.core
 import repro.distributions
+import repro.faults
 import repro.nws
 import repro.scheduling
 import repro.sor
@@ -54,8 +56,10 @@ class TestPublicApi:
         "module",
         [
             repro,
+            repro.batch,
             repro.core,
             repro.distributions,
+            repro.faults,
             repro.nws,
             repro.scheduling,
             repro.sor,
@@ -70,8 +74,10 @@ class TestPublicApi:
     @pytest.mark.parametrize(
         "module",
         [
+            repro.batch,
             repro.core,
             repro.distributions,
+            repro.faults,
             repro.nws,
             repro.scheduling,
             repro.sor,
