@@ -1,0 +1,110 @@
+"""Perf smoke: vectorised Monte Carlo engine vs the per-sample reference.
+
+Not a paper artifact — a performance regression gate.  The vectorised
+engine (``repro.structural.engine``) must propagate the SOR model's
+2000-draw batch at least 10x faster than the per-sample loop while
+producing *identical* seeded samples.  Results (wall times, samples/sec,
+speedup) are written to ``benchmarks/out/BENCH_montecarlo.json`` so the
+perf trajectory is tracked run over run.
+"""
+
+import json
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network, SharedEthernet
+from repro.core.stochastic import StochasticValue
+from repro.sor.decomposition import equal_strips
+from repro.structural.engine import clear_plan_cache, plan_cache_stats
+from repro.structural.montecarlo import (
+    monte_carlo_predict,
+    monte_carlo_predict_reference,
+)
+from repro.structural.sor_model import SORModel, bindings_for_platform
+from repro.util.tables import format_table
+
+N_SAMPLES = 2000
+MIN_SPEEDUP = 10.0
+
+
+def sor_case():
+    """The production SOR prediction: 4 machines, stochastic loads + bw."""
+    machines = [Machine(f"m{i}", 1e5) for i in range(4)]
+    network = Network(SharedEthernet(dedicated_bytes_per_sec=1.25e6, latency=0.0))
+    dec = equal_strips(802, 4)
+    loads = {i: StochasticValue(0.5, 0.08) for i in range(4)}
+    bindings = bindings_for_platform(
+        machines, network, dec, loads=loads, bw_avail=StochasticValue(0.6, 0.1)
+    )
+    expr = SORModel(n_procs=4, iterations=20).expression()
+    clip = {f"load[{i}]": (0.02, 1.0) for i in range(4)}
+    clip["bw_avail"] = (0.02, 1.0)
+    return expr, bindings, clip
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def test_vectorised_speedup(out_dir):
+    expr, bindings, clip = sor_case()
+    kwargs = dict(n_samples=N_SAMPLES, rng=11, clip=clip)
+
+    t_ref, ref = _timed(lambda: monte_carlo_predict_reference(expr, bindings, **kwargs))
+    clear_plan_cache()
+    t_cold, vec = _timed(lambda: monte_carlo_predict(expr, bindings, **kwargs))
+    t_warm, vec2 = _timed(lambda: monte_carlo_predict(expr, bindings, **kwargs))
+
+    # Identical RNG consumption: seeded results agree to the last bit
+    # (the acceptance bar is 1e-9 relative; in practice the diff is 0).
+    np.testing.assert_allclose(vec.samples, ref.samples, rtol=1e-9, atol=0.0)
+    np.testing.assert_array_equal(vec.samples, vec2.samples)
+
+    speedup_cold = t_ref / t_cold
+    speedup_warm = t_ref / t_warm
+    stats = plan_cache_stats()
+
+    emit(
+        "Monte Carlo propagation: per-sample reference vs vectorised engine",
+        format_table(
+            ["engine", "wall (s)", "samples/sec", "speedup"],
+            [
+                ["reference loop", f"{t_ref:.4f}", f"{N_SAMPLES / t_ref:,.0f}", "1.0x"],
+                [
+                    "vectorised (cold)",
+                    f"{t_cold:.4f}",
+                    f"{N_SAMPLES / t_cold:,.0f}",
+                    f"{speedup_cold:.1f}x",
+                ],
+                [
+                    "vectorised (warm)",
+                    f"{t_warm:.4f}",
+                    f"{N_SAMPLES / t_warm:,.0f}",
+                    f"{speedup_warm:.1f}x",
+                ],
+            ],
+        ),
+    )
+
+    payload = {
+        "n_samples": N_SAMPLES,
+        "reference_wall_s": t_ref,
+        "vectorised_cold_wall_s": t_cold,
+        "vectorised_warm_wall_s": t_warm,
+        "reference_samples_per_sec": N_SAMPLES / t_ref,
+        "vectorised_cold_samples_per_sec": N_SAMPLES / t_cold,
+        "vectorised_warm_samples_per_sec": N_SAMPLES / t_warm,
+        "speedup_cold": speedup_cold,
+        "speedup_warm": speedup_warm,
+        "plan_cache": stats,
+        "max_abs_diff": float(np.max(np.abs(vec.samples - ref.samples))),
+    }
+    (out_dir / "BENCH_montecarlo.json").write_text(json.dumps(payload, indent=2))
+
+    assert speedup_cold >= MIN_SPEEDUP
+    assert stats["hits"] >= 1  # the warm call reused the compiled plan

@@ -138,6 +138,15 @@ class EmpiricalValue:
         """Empirical P(X > threshold)."""
         return float(np.mean(self.samples > threshold))
 
+    def prob_below(self, threshold: float) -> float:
+        """Empirical P(X < threshold)."""
+        return float(np.mean(self.samples < threshold))
+
+    @property
+    def is_point(self) -> bool:
+        """True when every sample is the same value (a degenerate cloud)."""
+        return bool(np.all(self.samples == self.samples[0]))
+
     # ------------------------------------------------------------------
     # Arithmetic by sampling
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ from repro.scheduling.allocation import (
     completion_times,
     makespan,
 )
-from repro.scheduling.qos import ServiceRange
+from repro.scheduling.qos import ServiceRange, tail_quantile
 from repro.scheduling.sor_advisor import (
     AdvisorChoice,
     DecompositionCandidate,
@@ -33,6 +33,7 @@ __all__ = [
     "completion_times",
     "makespan",
     "ServiceRange",
+    "tail_quantile",
     "StrategyOutcome",
     "allocate_risk_averse",
     "compare_strategies",

@@ -5,19 +5,30 @@ range' as an alternative to Quality of Service guarantees.  Probabilities
 associated with values in the service range could be used in instances
 where poor performance can be tolerated a small percentage of the time."
 
-A :class:`ServiceRange` wraps a stochastic value and answers the two
-operational questions: how often will the metric stray beyond a bound,
-and what bound holds with a target confidence.
+A :class:`ServiceRange` wraps a stochastic characterisation of a metric
+and answers the two operational questions: how often will the metric
+stray beyond a bound, and what bound holds with a target confidence.
+
+The characterisation can be the first-order normal summary
+(:class:`~repro.core.stochastic.StochasticValue`) or the exact sampled
+distribution (:class:`~repro.core.empirical.EmpiricalValue`); both expose
+the same query API.  For tail bounds — the whole point of a service
+range — the sampled distribution is preferable when the model contains
+maxima or products, whose outputs are visibly non-normal in the tails.
+:func:`tail_quantile` and :meth:`ServiceRange.from_expression` build the
+sampled characterisation straight from a structural model via the
+vectorised Monte Carlo engine, so a contract quote costs milliseconds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.empirical import EmpiricalValue
 from repro.core.stochastic import StochasticValue, as_stochastic
 from repro.util.validation import check_in_range
 
-__all__ = ["ServiceRange"]
+__all__ = ["ServiceRange", "tail_quantile"]
 
 
 @dataclass(frozen=True)
@@ -28,18 +39,48 @@ class ServiceRange:
     ----------
     value:
         The stochastic characterisation of the metric (e.g. predicted
-        completion time, available bandwidth).
+        completion time, available bandwidth): a
+        :class:`~repro.core.stochastic.StochasticValue` normal summary or
+        an :class:`~repro.core.empirical.EmpiricalValue` sample cloud.
     higher_is_better:
         True for capacity-like metrics (bandwidth), False for cost-like
         metrics (latency, execution time).
     """
 
-    value: StochasticValue
+    value: StochasticValue | EmpiricalValue
     higher_is_better: bool = False
 
     def __init__(self, value, higher_is_better: bool = False):
-        object.__setattr__(self, "value", as_stochastic(value))
+        if not isinstance(value, EmpiricalValue):
+            value = as_stochastic(value)
+        object.__setattr__(self, "value", value)
         object.__setattr__(self, "higher_is_better", bool(higher_is_better))
+
+    @classmethod
+    def from_expression(
+        cls,
+        expression,
+        bindings,
+        *,
+        higher_is_better: bool = False,
+        n_samples: int = 2000,
+        rng=None,
+        clip=None,
+    ) -> "ServiceRange":
+        """Service range over a structural model's sampled distribution.
+
+        Runs :func:`~repro.structural.montecarlo.monte_carlo_predict`
+        (vectorised engine, plan-cached) and wraps the resulting
+        :class:`~repro.core.empirical.EmpiricalValue`, so bound queries
+        reflect the exact propagated tails rather than the first-order
+        normal summary.
+        """
+        from repro.structural.montecarlo import monte_carlo_predict
+
+        value = monte_carlo_predict(
+            expression, bindings, n_samples=n_samples, rng=rng, clip=clip
+        )
+        return cls(value, higher_is_better=higher_is_better)
 
     def violation_probability(self, bound: float) -> float:
         """P(the metric is worse than ``bound``)."""
@@ -69,3 +110,31 @@ class ServiceRange:
         """True when violations of ``bound`` happen at most ``tolerance`` often."""
         check_in_range(tolerance, "tolerance", 0.0, 1.0)
         return self.violation_probability(bound) <= tolerance
+
+
+def tail_quantile(
+    expression,
+    bindings,
+    confidence: float,
+    *,
+    n_samples: int = 2000,
+    rng=None,
+    clip=None,
+    higher_is_better: bool = False,
+) -> float:
+    """Monte Carlo tail bound for a structural model in one call.
+
+    The bound the modelled metric meets with probability ``confidence``,
+    computed from the exact sampled distribution (vectorised engine)
+    rather than the first-order normal spread.  Equivalent to
+    ``ServiceRange.from_expression(...).guaranteed_bound(confidence)``.
+    """
+    sr = ServiceRange.from_expression(
+        expression,
+        bindings,
+        higher_is_better=higher_is_better,
+        n_samples=n_samples,
+        rng=rng,
+        clip=clip,
+    )
+    return sr.guaranteed_bound(confidence)

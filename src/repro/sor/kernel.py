@@ -5,13 +5,39 @@ Red points are interior points with even coordinate parity
 Because every red point's stencil touches only black points, a whole
 colour can be updated as one vectorised NumPy expression — the idiom the
 HPC guides recommend over per-point loops.
+
+Colour masks depend only on the interior shape, the colour, and the
+parity of the global row offset, so they are built once and memoised
+(read-only) instead of being reallocated every sweep; repeated sweeps of
+the same field — the entire life of a solve — reuse one pair of masks.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["sor_sweep_color", "sor_iteration", "residual_norm", "color_mask"]
+
+
+def _check_color(color: int) -> None:
+    if color not in (0, 1):
+        raise ValueError(f"color must be 0 (red) or 1 (black), got {color}")
+
+
+@lru_cache(maxsize=256)
+def _cached_mask(n_rows: int, n_cols: int, color: int, parity: int):
+    """Interior colour mask and its point count, built once per key.
+
+    The returned mask is marked read-only: it is shared across every
+    sweep with the same ``(shape, color, offset parity)``.
+    """
+    rows = np.arange(1, n_rows - 1)[:, None] + parity
+    cols = np.arange(1, n_cols - 1)[None, :]
+    mask = (rows + cols) % 2 == color
+    mask.flags.writeable = False
+    return mask, int(mask.sum())
 
 
 def color_mask(n: int, color: int, offset: int = 0) -> np.ndarray:
@@ -26,13 +52,15 @@ def color_mask(n: int, color: int, offset: int = 0) -> np.ndarray:
     offset:
         Global row index of this grid's first *interior* row; strips of a
         decomposed grid pass their global offset so colours line up across
-        processor boundaries.
+        processor boundaries.  Only its parity matters.
+
+    Returns
+    -------
+    A memoised, **read-only** boolean array shared between callers; copy
+    it before mutating.
     """
-    if color not in (0, 1):
-        raise ValueError(f"color must be 0 (red) or 1 (black), got {color}")
-    rows = np.arange(1, n - 1)[:, None] + offset
-    cols = np.arange(1, n - 1)[None, :]
-    return (rows + cols) % 2 == color
+    _check_color(color)
+    return _cached_mask(n, n, color, offset % 2)[0]
 
 
 def _stencil_average(u: np.ndarray, source: np.ndarray | None) -> np.ndarray:
@@ -60,19 +88,12 @@ def sor_sweep_color(
     n_rows, n_cols = u.shape
     if n_rows < 3 or n_cols < 3:
         raise ValueError(f"field must be at least 3x3, got {u.shape}")
-    mask = _rect_color_mask(n_rows, n_cols, color, row_offset)
+    _check_color(color)
+    mask, count = _cached_mask(n_rows, n_cols, color, row_offset % 2)
     avg = _stencil_average(u, source)
     interior = u[1:-1, 1:-1]
     interior[mask] += omega * (avg[mask] - interior[mask])
-    return int(mask.sum())
-
-
-def _rect_color_mask(n_rows: int, n_cols: int, color: int, row_offset: int) -> np.ndarray:
-    if color not in (0, 1):
-        raise ValueError(f"color must be 0 (red) or 1 (black), got {color}")
-    rows = np.arange(1, n_rows - 1)[:, None] + row_offset
-    cols = np.arange(1, n_cols - 1)[None, :]
-    return (rows + cols) % 2 == color
+    return count
 
 
 def sor_iteration(

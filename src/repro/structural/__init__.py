@@ -22,8 +22,21 @@ from repro.structural.expr import (
     Sum,
     as_expr,
 )
+from repro.structural.engine import (
+    CompiledExpr,
+    UnsupportedExpressionError,
+    UnsupportedPolicyError,
+    clear_plan_cache,
+    compile_expr,
+    plan_cache_stats,
+)
 from repro.structural.generic import model_from_program, phase_component, program_bindings
-from repro.structural.montecarlo import compare_with_closed_form, monte_carlo_predict
+from repro.structural.montecarlo import (
+    ClipSaturationWarning,
+    compare_with_closed_form,
+    monte_carlo_predict,
+    monte_carlo_predict_reference,
+)
 from repro.structural.parameters import Bindings, ResolveTime, param_name
 from repro.structural.skew import max_skew_delay, skew_widened_prediction
 from repro.structural.sor_model import SORModel, bindings_for_platform
@@ -61,5 +74,13 @@ __all__ = [
     "phase_component",
     "program_bindings",
     "monte_carlo_predict",
+    "monte_carlo_predict_reference",
     "compare_with_closed_form",
+    "ClipSaturationWarning",
+    "CompiledExpr",
+    "compile_expr",
+    "clear_plan_cache",
+    "plan_cache_stats",
+    "UnsupportedPolicyError",
+    "UnsupportedExpressionError",
 ]

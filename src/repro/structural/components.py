@@ -41,8 +41,8 @@ class ComponentModel(Expr):
     def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
         return self.expression.evaluate(bindings, policy)
 
-    def params(self) -> set[str]:
-        return self.expression.params()
+    def _compute_params(self) -> set[str]:
+        return set(self.expression.params())
 
     def breakdown(
         self, bindings: Bindings, policy: EvalPolicy | None = None

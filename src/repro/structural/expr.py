@@ -79,8 +79,21 @@ class Expr:
         """Evaluate to a stochastic value under ``policy``."""
         raise NotImplementedError
 
-    def params(self) -> set[str]:
-        """All parameter names referenced by the expression."""
+    def params(self) -> frozenset[str]:
+        """All parameter names referenced by the expression.
+
+        Nodes are frozen, so the set is computed once and memoised on the
+        instance — repeated calls (every Monte Carlo prediction asks for
+        it) cost a dict lookup instead of a tree walk.
+        """
+        cached = self.__dict__.get("_cached_params")
+        if cached is None:
+            cached = frozenset(self._compute_params())
+            object.__setattr__(self, "_cached_params", cached)
+        return cached
+
+    def _compute_params(self) -> set[str]:
+        """Uncached parameter-name computation (overridden per node)."""
         raise NotImplementedError
 
     # Operator sugar -----------------------------------------------------
@@ -125,7 +138,7 @@ class Const(Expr):
     def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
         return self.value
 
-    def params(self) -> set[str]:
+    def _compute_params(self) -> set[str]:
         return set()
 
     def __repr__(self) -> str:
@@ -141,7 +154,7 @@ class Param(Expr):
     def evaluate(self, bindings: Bindings, policy: EvalPolicy | None = None) -> StochasticValue:
         return bindings.resolve(self.name)
 
-    def params(self) -> set[str]:
+    def _compute_params(self) -> set[str]:
         return {self.name}
 
     def __repr__(self) -> str:
@@ -163,8 +176,8 @@ class Add(Expr):
         p = _policy(policy)
         return add(self.left.evaluate(bindings, p), self.right.evaluate(bindings, p), p.relatedness)
 
-    def params(self) -> set[str]:
-        return self.left.params() | self.right.params()
+    def _compute_params(self) -> set[str]:
+        return set(self.left.params() | self.right.params())
 
 
 @dataclass(frozen=True)
@@ -180,8 +193,8 @@ class Sub(Expr):
             self.left.evaluate(bindings, p), self.right.evaluate(bindings, p), p.relatedness
         )
 
-    def params(self) -> set[str]:
-        return self.left.params() | self.right.params()
+    def _compute_params(self) -> set[str]:
+        return set(self.left.params() | self.right.params())
 
 
 @dataclass(frozen=True)
@@ -197,8 +210,8 @@ class Mul(Expr):
             self.left.evaluate(bindings, p), self.right.evaluate(bindings, p), p.relatedness
         )
 
-    def params(self) -> set[str]:
-        return self.left.params() | self.right.params()
+    def _compute_params(self) -> set[str]:
+        return set(self.left.params() | self.right.params())
 
 
 @dataclass(frozen=True)
@@ -217,8 +230,8 @@ class Div(Expr):
             p.reciprocal_rule,
         )
 
-    def params(self) -> set[str]:
-        return self.left.params() | self.right.params()
+    def _compute_params(self) -> set[str]:
+        return set(self.left.params() | self.right.params())
 
 
 @dataclass(frozen=True)
@@ -237,7 +250,7 @@ class Max(Expr):
         vals = [i.evaluate(bindings, p) for i in self.items]
         return stochastic_max(vals, p.max_strategy, rng=p.mc_rng, n_samples=p.mc_samples)
 
-    def params(self) -> set[str]:
+    def _compute_params(self) -> set[str]:
         out: set[str] = set()
         for i in self.items:
             out |= i.params()
@@ -260,7 +273,7 @@ class Min(Expr):
         vals = [i.evaluate(bindings, p) for i in self.items]
         return stochastic_min(vals, p.max_strategy, rng=p.mc_rng, n_samples=p.mc_samples)
 
-    def params(self) -> set[str]:
+    def _compute_params(self) -> set[str]:
         out: set[str] = set()
         for i in self.items:
             out |= i.params()
@@ -280,7 +293,7 @@ class Sum(Expr):
         p = _policy(policy)
         return sum_stochastic((i.evaluate(bindings, p) for i in self.items), p.relatedness)
 
-    def params(self) -> set[str]:
+    def _compute_params(self) -> set[str]:
         out: set[str] = set()
         for i in self.items:
             out |= i.params()

@@ -8,7 +8,12 @@ from repro.cluster.network import Network, SharedEthernet
 from repro.core import StochasticValue
 from repro.sor.decomposition import equal_strips
 from repro.structural.expr import Param
-from repro.structural.montecarlo import compare_with_closed_form, monte_carlo_predict
+from repro.structural.montecarlo import (
+    ClipSaturationWarning,
+    compare_with_closed_form,
+    monte_carlo_predict,
+    monte_carlo_predict_reference,
+)
 from repro.structural.parameters import Bindings
 from repro.structural.sor_model import SORModel, bindings_for_platform
 
@@ -70,6 +75,46 @@ class TestMonteCarloPredict:
     def test_invalid_samples_rejected(self):
         with pytest.raises(ValueError):
             monte_carlo_predict(Param("c"), simple_bindings(), n_samples=1)
+
+    def test_clip_saturation_warns(self):
+        b = Bindings()
+        b.bind("c", 1.0)
+        # Mean far below the lower bound: nearly every draw is clipped,
+        # collapsing the parameter onto the bound.
+        b.bind_runtime("load", StochasticValue(-1.0, 0.2))
+        expr = Param("c") / Param("load")
+        with pytest.warns(ClipSaturationWarning, match="load"):
+            monte_carlo_predict(
+                expr, b, n_samples=500, rng=8, clip={"load": (0.02, 1.0)}
+            )
+
+    def test_moderate_clipping_stays_silent(self):
+        import warnings
+
+        b = simple_bindings()
+        expr = Param("c") / Param("load")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ClipSaturationWarning)
+            monte_carlo_predict(
+                expr, b, n_samples=500, rng=9, clip={"load": (0.02, 1.0)}
+            )
+
+    def test_engines_agree_on_sor_model(self):
+        machines = [Machine(f"m{i}", 1e5) for i in range(3)]
+        network = Network(SharedEthernet(dedicated_bytes_per_sec=1.25e6, latency=0.0))
+        dec = equal_strips(302, 3)
+        loads = {i: StochasticValue(0.5, 0.08) for i in range(3)}
+        bindings = bindings_for_platform(
+            machines, network, dec, loads=loads, bw_avail=StochasticValue(0.6, 0.1)
+        )
+        expr = SORModel(n_procs=3, iterations=10).expression()
+        clip = {f"load[{i}]": (0.02, 1.0) for i in range(3)}
+        clip["bw_avail"] = (0.02, 1.0)
+        vec = monte_carlo_predict(expr, bindings, n_samples=400, rng=10, clip=clip)
+        ref = monte_carlo_predict_reference(
+            expr, bindings, n_samples=400, rng=10, clip=clip
+        )
+        np.testing.assert_allclose(vec.samples, ref.samples, rtol=1e-9, atol=0.0)
 
 
 class TestSORModelValidation:

@@ -118,6 +118,31 @@ class TestKernel:
         np.testing.assert_allclose(u, g.exact_laplace_solution(), atol=1e-13)
 
 
+class TestMaskCache:
+    def test_repeat_calls_share_one_array(self):
+        a = color_mask(9, 0)
+        b = color_mask(9, 0)
+        assert a is b
+
+    def test_cached_mask_is_read_only(self):
+        mask = color_mask(9, 0)
+        assert not mask.flags.writeable
+        with pytest.raises(ValueError):
+            mask[0, 0] = False
+
+    def test_offset_parity_shares_cache_entry(self):
+        # Only the offset's parity affects the mask, so offsets 1 and 3
+        # must resolve to the same cached array.
+        assert color_mask(9, 0, offset=1) is color_mask(9, 0, offset=3)
+        assert color_mask(9, 0, offset=0) is color_mask(9, 0, offset=2)
+
+    def test_sweep_count_matches_mask_sum(self):
+        g = SORGrid.laplace_problem(11)
+        u = g.initial_field()
+        assert sor_sweep_color(u, g.omega, 0) == int(color_mask(11, 0).sum())
+        assert sor_sweep_color(u, g.omega, 1) == int(color_mask(11, 1).sum())
+
+
 class TestSolver:
     def test_converges_to_exact(self):
         g = SORGrid.laplace_problem(33)
