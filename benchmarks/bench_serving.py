@@ -1,0 +1,107 @@
+"""Perf smoke: batched vectorised serving vs per-request reference serving.
+
+Not a paper artifact — a performance regression gate for the serving
+subsystem.  A seeded closed-loop drive with 64 concurrent clients hits
+the Platform 1 demo server twice: once in ``batched`` mode (concurrent
+requests against the same compiled plan fused into one vectorised Monte
+Carlo evaluation) and once in ``reference`` mode (one per-sample
+reference evaluation per request).  The batched leg must sustain at
+least 5x the reference leg's wall-clock throughput, and must clear an
+absolute floor so an environment-wide slowdown still fails loudly.
+
+The reference leg replays fewer requests (the per-sample loop is ~2
+orders of magnitude slower); throughput comparisons are rate-based so
+the legs stay comparable.  Latency percentiles, throughput and the
+speedup land in ``benchmarks/out/BENCH_serving.json``.
+"""
+
+import json
+import time
+
+from conftest import emit
+
+from repro.serving import ClosedLoop, LoadDriver, ServerConfig, demo_server
+from repro.structural.engine import clear_plan_cache, plan_cache_stats
+from repro.util.tables import format_table
+
+SEED = 11
+CLIENTS = 64
+BATCHED_REQUESTS = 2000
+REFERENCE_REQUESTS = 250  # rate-based comparison; the full 2k would take minutes
+MIN_SPEEDUP = 5.0
+MIN_BATCHED_QPS = 25.0  # absolute wall-clock floor, deliberately conservative
+
+
+def drive(mode: str, requests: int):
+    clear_plan_cache()
+    server, _, _ = demo_server(config=ServerConfig(mode=mode), rng=SEED)
+    driver = LoadDriver(
+        server,
+        server.models,
+        ClosedLoop(clients=CLIENTS),
+        max_requests=requests,
+        rng=SEED,
+    )
+    t0 = time.perf_counter()
+    report = driver.run()
+    wall = time.perf_counter() - t0
+    return report, wall, server
+
+
+def leg_payload(report, wall):
+    return {
+        "requests": report.submitted,
+        "ok": report.ok,
+        "shed": report.shed,
+        "errors": report.errors,
+        "latency_p50_s": report.latency_p50,
+        "latency_p99_s": report.latency_p99,
+        "latency_max_s": report.latency_max,
+        "qps_wall": report.qps_wall,
+        "qps_sim": report.qps_sim,
+        "wall_s": wall,
+    }
+
+
+def test_batched_serving_speedup(out_dir):
+    batched, wall_b, server = drive("batched", BATCHED_REQUESTS)
+    cache = plan_cache_stats()
+    reference, wall_r, _ = drive("reference", REFERENCE_REQUESTS)
+
+    speedup = batched.qps_wall / reference.qps_wall
+
+    emit(
+        f"Serving throughput at {CLIENTS} closed-loop clients (seed {SEED})",
+        format_table(
+            ["mode", "requests", "p50 (s)", "p99 (s)", "wall q/s", "sim q/s"],
+            [
+                [m, r.submitted, f"{r.latency_p50:.4f}", f"{r.latency_p99:.4f}",
+                 f"{r.qps_wall:,.0f}", f"{r.qps_sim:,.0f}"]
+                for m, r in (("batched", batched), ("reference", reference))
+            ],
+        )
+        + f"\nspeedup: {speedup:.1f}x (gate: >= {MIN_SPEEDUP}x, "
+        f"floor: >= {MIN_BATCHED_QPS} q/s)",
+    )
+
+    payload = {
+        "clients": CLIENTS,
+        "seed": SEED,
+        "batched": leg_payload(batched, wall_b),
+        "reference": leg_payload(reference, wall_r),
+        "speedup_wall": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "min_batched_qps": MIN_BATCHED_QPS,
+        "plan_cache": cache,
+        "batch_size_p50": server.metrics.histogram("batch_size").quantile(0.50),
+    }
+    (out_dir / "BENCH_serving.json").write_text(json.dumps(payload, indent=2))
+
+    # Correctness riders: every request answered, nothing leaked as an error.
+    assert batched.errors == 0 and reference.errors == 0
+    assert batched.ok + batched.shed == BATCHED_REQUESTS
+    # The three SOR model sizes share one compiled plan.
+    assert cache["misses"] == 1 and cache["hits"] >= 1
+
+    assert speedup >= MIN_SPEEDUP
+    assert batched.qps_wall >= MIN_BATCHED_QPS

@@ -1,0 +1,58 @@
+"""Online serving of stochastic predictions.
+
+The paper's predictions are *run-time* artifacts: the NWS feeds live
+CPU-load stochastic values into structural models while applications
+wait for placement decisions.  This package turns the library's batch
+pipeline into a long-running service:
+
+* :mod:`repro.serving.protocol` — typed request/response dataclasses;
+* :mod:`repro.serving.forecasts` — rolling per-resource forecasts with
+  staleness-aware refresh over the live NWS;
+* :mod:`repro.serving.server` — the event-loop server: request
+  batching onto cached compiled plans, one vectorised Monte Carlo
+  evaluation per batch, quality tags on every answer;
+* :mod:`repro.serving.admission` — bounded queue, per-client token
+  buckets, deadline-aware shedding;
+* :mod:`repro.serving.metrics` — counters/gauges/histograms snapshotable
+  as JSON;
+* :mod:`repro.serving.driver` — seeded open/closed-loop load generation;
+* :mod:`repro.serving.demo` — a ready-made Platform 1 deployment.
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionPolicy, TokenBucket
+from repro.serving.demo import demo_server
+from repro.serving.driver import ClosedLoop, DriveReport, LoadDriver, OpenLoop
+from repro.serving.forecasts import ForecastCache
+from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serving.protocol import (
+    ErrorResponse,
+    OverloadedResponse,
+    PredictRequest,
+    PredictResponse,
+    Response,
+)
+from repro.serving.server import ModelSpec, PredictionServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "TokenBucket",
+    "ClosedLoop",
+    "OpenLoop",
+    "DriveReport",
+    "LoadDriver",
+    "ForecastCache",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PredictRequest",
+    "PredictResponse",
+    "OverloadedResponse",
+    "ErrorResponse",
+    "Response",
+    "ModelSpec",
+    "PredictionServer",
+    "ServerConfig",
+    "demo_server",
+]

@@ -1,0 +1,129 @@
+"""Admission control: bounded queue, per-client token buckets, deadlines.
+
+The server's first line of defence against overload.  Three independent
+mechanisms, all deterministic in simulated time:
+
+* a **bounded queue** — once ``max_queue`` requests are waiting, new
+  arrivals are shed immediately (``queue_full``) instead of growing an
+  unbounded backlog whose tail latency is worthless anyway;
+* a **per-client token bucket** — each client earns ``rate`` tokens per
+  simulated second up to ``burst``; a submission spends one token, and a
+  client that has spent its burst is shed (``throttled``) so one chatty
+  client cannot starve the rest;
+* **deadline-aware shedding** — a queued request whose deadline passes
+  before service begins is shed (``deadline``) at dequeue time; spending
+  a vectorised evaluation on an answer nobody is waiting for only delays
+  the answers somebody *is* waiting for.
+
+Shedding is a typed :class:`~repro.serving.protocol.OverloadedResponse`,
+never an exception — admission is a quality-of-service decision, not an
+error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["AdmissionPolicy", "TokenBucket", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs for the admission controller.
+
+    Attributes
+    ----------
+    max_queue:
+        Maximum requests waiting for service; arrivals beyond it shed.
+    client_rate:
+        Token-bucket refill rate per client in requests per simulated
+        second; ``0`` disables per-client throttling.
+    client_burst:
+        Token-bucket capacity — how many back-to-back requests a client
+        may land before the rate limit bites.
+    """
+
+    max_queue: int = 256
+    client_rate: float = 0.0
+    client_burst: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        check_nonnegative(self.client_rate, "client_rate")
+        check_positive(self.client_burst, "client_burst")
+
+
+class TokenBucket:
+    """A classic token bucket metered against simulated time."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_last")
+
+    def __init__(self, rate: float, burst: float, *, now: float = 0.0):
+        check_nonnegative(rate, "rate")
+        check_positive(burst, "burst")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._last = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + self.rate * (now - self._last))
+            self._last = now
+
+    def allow(self, now: float) -> bool:
+        """Spend one token if available; refills lazily up to ``now``."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def tokens(self, now: float) -> float:
+        """Tokens available at ``now`` (after lazy refill)."""
+        self._refill(now)
+        return self._tokens
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` to a stream of submissions.
+
+    The controller owns only the decision; the server owns the queue.
+    ``admit`` is asked with the current queue depth and returns ``None``
+    (admitted) or a shed *reason* string from
+    :mod:`repro.serving.protocol`.
+    """
+
+    def __init__(self, policy: AdmissionPolicy):
+        self.policy = policy
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def admit(self, client_id: str, queue_depth: int, now: float) -> str | None:
+        """``None`` to admit, else the shed reason."""
+        from repro.serving.protocol import SHED_QUEUE_FULL, SHED_THROTTLED
+
+        if queue_depth >= self.policy.max_queue:
+            return SHED_QUEUE_FULL
+        if self.policy.client_rate > 0.0:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.policy.client_rate, self.policy.client_burst, now=now
+                )
+                self._buckets[client_id] = bucket
+            if not bucket.allow(now):
+                return SHED_THROTTLED
+        return None
+
+    def retry_after(self, queue_depth: int, drain_rate: float) -> float:
+        """Advice for a shed client: seconds for the backlog to drain.
+
+        ``drain_rate`` is the server's service capacity in requests per
+        simulated second at its current batching regime.
+        """
+        if drain_rate <= 0.0:
+            return float("inf")
+        return queue_depth / drain_rate

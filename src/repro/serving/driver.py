@@ -1,0 +1,269 @@
+"""Deterministic load generation against a prediction server.
+
+A :class:`LoadDriver` plays a population of clients against a
+:class:`~repro.serving.server.PredictionServer` on a simulated-time tick
+grid, reusing the arrival-process idioms of
+:mod:`repro.workload.loadgen` (seeded exponential inter-arrival draws):
+
+* **open loop** (:class:`OpenLoop`) — submissions arrive by a Poisson
+  process at a fixed rate, indifferent to responses.  The honest way to
+  overload a server: arrivals do not slow down when the queue grows.
+* **closed loop** (:class:`ClosedLoop`) — each client keeps exactly one
+  request in flight: submit, wait for the response, think, submit
+  again.  Shed clients back off by the server's ``retry_after`` advice.
+
+Every run is bit-reproducible from a seed: arrival draws, model choice
+and the server's own sampling all flow from seeded generators, and time
+is simulated throughout.  Wall-clock time is measured only as an
+*observation* (for throughput reporting); it never feeds back into the
+schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+from repro.serving.protocol import PredictRequest, Response
+from repro.serving.server import PredictionServer
+from repro.util.rng import as_generator
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["OpenLoop", "ClosedLoop", "DriveReport", "LoadDriver"]
+
+
+@dataclass(frozen=True)
+class OpenLoop:
+    """Poisson arrivals at ``rate`` requests per simulated second,
+    attributed round-robin to ``clients`` distinct client identities."""
+
+    rate: float
+    clients: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate, "rate")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+
+
+@dataclass(frozen=True)
+class ClosedLoop:
+    """``clients`` concurrent clients, one request in flight each,
+    ``think_time`` simulated seconds between response and resubmit."""
+
+    clients: int
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        check_nonnegative(self.think_time, "think_time")
+
+
+@dataclass
+class DriveReport:
+    """What a drive produced, summarised for gates and tables.
+
+    ``responses`` holds every typed response in completion order;
+    the count/latency fields are derived once at the end of the run.
+    """
+
+    responses: list = field(default_factory=list)
+    submitted: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    shed_reasons: dict = field(default_factory=dict)
+    qualities: dict = field(default_factory=dict)
+    sim_duration: float = 0.0
+    wall_seconds: float = 0.0
+    latency_p50: float = float("nan")
+    latency_p99: float = float("nan")
+    latency_max: float = float("nan")
+
+    @property
+    def qps_sim(self) -> float:
+        """Answered requests per simulated second."""
+        return self.ok / self.sim_duration if self.sim_duration > 0 else 0.0
+
+    @property
+    def qps_wall(self) -> float:
+        """Answered requests per wall-clock second (engine throughput)."""
+        return self.ok / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        """One paragraph a human can read after a drive."""
+        shed = ", ".join(f"{k}={v}" for k, v in sorted(self.shed_reasons.items())) or "none"
+        qual = ", ".join(f"{k}={v}" for k, v in sorted(self.qualities.items())) or "none"
+        return (
+            f"submitted={self.submitted} ok={self.ok} shed={self.shed} errors={self.errors}\n"
+            f"shed reasons: {shed}\n"
+            f"answer quality: {qual}\n"
+            f"sim latency p50={self.latency_p50:.3f} s  p99={self.latency_p99:.3f} s  "
+            f"max={self.latency_max:.3f} s\n"
+            f"throughput: {self.qps_sim:.1f} q/s simulated, {self.qps_wall:.1f} q/s wall"
+        )
+
+
+class LoadDriver:
+    """Drives seeded client load through a server's event loop.
+
+    Parameters
+    ----------
+    server:
+        The server under test (its clock must not be ahead of ``start``).
+    models:
+        Model names requests draw from (uniformly, seeded).
+    workload:
+        An :class:`OpenLoop` or :class:`ClosedLoop` arrival process.
+    max_requests:
+        Stop submitting after this many requests.
+    duration:
+        Stop submitting after this much simulated time (the drive then
+        drains in-flight work before returning).
+    deadline:
+        Relative per-request deadline in simulated seconds; ``None``
+        submits requests that wait forever.
+    tick:
+        Event-loop step size in simulated seconds.
+    rng:
+        Seed for arrival draws and model choice.
+    """
+
+    #: Hard cap on drain time after submissions stop, in ticks.
+    DRAIN_TICKS = 200_000
+
+    def __init__(
+        self,
+        server: PredictionServer,
+        models: list[str],
+        workload,
+        *,
+        max_requests: int | None = None,
+        duration: float | None = None,
+        deadline: float | None = None,
+        tick: float = 0.05,
+        rng=None,
+    ):
+        if not isinstance(workload, (OpenLoop, ClosedLoop)):
+            raise TypeError(f"workload must be OpenLoop or ClosedLoop, got {workload!r}")
+        if not models:
+            raise ValueError("models must be non-empty")
+        if max_requests is None and duration is None:
+            raise ValueError("need max_requests and/or duration to bound the drive")
+        check_positive(tick, "tick")
+        if deadline is not None:
+            check_positive(deadline, "deadline")
+        self.server = server
+        self.models = list(models)
+        self.workload = workload
+        self.max_requests = max_requests
+        self.duration = duration
+        self.deadline = deadline
+        self.tick = tick
+        self._rng = as_generator(rng)
+        self._start = server.now
+
+    # ------------------------------------------------------------------
+    def _make_request(self, client: str, submitted: float, request_id: int) -> PredictRequest:
+        model = self.models[int(self._rng.integers(len(self.models)))]
+        deadline = None if self.deadline is None else submitted + self.deadline
+        return PredictRequest(
+            request_id=request_id,
+            client_id=client,
+            model=model,
+            submitted=submitted,
+            deadline=deadline,
+        )
+
+    def run(self) -> DriveReport:
+        """Play the workload to completion and summarise it."""
+        server = self.server
+        report = DriveReport()
+        start = server.now
+        self._start = start
+        wall0 = time.perf_counter()
+
+        # (due_time, seq, client) submission events.
+        events: list[tuple[float, int, str]] = []
+        seq = 0
+        if isinstance(self.workload, ClosedLoop):
+            for c in range(self.workload.clients):
+                heapq.heappush(events, (start, seq, f"client-{c}"))
+                seq += 1
+        else:
+            t = start
+            horizon = start + (self.duration if self.duration is not None else float("inf"))
+            n_budget = self.max_requests if self.max_requests is not None else float("inf")
+            n = 0
+            while n < n_budget:
+                t += float(self._rng.exponential(1.0 / self.workload.rate))
+                if t > horizon:
+                    break
+                heapq.heappush(events, (t, seq, f"client-{n % self.workload.clients}"))
+                seq += 1
+                n += 1
+
+        in_flight = 0
+        next_id = 0
+        now = start
+        ticks_after_stop = 0
+
+        def record(resp: Response) -> None:
+            nonlocal in_flight, seq
+            in_flight -= 1
+            report.responses.append(resp)
+            if resp.status == "ok":
+                report.ok += 1
+                report.qualities[resp.quality] = report.qualities.get(resp.quality, 0) + 1
+            elif resp.status == "overloaded":
+                report.shed += 1
+                report.shed_reasons[resp.reason] = report.shed_reasons.get(resp.reason, 0) + 1
+            else:
+                report.errors += 1
+            if isinstance(self.workload, ClosedLoop) and self._submitting(report):
+                backoff = resp.retry_after if resp.status == "overloaded" else 0.0
+                due = max(now, resp.completed) + self.workload.think_time + backoff
+                heapq.heappush(events, (due, seq, resp.client_id))
+                seq += 1
+
+        while True:
+            now += self.tick
+            # Submissions due this tick (skipped once the budget is spent).
+            while events and events[0][0] <= now and self._submitting(report):
+                due, _, client = heapq.heappop(events)
+                req = self._make_request(client, max(due, server.now), next_id)
+                next_id += 1
+                report.submitted += 1
+                in_flight += 1
+                immediate = server.submit(req)
+                if immediate is not None:
+                    record(immediate)
+            for resp in server.step(now):
+                record(resp)
+            if not self._submitting(report) or not events:
+                if in_flight == 0 and server.queue_depth == 0:
+                    break
+                ticks_after_stop += 1
+                if ticks_after_stop > self.DRAIN_TICKS:  # pragma: no cover - safety valve
+                    break
+
+        report.sim_duration = now - start
+        report.wall_seconds = time.perf_counter() - wall0
+        lat = sorted(
+            r.latency for r in report.responses if r.status == "ok"
+        )
+        if lat:
+            report.latency_p50 = lat[len(lat) // 2]
+            report.latency_p99 = lat[min(len(lat) - 1, int(0.99 * len(lat)))]
+            report.latency_max = lat[-1]
+        return report
+
+    def _submitting(self, report: DriveReport) -> bool:
+        """True while the submission budget (count and time) remains."""
+        if self.max_requests is not None and report.submitted >= self.max_requests:
+            return False
+        if self.duration is not None and self.server.now > self._start + self.duration:
+            return False
+        return True

@@ -1,0 +1,109 @@
+"""Rolling per-resource forecasts with staleness-aware refresh.
+
+The serving hot path consults NWS forecasts on every request; running
+the full forecaster tournament per request would make telemetry the
+bottleneck.  A :class:`ForecastCache` sits between the server and the
+:class:`~repro.nws.service.NetworkWeatherService`: each resource's
+qualified forecast is computed at most once per ``refresh_interval`` of
+simulated time (default: the 5-second NWS measurement cadence — a
+forecast cannot change between measurements), and *invalidated early*
+when telemetry ingestion delivers new samples, so a refresh is never
+served stale relative to the data.
+
+The cache preserves degradation semantics exactly: what it stores is the
+full :class:`~repro.nws.service.QualifiedForecast` (value + quality tag
++ staleness), so a cached answer carries the same ``fresh`` / ``stale``
+/ ``fallback`` tag the service would have produced at the refresh
+instant.
+"""
+
+from __future__ import annotations
+
+from repro.nws.sensors import NWS_DEFAULT_PERIOD
+from repro.nws.service import NetworkWeatherService, QualifiedForecast
+from repro.util.validation import check_positive
+
+__all__ = ["ForecastCache"]
+
+
+class ForecastCache:
+    """Staleness-aware memoisation of qualified NWS queries.
+
+    Parameters
+    ----------
+    nws:
+        The live weather service (telemetry is ingested through
+        :meth:`ingest_to`, which also drives invalidation).
+    refresh_interval:
+        Maximum simulated age of a cached forecast before it is
+        recomputed on next access.
+    """
+
+    def __init__(
+        self,
+        nws: NetworkWeatherService,
+        *,
+        refresh_interval: float = NWS_DEFAULT_PERIOD,
+    ):
+        check_positive(refresh_interval, "refresh_interval")
+        self.nws = nws
+        self.refresh_interval = refresh_interval
+        self._cached: dict[str, tuple[float, QualifiedForecast]] = {}
+        self._delivered: dict[str, int] = {}
+        self.hits = 0
+        self.refreshes = 0
+
+    def ingest_to(self, t: float) -> int:
+        """Advance the weather service to ``t`` and invalidate on news.
+
+        Returns the number of resources whose sensors delivered at least
+        one new measurement — those entries are dropped so the next
+        :meth:`get` recomputes from the fresh series instead of waiting
+        out the refresh interval.
+        """
+        if t > self.nws.now:
+            self.nws.advance_to(t)
+        invalidated = 0
+        for resource in self.nws.resources:
+            delivered = len(self.nws.sensor(resource).series)
+            if delivered != self._delivered.get(resource, 0):
+                self._delivered[resource] = delivered
+                if self._cached.pop(resource, None) is not None:
+                    invalidated += 1
+        return invalidated
+
+    def get(self, resource: str, now: float) -> QualifiedForecast:
+        """The qualified forecast for ``resource``, cached when young.
+
+        A cached entry is reused while it is younger than
+        ``refresh_interval`` *and* no new telemetry arrived for the
+        resource (see :meth:`ingest_to`); otherwise the underlying
+        qualified query runs again.
+        """
+        entry = self._cached.get(resource)
+        if entry is not None:
+            cached_at, forecast = entry
+            if now - cached_at < self.refresh_interval:
+                self.hits += 1
+                return forecast
+        forecast = self.nws.query_qualified(resource)
+        self._cached[resource] = (now, forecast)
+        self.refreshes += 1
+        return forecast
+
+    def invalidate(self, resource: str | None = None) -> None:
+        """Drop one resource's cached forecast, or all of them."""
+        if resource is None:
+            self._cached.clear()
+        else:
+            self._cached.pop(resource, None)
+
+    def stats(self) -> dict:
+        """Cache diagnostics: hits, refreshes, hit rate, live entries."""
+        lookups = self.hits + self.refreshes
+        return {
+            "hits": self.hits,
+            "refreshes": self.refreshes,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            "entries": len(self._cached),
+        }

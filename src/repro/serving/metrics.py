@@ -1,0 +1,169 @@
+"""Serving metrics: counters, gauges and latency histograms.
+
+A :class:`MetricsRegistry` is the server's single sink for operational
+numbers — requests admitted and shed, batch sizes, answer latency,
+staleness at answer time, plan-cache hit rate.  Everything is plain
+Python (no wall clocks, no background threads): metrics advance only
+when the server observes something, so a seeded run produces a
+bit-identical snapshot.
+
+``snapshot()`` returns a JSON-serialisable dict; :class:`Histogram`
+keeps every observation (serving runs are thousands of events, not
+millions) so the snapshot's p50/p90/p99 are exact order statistics, and
+additionally buckets observations for a at-a-glance distribution shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_LATENCY_BUCKETS"]
+
+#: Default latency bucket upper bounds in seconds (plus a +inf overflow).
+DEFAULT_LATENCY_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (queue depth, registered models)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Exact-quantile histogram with fixed overview buckets.
+
+    Observations are retained in full (quantiles in the snapshot are
+    exact); ``bounds`` define cumulative-style bucket upper edges for a
+    compact shape overview, with an implicit +inf overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "_values")
+
+    def __init__(self, name: str, bounds: tuple = DEFAULT_LATENCY_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Exact order-statistic quantile; NaN with no observations."""
+        if not self._values:
+            return float("nan")
+        return float(np.quantile(np.asarray(self._values), q))
+
+    def stats(self) -> dict:
+        """Summary: count/mean/min/max, exact p50/p90/p99, bucket counts."""
+        if not self._values:
+            return {"count": 0}
+        arr = np.asarray(self._values, dtype=float)
+        finite = arr[np.isfinite(arr)]
+        edges = np.concatenate([self.bounds, [np.inf]])
+        counts = np.histogram(arr, bins=np.concatenate([[-np.inf], edges]))[0]
+        # method="nearest" returns actual observations (no interpolation
+        # arithmetic), which keeps quantiles exact and inf-safe.
+        return {
+            "count": int(arr.size),
+            "mean": float(np.mean(finite)) if finite.size else float("inf"),
+            "min": float(np.min(arr)),
+            "max": float(np.max(arr)),
+            "p50": float(np.quantile(arr, 0.50, method="nearest")),
+            "p90": float(np.quantile(arr, 0.90, method="nearest")),
+            "p99": float(np.quantile(arr, 0.99, method="nearest")),
+            "buckets": {
+                (f"le_{edge:g}" if np.isfinite(edge) else "overflow"): int(c)
+                for edge, c in zip(edges, counts)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch, snapshotable as JSON."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_fresh(name)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_fresh(name)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str, bounds: tuple = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        if name not in self._histograms:
+            self._check_fresh(name)
+            self._histograms[name] = Histogram(name, bounds)
+        return self._histograms[name]
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._counters or name in self._gauges or name in self._histograms:
+            raise ValueError(f"metric name {name!r} already registered with another type")
+
+    def snapshot(self) -> dict:
+        """All metrics as a JSON-serialisable dict (sorted names)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.stats() for n, h in sorted(self._histograms.items())},
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """The snapshot rendered as a JSON document."""
+
+        def _default(o):
+            if isinstance(o, float) and not np.isfinite(o):  # pragma: no cover
+                return str(o)
+            raise TypeError(f"not JSON-serialisable: {o!r}")
+
+        payload = _sanitise(self.snapshot())
+        return json.dumps(payload, default=_default, **kwargs)
+
+
+def _sanitise(obj):
+    """Replace non-finite floats with strings so ``json`` stays strict."""
+    if isinstance(obj, dict):
+        return {k: _sanitise(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_sanitise(v) for v in obj]
+    if isinstance(obj, float) and not np.isfinite(obj):
+        return str(obj)
+    return obj

@@ -1,0 +1,182 @@
+"""Request/response protocol for the prediction service.
+
+Everything a client exchanges with :class:`~repro.serving.server.PredictionServer`
+is a frozen dataclass: a :class:`PredictRequest` goes in, and exactly one
+typed response comes out — :class:`PredictResponse` (answered),
+:class:`OverloadedResponse` (shed by admission control or deadline) or
+:class:`ErrorResponse` (malformed request: unknown model, bad override).
+The server never lets an exception escape to a client; the worst
+possible outcome of a request is a typed response with a non-``ok``
+status, mirroring how the NWS degradation layer turns missing telemetry
+into tagged forecasts instead of errors.
+
+Every answered prediction carries the *quality* of the forecasts it
+stood on (``fresh`` / ``stale`` / ``fallback``, the worst across all
+resources consulted) and the staleness of the oldest one, so a client
+can weigh an answer exactly like a scheduler weighs a degraded NWS
+query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stochastic import StochasticValue
+from repro.nws.service import QUALITIES
+from repro.util.validation import check_finite
+
+__all__ = [
+    "PredictRequest",
+    "PredictResponse",
+    "OverloadedResponse",
+    "ErrorResponse",
+    "Response",
+    "STATUS_OK",
+    "STATUS_OVERLOADED",
+    "STATUS_ERROR",
+    "SHED_QUEUE_FULL",
+    "SHED_THROTTLED",
+    "SHED_DEADLINE",
+]
+
+#: Response statuses.
+STATUS_OK = "ok"
+STATUS_OVERLOADED = "overloaded"
+STATUS_ERROR = "error"
+
+#: Reasons an :class:`OverloadedResponse` can carry.
+SHED_QUEUE_FULL = "queue_full"
+SHED_THROTTLED = "throttled"
+SHED_DEADLINE = "deadline"
+_SHED_REASONS = (SHED_QUEUE_FULL, SHED_THROTTLED, SHED_DEADLINE)
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One prediction query against a registered model.
+
+    Attributes
+    ----------
+    request_id:
+        Client-unique identifier echoed back on the response.
+    client_id:
+        Identity the per-client token bucket meters.
+    model:
+        Name of a registered :class:`~repro.serving.server.ModelSpec`.
+    submitted:
+        Simulated submission time (the driver's clock).
+    deadline:
+        Absolute simulated time after which the answer is worthless;
+        ``None`` means the client will wait forever.  Requests whose
+        deadline passes while queued are shed, not evaluated.
+    overrides:
+        Run-time parameter overrides (name -> value) applied *for this
+        request only* on top of the server's live NWS forecasts — e.g. a
+        what-if query pinning one machine's load.  Values are floats or
+        :class:`~repro.core.stochastic.StochasticValue`.
+    """
+
+    request_id: int
+    client_id: str
+    model: str
+    submitted: float
+    deadline: float | None = None
+    overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_finite(self.submitted, "submitted")
+        if self.deadline is not None and self.deadline < self.submitted:
+            raise ValueError(
+                f"deadline ({self.deadline}) must be >= submitted ({self.submitted})"
+            )
+
+
+@dataclass(frozen=True)
+class Response:
+    """Fields every typed response shares."""
+
+    request_id: int
+    client_id: str
+    completed: float
+
+    @property
+    def status(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def ok(self) -> bool:
+        """True for an answered prediction."""
+        return self.status == STATUS_OK
+
+
+@dataclass(frozen=True)
+class PredictResponse(Response):
+    """An answered prediction.
+
+    Attributes
+    ----------
+    value:
+        The predicted execution time as a stochastic value (mean +/-
+        spread summary of the propagated sample cloud).
+    p95:
+        95th percentile of the propagated samples — the QoS-quotable
+        tail bound.
+    quality:
+        Worst forecast quality consulted (``fresh``/``stale``/``fallback``).
+    staleness:
+        Seconds since the *oldest* consulted forecast's resource last
+        delivered a measurement (``inf`` if one never has).
+    latency:
+        Simulated seconds from submission to completion.
+    batch_size:
+        Number of requests answered by the same vectorised evaluation.
+    """
+
+    value: StochasticValue = StochasticValue.point(0.0)
+    p95: float = 0.0
+    quality: str = "fresh"
+    staleness: float = 0.0
+    latency: float = 0.0
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.quality not in QUALITIES:
+            raise ValueError(f"quality must be one of {QUALITIES}, got {self.quality!r}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    @property
+    def status(self) -> str:
+        return STATUS_OK
+
+
+@dataclass(frozen=True)
+class OverloadedResponse(Response):
+    """A request shed by admission control or deadline expiry.
+
+    ``retry_after`` is the server's advice (simulated seconds) on when
+    capacity is likely to exist again — the time for the backlog ahead
+    of the request to drain at the configured service rate.
+    """
+
+    reason: str = SHED_QUEUE_FULL
+    retry_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.reason not in _SHED_REASONS:
+            raise ValueError(f"reason must be one of {_SHED_REASONS}, got {self.reason!r}")
+
+    @property
+    def status(self) -> str:
+        return STATUS_OVERLOADED
+
+
+@dataclass(frozen=True)
+class ErrorResponse(Response):
+    """A malformed request (unknown model, bad override name)."""
+
+    message: str = ""
+
+    @property
+    def status(self) -> str:
+        return STATUS_ERROR

@@ -1,0 +1,545 @@
+"""The prediction server: a synchronous-core, event-loop service.
+
+:class:`PredictionServer` is the first component that exercises the
+whole NWS -> structural-engine -> scheduler pipeline *as a service*
+rather than a script.  It is driven entirely in simulated time by two
+calls:
+
+``submit(request)``
+    Admission control (bounded queue, per-client token bucket).  A shed
+    or malformed request gets its typed response immediately; an
+    admitted one joins the FIFO queue and returns ``None``.
+
+``step(to)``
+    The event loop body: while the server has capacity before ``to``,
+    it ingests telemetry up to the service instant, sheds queued
+    requests whose deadline has passed, forms a **batch** of queued
+    requests against the same model, and answers the whole batch with a
+    single vectorised Monte Carlo evaluation on the model's cached
+    compiled plan (one compile, many queries).  Completed responses are
+    returned in completion order.
+
+Batching works because per-request variation lives entirely in the
+*run-time* parameters: every run-time parameter referenced by the model
+is treated as sampled, so a batch of K requests concatenates its
+per-request draw arrays (K x n_samples) and flows through the compiled
+plan in one array pass — requests with different forecast instants or
+per-request overrides still share the plan.
+
+Capacity is modelled in simulated time: a batch of K requests occupies
+the server for ``service_time_base + K * service_time_per_request``
+simulated seconds.  When arrivals outpace that, the queue grows, the
+admission bound sheds, and deadline-aware shedding drops answers nobody
+is waiting for — graceful degradation in the same spirit as the NWS
+quality tags every answer carries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.empirical import EmpiricalValue
+from repro.core.stochastic import StochasticValue, as_stochastic
+from repro.nws.service import QUALITIES, NetworkWeatherService, QualifiedForecast
+from repro.serving.admission import AdmissionController, AdmissionPolicy
+from repro.serving.forecasts import ForecastCache
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.protocol import (
+    SHED_DEADLINE,
+    ErrorResponse,
+    OverloadedResponse,
+    PredictRequest,
+    PredictResponse,
+    Response,
+)
+from repro.structural.engine import (
+    UnsupportedExpressionError,
+    UnsupportedPolicyError,
+    compile_expr,
+    plan_cache_stats,
+)
+from repro.structural.expr import EvalPolicy, Expr
+from repro.structural.parameters import Bindings
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive
+
+__all__ = ["ModelSpec", "ServerConfig", "PredictionServer"]
+
+#: Batch-size histogram bucket bounds.
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Staleness-at-answer histogram bucket bounds (seconds).
+_STALENESS_BUCKETS = (1.0, 5.0, 15.0, 60.0, 300.0, 1800.0)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A servable structural model.
+
+    Attributes
+    ----------
+    name:
+        The handle requests address (``request.model``).
+    expression:
+        The structural-model expression to evaluate.
+    bindings:
+        Full parameter environment: compile-time parameters plus
+        defaults for every run-time parameter.  Several specs may share
+        one expression with different bindings — they share one compiled
+        plan, because plans key on the expression, not the bindings.
+    resources:
+        Map of run-time parameter name to NWS resource name; at service
+        time each mapped parameter is rebound to the resource's current
+        qualified forecast.  Unmapped run-time parameters keep their
+        bound defaults (unless a request overrides them).
+    clip:
+        Optional per-parameter ``(lo, hi)`` draw bounds (availability
+        parameters must stay positive to be divisible).
+    policy:
+        Evaluation policy for residual stochastic values; ``None`` uses
+        the Monte Carlo point policy.
+    """
+
+    name: str
+    expression: Expr
+    bindings: Bindings
+    resources: dict = field(default_factory=dict)
+    clip: dict | None = None
+    policy: EvalPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("model name must be non-empty")
+        runtime = set(self.bindings.runtime_names())
+        unknown = set(self.resources) - runtime
+        if unknown:
+            raise ValueError(
+                f"resources map non-runtime parameters {sorted(unknown)}; "
+                f"runtime parameters: {sorted(runtime)}"
+            )
+
+    @property
+    def sampled(self) -> tuple[str, ...]:
+        """Run-time parameters referenced by the expression, sorted.
+
+        These are the per-draw axes of the vectorised plan; treating
+        *all* of them as sampled (point-valued ones become constant draw
+        arrays) keeps the plan-cache key independent of which parameters
+        happen to vary at any instant.
+        """
+        referenced = set(self.expression.params())
+        return tuple(n for n in self.bindings.runtime_names() if n in referenced)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs.
+
+    Attributes
+    ----------
+    n_samples:
+        Monte Carlo draws per request.
+    batch_max:
+        Maximum requests answered by one vectorised evaluation.
+    mode:
+        ``"batched"`` (compile-once vectorised batches, the production
+        path) or ``"reference"`` (one per-sample reference-loop
+        evaluation per request — the baseline the serving benchmark
+        measures against).
+    service_time_base, service_time_per_request:
+        Simulated seconds one evaluation occupies the server:
+        ``base + per_request * batch_size``.  This is what creates
+        backpressure in simulated time; wall-clock speed is measured
+        separately by the benchmark.
+    refresh_interval:
+        Maximum simulated age of a cached NWS forecast
+        (:class:`~repro.serving.forecasts.ForecastCache`).
+    admission:
+        Queue bound and per-client token-bucket policy.
+    """
+
+    n_samples: int = 400
+    batch_max: int = 64
+    mode: str = "batched"
+    service_time_base: float = 0.004
+    service_time_per_request: float = 0.001
+    refresh_interval: float = 5.0
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 2:
+            raise ValueError(f"n_samples must be >= 2, got {self.n_samples}")
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.mode not in ("batched", "reference"):
+            raise ValueError(f"mode must be 'batched' or 'reference', got {self.mode!r}")
+        check_positive(self.service_time_base, "service_time_base")
+        check_positive(self.service_time_per_request, "service_time_per_request")
+        check_positive(self.refresh_interval, "refresh_interval")
+
+    def service_time(self, batch_size: int) -> float:
+        """Simulated seconds one evaluation of ``batch_size`` occupies."""
+        return self.service_time_base + self.service_time_per_request * batch_size
+
+    def drain_rate(self) -> float:
+        """Service capacity in requests per simulated second."""
+        k = self.batch_max if self.mode == "batched" else 1
+        return k / self.service_time(k)
+
+
+def _worst_quality(qualities) -> str:
+    """The most degraded tag in ``qualities`` (``fresh`` when empty)."""
+    worst = 0
+    for q in qualities:
+        worst = max(worst, QUALITIES.index(q))
+    return QUALITIES[worst]
+
+
+class PredictionServer:
+    """Online stochastic-prediction service over a live NWS deployment."""
+
+    def __init__(
+        self,
+        nws: NetworkWeatherService,
+        *,
+        config: ServerConfig | None = None,
+        rng=None,
+    ):
+        self.nws = nws
+        self.config = config if config is not None else ServerConfig()
+        self.forecasts = ForecastCache(nws, refresh_interval=self.config.refresh_interval)
+        self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(self.config.admission)
+        self._models: dict[str, ModelSpec] = {}
+        self._queue: deque[PredictRequest] = deque()
+        self._done: list[Response] = []
+        self._clock = nws.now
+        self._busy_until = nws.now
+        self._rng = as_generator(rng)
+        # Touch the headline metrics so an idle snapshot shows them at 0.
+        for name in (
+            "requests_total",
+            "responses_ok",
+            "shed_total",
+            "errors_total",
+            "batches_total",
+        ):
+            self.metrics.counter(name)
+        self.metrics.histogram("latency_s")
+        self.metrics.histogram("batch_size", _BATCH_BUCKETS)
+        self.metrics.histogram("staleness_at_answer_s", _STALENESS_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_model(self, spec: ModelSpec) -> None:
+        """Make ``spec`` addressable; resources must exist in the NWS."""
+        if spec.name in self._models:
+            raise ValueError(f"model {spec.name!r} already registered")
+        known = set(self.nws.resources)
+        missing = {r for r in spec.resources.values() if r not in known}
+        if missing:
+            raise ValueError(
+                f"model {spec.name!r} maps unregistered NWS resources {sorted(missing)}"
+            )
+        self._models[spec.name] = spec
+        self.metrics.gauge("models_registered").set(len(self._models))
+
+    @property
+    def models(self) -> list[str]:
+        """Registered model names, sorted."""
+        return sorted(self._models)
+
+    @property
+    def now(self) -> float:
+        """Simulated time the event loop has been stepped to."""
+        return self._clock
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted and waiting for service."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: PredictRequest) -> Response | None:
+        """Admit ``request`` (returns ``None``) or answer it immediately.
+
+        An immediate response is either :class:`OverloadedResponse`
+        (admission shed) or :class:`ErrorResponse` (unknown model /
+        override).  Admitted requests are answered by a later
+        :meth:`step`.
+        """
+        now = max(self._clock, request.submitted)
+        self.metrics.counter("requests_total").inc()
+
+        spec = self._models.get(request.model)
+        if spec is None:
+            self.metrics.counter("errors_total").inc()
+            return ErrorResponse(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                completed=now,
+                message=f"unknown model {request.model!r}; registered: {self.models}",
+            )
+        bad = set(request.overrides) - set(spec.sampled)
+        if bad:
+            self.metrics.counter("errors_total").inc()
+            return ErrorResponse(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                completed=now,
+                message=(
+                    f"overrides {sorted(bad)} are not run-time parameters of "
+                    f"{request.model!r} (run-time: {list(spec.sampled)})"
+                ),
+            )
+
+        reason = self.admission.admit(request.client_id, len(self._queue), now)
+        if reason is not None:
+            return self._shed(request, reason, now)
+
+        self._queue.append(request)
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        return None
+
+    def _shed(self, request: PredictRequest, reason: str, at: float) -> OverloadedResponse:
+        self.metrics.counter("shed_total").inc()
+        self.metrics.counter(f"shed_{reason}").inc()
+        return OverloadedResponse(
+            request_id=request.request_id,
+            client_id=request.client_id,
+            completed=at,
+            reason=reason,
+            retry_after=self.admission.retry_after(
+                len(self._queue), self.config.drain_rate()
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def step(self, to: float) -> list[Response]:
+        """Run the event loop up to simulated time ``to``.
+
+        Serves as many batches as *start* before ``to`` (the server
+        stays busy ``service_time(batch)`` per evaluation; a backlog
+        carries over to the next step) and returns every response whose
+        completion time has been reached, in completion order — a batch
+        still in service at ``to`` is delivered by a later step.  Never
+        raises on a request's behalf: an evaluation failure becomes an
+        :class:`ErrorResponse`.
+        """
+        if to < self._clock:
+            raise ValueError(f"cannot step the server backwards from {self._clock} to {to}")
+        while self._queue:
+            t_start = max(self._busy_until, self._clock, self._queue[0].submitted)
+            if t_start > to:
+                break
+            self._done.extend(self._shed_expired(t_start))
+            if not self._queue:
+                break
+            batch = self._take_batch()
+            if not batch:
+                continue
+            t_start = max(t_start, max(r.submitted for r in batch))
+            duration = self.config.service_time(len(batch))
+            t_done = t_start + duration
+            self._done.extend(self._serve_batch(batch, t_start, t_done))
+            self._busy_until = t_done
+            self.metrics.counter("batches_total").inc()
+            self.metrics.histogram("batch_size", _BATCH_BUCKETS).observe(len(batch))
+        self._clock = to
+        self.forecasts.ingest_to(to)
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        self._done.sort(key=lambda r: r.completed)
+        out = [r for r in self._done if r.completed <= to]
+        self._done = [r for r in self._done if r.completed > to]
+        return out
+
+    def _shed_expired(self, t: float) -> list[Response]:
+        """Drop queued requests whose deadline passed before service."""
+        kept: deque[PredictRequest] = deque()
+        shed: list[Response] = []
+        for req in self._queue:
+            if req.deadline is not None and req.deadline < t:
+                shed.append(self._shed(req, SHED_DEADLINE, t))
+            else:
+                kept.append(req)
+        self._queue = kept
+        return shed
+
+    def _take_batch(self) -> list[PredictRequest]:
+        """Head-of-queue model's requests, up to the batch cap, FIFO."""
+        cap = self.config.batch_max if self.config.mode == "batched" else 1
+        model = self._queue[0].model
+        batch: list[PredictRequest] = []
+        kept: deque[PredictRequest] = deque()
+        while self._queue:
+            req = self._queue.popleft()
+            if req.model == model and len(batch) < cap:
+                batch.append(req)
+            else:
+                kept.append(req)
+        self._queue = kept
+        return batch
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _serve_batch(
+        self, batch: list[PredictRequest], t_start: float, t_done: float
+    ) -> list[Response]:
+        spec = self._models[batch[0].model]
+        try:
+            return self._evaluate(spec, batch, t_start, t_done)
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            self.metrics.counter("errors_total").inc(len(batch))
+            return [
+                ErrorResponse(
+                    request_id=r.request_id,
+                    client_id=r.client_id,
+                    completed=t_done,
+                    message=f"evaluation failed: {type(exc).__name__}: {exc}",
+                )
+                for r in batch
+            ]
+
+    def _effective(
+        self,
+        spec: ModelSpec,
+        request: PredictRequest,
+        param: str,
+        shared: dict[str, QualifiedForecast],
+    ) -> StochasticValue:
+        """The value ``param`` takes for ``request`` at this instant."""
+        if param in request.overrides:
+            return as_stochastic(request.overrides[param])
+        if param in shared:
+            return shared[param].value
+        return spec.bindings.resolve(param)
+
+    def _evaluate(
+        self, spec: ModelSpec, batch: list[PredictRequest], t_start: float, t_done: float
+    ) -> list[Response]:
+        cfg = self.config
+        self.forecasts.ingest_to(t_start)
+        shared = {
+            param: self.forecasts.get(resource, t_start)
+            for param, resource in sorted(spec.resources.items())
+            if param in spec.sampled
+        }
+
+        if cfg.mode == "batched":
+            samples = self._propagate_batched(spec, batch, shared)
+        else:
+            samples = self._propagate_reference(spec, batch, shared)
+
+        responses: list[Response] = []
+        for k, req in enumerate(batch):
+            consulted = [f for p, f in shared.items() if p not in req.overrides]
+            quality = _worst_quality(f.quality for f in consulted)
+            staleness = max((f.staleness for f in consulted), default=0.0)
+            emp = EmpiricalValue(samples[k])
+            responses.append(
+                PredictResponse(
+                    request_id=req.request_id,
+                    client_id=req.client_id,
+                    completed=t_done,
+                    value=emp.to_stochastic(),
+                    p95=float(emp.quantile(0.95)),
+                    quality=quality,
+                    staleness=staleness,
+                    latency=t_done - req.submitted,
+                    batch_size=len(batch),
+                )
+            )
+            self.metrics.counter("responses_ok").inc()
+            self.metrics.counter(f"quality_{quality}").inc()
+            self.metrics.histogram("latency_s").observe(t_done - req.submitted)
+            self.metrics.histogram("staleness_at_answer_s", _STALENESS_BUCKETS).observe(
+                min(staleness, 1e9)
+            )
+        return responses
+
+    def _draw(self, sv: StochasticValue, n: int, clip_bounds) -> np.ndarray:
+        if sv.is_point:
+            seg = np.full(n, sv.mean)
+        else:
+            seg = sv.sample(n, self._rng)
+        if clip_bounds is not None:
+            seg = np.clip(seg, *clip_bounds)
+        return seg
+
+    def _propagate_batched(
+        self,
+        spec: ModelSpec,
+        batch: list[PredictRequest],
+        shared: dict[str, QualifiedForecast],
+    ) -> list[np.ndarray]:
+        """One vectorised pass for the whole batch (K x n_samples draws)."""
+        n = self.config.n_samples
+        k_total = len(batch)
+        sampled = spec.sampled
+        try:
+            plan = compile_expr(spec.expression, sampled, policy=spec.policy)
+        except (UnsupportedPolicyError, UnsupportedExpressionError):
+            return self._propagate_reference(spec, batch, shared)
+        draws: dict[str, np.ndarray] = {}
+        for param in sampled:
+            bounds = spec.clip.get(param) if spec.clip else None
+            arr = np.empty(k_total * n)
+            for k, req in enumerate(batch):
+                sv = self._effective(spec, req, param, shared)
+                arr[k * n : (k + 1) * n] = self._draw(sv, n, bounds)
+            draws[param] = arr
+        out = plan.evaluate(draws, spec.bindings, n_samples=k_total * n)
+        return [out[k * n : (k + 1) * n] for k in range(k_total)]
+
+    def _propagate_reference(
+        self,
+        spec: ModelSpec,
+        batch: list[PredictRequest],
+        shared: dict[str, QualifiedForecast],
+    ) -> list[np.ndarray]:
+        """The baseline: one per-sample reference loop per request."""
+        from repro.structural.montecarlo import monte_carlo_predict
+
+        n = self.config.n_samples
+        out = []
+        for req in batch:
+            overlay = {
+                param: self._effective(spec, req, param, shared) for param in spec.sampled
+            }
+            emp = monte_carlo_predict(
+                spec.expression,
+                spec.bindings.overlaid(overlay),
+                n_samples=n,
+                rng=self._rng,
+                clip=spec.clip,
+                engine="reference",
+            )
+            out.append(emp.samples)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Operational state: metrics + caches, JSON-serialisable."""
+        from repro.serving.metrics import _sanitise
+
+        return _sanitise(
+            {
+                "now": self._clock,
+                "queue_depth": len(self._queue),
+                "models": self.models,
+                "metrics": self.metrics.snapshot(),
+                "forecast_cache": self.forecasts.stats(),
+                "plan_cache": plan_cache_stats(),
+            }
+        )

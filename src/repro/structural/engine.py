@@ -80,12 +80,14 @@ __all__ = [
 _SQRT2 = math.sqrt(2.0)
 _SQRT2PI = math.sqrt(2.0 * math.pi)
 
-#: Maximum number of cached evaluation plans (FIFO eviction).
+#: Maximum number of cached evaluation plans (LRU eviction: hits move a
+#: plan to the back of the queue, the front is evicted when full).
 _PLAN_CACHE_MAX = 256
 
 _PLAN_CACHE: OrderedDict = OrderedDict()
 _PLAN_CACHE_HITS = 0
 _PLAN_CACHE_MISSES = 0
+_PLAN_CACHE_EVICTIONS = 0
 
 
 class UnsupportedPolicyError(ValueError):
@@ -508,7 +510,7 @@ def compile_expr(
     UnsupportedExpressionError
         The tree contains a node type the compiler cannot lower.
     """
-    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES, _PLAN_CACHE_EVICTIONS
     if policy is None:
         policy = EvalPolicy()
     if bindings_or_sampled is None:
@@ -534,22 +536,32 @@ def compile_expr(
     _PLAN_CACHE[key] = plan
     while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
         _PLAN_CACHE.popitem(last=False)
+        _PLAN_CACHE_EVICTIONS += 1
     return plan
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan and reset the hit/miss counters."""
-    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+    """Drop every cached plan and reset the hit/miss/eviction counters."""
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES, _PLAN_CACHE_EVICTIONS
     _PLAN_CACHE.clear()
     _PLAN_CACHE_HITS = 0
     _PLAN_CACHE_MISSES = 0
+    _PLAN_CACHE_EVICTIONS = 0
 
 
 def plan_cache_stats() -> dict:
-    """Cache diagnostics: ``{"size", "hits", "misses", "max_size"}``."""
+    """Cache diagnostics.
+
+    Returns ``{"size", "hits", "misses", "evictions", "hit_rate",
+    "max_size"}`` — the counters the serving metrics surface as the
+    plan-cache hit rate (``hit_rate`` is 0.0 before any lookup).
+    """
+    lookups = _PLAN_CACHE_HITS + _PLAN_CACHE_MISSES
     return {
         "size": len(_PLAN_CACHE),
         "hits": _PLAN_CACHE_HITS,
         "misses": _PLAN_CACHE_MISSES,
+        "evictions": _PLAN_CACHE_EVICTIONS,
+        "hit_rate": (_PLAN_CACHE_HITS / lookups) if lookups else 0.0,
         "max_size": _PLAN_CACHE_MAX,
     }

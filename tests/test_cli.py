@@ -92,6 +92,37 @@ class TestCommands:
         assert "degraded stochastic prediction" in out
         assert "quality" in out
 
+    def test_serve_closed_loop(self, capsys):
+        assert main(["serve", "--requests", "60", "--clients", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "submitted=60" in out and "errors=0" in out
+        assert "server counters" in out and "responses_ok" in out
+
+    def test_serve_open_loop_overload_sheds(self, capsys):
+        assert main([
+            "serve", "--rate", "3000", "--duration", "2",
+            "--max-queue", "32", "--clients", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "queue_full" in out and "errors=0" in out
+
+    def test_serve_json_snapshot(self, capsys):
+        import json
+
+        assert main(["serve", "--requests", "20", "--clients", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out[out.index("{"):])
+        assert snapshot["metrics"]["counters"]["responses_ok"] == 20
+
+    def test_bench_serve_gate(self, capsys):
+        assert main([
+            "bench-serve", "--requests", "128", "--clients", "16",
+            "--ref-divisor", "8", "--min-speedup", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batched" in out and "reference" in out
+        assert "wall throughput" in out
+
     def test_chaos_command_zero_rates_is_healthy(self, capsys):
         assert main([
             "chaos", "--size", "400", "--iterations", "5",

@@ -68,3 +68,10 @@ class TestExamples:
         assert "quality=fresh" in out and "quality=stale" in out
         assert "degraded stochastic prediction" in out
         assert "execution under crash" in out
+
+    def test_serve_demo(self, capsys):
+        out = run_example("serve_demo.py", capsys)
+        assert "quality=fresh" in out
+        assert "median batch size" in out
+        assert "reason=queue_full" in out
+        assert "errors=0" in out

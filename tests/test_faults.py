@@ -385,12 +385,28 @@ class TestServiceDegradation:
         q = nws.query_qualified("cpu:a", t=100.0)
         assert q.quality == "fallback" and math.isinf(q.staleness)
 
-    def test_silent_resource_without_prior_raises(self):
+    def test_silent_resource_without_prior_uses_last_resort(self):
+        from repro.nws.service import LAST_RESORT_FORECAST
+
         plan = FaultPlan(sensor_dropouts={"cpu:a": (Outage(0.0, 1e7),)})
         nws = NetworkWeatherService(degradation=DegradationPolicy(), faults=plan)
         nws.register("cpu:a", Trace.constant(0.5, 0.0, 1e7))
-        with pytest.raises(RuntimeError):
-            nws.query_qualified("cpu:a", t=100.0)
+        q = nws.query_qualified("cpu:a", t=100.0)
+        assert q.quality == "fallback" and math.isinf(q.staleness)
+        assert q.value == LAST_RESORT_FORECAST
+
+    def test_all_measurements_nan_rejected_falls_back(self):
+        # Regression: a resource whose *every* reading was NaN-rejected
+        # has an empty series; a qualified query under serving load must
+        # answer with a fallback-quality forecast, never raise.
+        events = tuple(Corruption(time=i * 5.0, kind="nan") for i in range(200))
+        plan = FaultPlan(corruptions={"cpu:a": events})
+        nws = NetworkWeatherService(degradation=DegradationPolicy(), faults=plan)
+        nws.register("cpu:a", Trace.constant(0.5, 0.0, 1e7))
+        q = nws.query_qualified("cpu:a", t=900.0)
+        assert q.quality == "fallback"
+        assert nws.health()["cpu:a"]["corrupt"] > 0
+        assert nws.health()["cpu:a"]["delivered"] == 0
 
     def test_health_reports_counters(self):
         nws = self.make()

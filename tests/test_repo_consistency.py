@@ -12,6 +12,7 @@ import repro.distributions
 import repro.faults
 import repro.nws
 import repro.scheduling
+import repro.serving
 import repro.sor
 import repro.structural
 import repro.workload
@@ -62,6 +63,7 @@ class TestPublicApi:
             repro.faults,
             repro.nws,
             repro.scheduling,
+            repro.serving,
             repro.sor,
             repro.structural,
             repro.workload,
@@ -80,6 +82,7 @@ class TestPublicApi:
             repro.faults,
             repro.nws,
             repro.scheduling,
+            repro.serving,
             repro.sor,
             repro.structural,
             repro.workload,

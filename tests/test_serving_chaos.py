@@ -1,0 +1,90 @@
+"""Chaos soak: load-driven serving through a mid-stream sensor blackout.
+
+All CPU sensors on Platform 1 go silent for a 100-second window while a
+closed-loop driver keeps querying.  The server must keep answering —
+quality tags degrade (fresh → stale → fallback) instead of requests
+failing — and must return to ``fresh`` answers once telemetry resumes.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, Outage
+from repro.serving import ClosedLoop, ErrorResponse, LoadDriver, demo_server
+
+OUTAGE_START = 100.0
+OUTAGE_END = 200.0
+
+CPU_RESOURCES = ("cpu:sparc10", "cpu:sparc2-a", "cpu:sparc2-b", "cpu:sparc5")
+
+
+@pytest.fixture(scope="module")
+def soak_report():
+    faults = FaultPlan(
+        sensor_dropouts={
+            r: (Outage(OUTAGE_START, OUTAGE_END),) for r in CPU_RESOURCES
+        }
+    )
+    server, _, _ = demo_server(duration=600.0, faults=faults, rng=7)
+    driver = LoadDriver(
+        server,
+        server.models,
+        ClosedLoop(clients=4, think_time=1.0),
+        duration=300.0,  # sim window 60..360 spans the whole outage
+        rng=7,
+    )
+    return server, driver.run()
+
+
+class TestChaosSoak:
+    def test_no_error_responses(self, soak_report):
+        server, report = soak_report
+        assert report.errors == 0
+        assert not any(isinstance(r, ErrorResponse) for r in report.responses)
+        assert server.metrics.counter("errors_total").value == 0
+
+    def test_every_request_answered_with_a_typed_response(self, soak_report):
+        _, report = soak_report
+        assert report.submitted > 100
+        assert report.ok + report.shed == report.submitted
+        assert all(r.status in ("ok", "overloaded") for r in report.responses)
+
+    def test_quality_degrades_during_the_outage(self, soak_report):
+        _, report = soak_report
+        during = [
+            r
+            for r in report.responses
+            if r.ok and OUTAGE_START + 30.0 < r.completed < OUTAGE_END
+        ]
+        assert during, "no answers landed inside the outage window"
+        # Well past the 15 s staleness threshold every consulted CPU
+        # forecast is stale (or fallback), never silently fresh.
+        assert all(r.quality in ("stale", "fallback") for r in during)
+        assert all(r.staleness > 0.0 for r in during)
+
+    def test_fresh_before_the_outage(self, soak_report):
+        _, report = soak_report
+        before = [r for r in report.responses if r.ok and r.completed < OUTAGE_START]
+        assert before
+        assert all(r.quality == "fresh" for r in before)
+
+    def test_recovers_after_the_outage(self, soak_report):
+        _, report = soak_report
+        # One NWS period to re-measure plus one cache refresh interval.
+        after = [r for r in report.responses if r.ok and r.completed > OUTAGE_END + 15.0]
+        assert after, "no answers landed after the outage window"
+        assert all(r.quality == "fresh" for r in after)
+
+    def test_staleness_rises_then_resets(self, soak_report):
+        _, report = soak_report
+        ok = [r for r in report.responses if r.ok]
+        during = [r for r in ok if OUTAGE_START + 30.0 < r.completed < OUTAGE_END]
+        after = [r for r in ok if r.completed > OUTAGE_END + 15.0]
+        assert max(r.staleness for r in during) > 30.0
+        assert max(r.staleness for r in after) < 15.0
+
+    def test_metrics_account_for_degradation(self, soak_report):
+        server, report = soak_report
+        snap = server.metrics.snapshot()["counters"]
+        assert snap["quality_stale"] + snap.get("quality_fallback", 0) > 0
+        assert snap["quality_fresh"] > 0
+        assert snap["responses_ok"] == report.ok
