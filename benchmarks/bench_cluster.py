@@ -1,0 +1,129 @@
+"""Perf smoke: multi-worker cluster scaling vs a single worker.
+
+Not a paper artifact — the scaling regression gate for the sharded
+serving cluster.  A seeded closed-loop drive with 256 concurrent
+clients hits the Platform 1 demo deployment twice: once behind a
+single :class:`~repro.serving.server.PredictionServer` worker and once
+behind a 4-worker :class:`~repro.serving.cluster.ServingCluster`.  Both
+legs run a deliberately *slow* worker config (simulated service times
+large enough that 256 clients saturate one worker), so the measured
+quantity is aggregate simulated-time capacity — which must scale with
+worker count.  Wall-clock throughput is reported but not gated: all
+workers share one Python process, so parallelism here is a property of
+the simulation, not the host.
+
+The 4-worker leg must sustain at least 3x the single-worker leg's
+simulated throughput.  Both legs must answer every request without a
+single error.  Latency percentiles, shard placement and the scaling
+factor land in ``benchmarks/out/BENCH_cluster.json``.
+"""
+
+import json
+import time
+
+from conftest import emit
+
+from repro.serving import ClosedLoop, ClusterConfig, LoadDriver, ServerConfig, demo_cluster
+from repro.structural.engine import clear_plan_cache
+from repro.util.tables import format_table
+
+SEED = 11
+CLIENTS = 256
+REQUESTS = 3000
+WORKERS = 4
+REPLICATION = 2
+MIN_SCALING = 3.0
+SIZES = tuple(range(400, 2000, 200))  # 8 models -> 8 shards over the ring
+
+#: Slow enough that CLIENTS closed-loop clients saturate one worker.
+WORKER_CONFIG = ServerConfig(
+    service_time_base=0.02, service_time_per_request=0.005, batch_max=8
+)
+
+
+def drive(n_workers: int):
+    clear_plan_cache()
+    cluster, _, _ = demo_cluster(
+        sizes=SIZES,
+        config=ClusterConfig(
+            n_workers=n_workers, replication=REPLICATION, worker=WORKER_CONFIG
+        ),
+        rng=SEED,
+    )
+    driver = LoadDriver(
+        cluster,
+        cluster.models,
+        ClosedLoop(clients=CLIENTS),
+        max_requests=REQUESTS,
+        rng=SEED,
+    )
+    t0 = time.perf_counter()
+    report = driver.run()
+    wall = time.perf_counter() - t0
+    return report, wall, cluster
+
+
+def leg_payload(report, wall, cluster):
+    counters = cluster.metrics.snapshot()["counters"]
+    return {
+        "workers": len(cluster.workers),
+        "requests": report.submitted,
+        "ok": report.ok,
+        "shed": report.shed,
+        "errors": report.errors,
+        "latency_p50_s": report.latency_p50,
+        "latency_p99_s": report.latency_p99,
+        "latency_max_s": report.latency_max,
+        "qps_sim": report.qps_sim,
+        "qps_wall": report.qps_wall,
+        "wall_s": wall,
+        "primaries": {
+            name: len(cluster.router.shards_of(name, cluster._shards.values()))
+            for name in cluster.workers
+        },
+        "counters": {k: v for k, v in sorted(counters.items())},
+    }
+
+
+def test_cluster_throughput_scaling(out_dir):
+    single, wall_1, cluster_1 = drive(1)
+    scaled, wall_n, cluster_n = drive(WORKERS)
+
+    scaling = scaled.qps_sim / single.qps_sim
+
+    emit(
+        f"Cluster scaling at {CLIENTS} closed-loop clients (seed {SEED})",
+        format_table(
+            ["workers", "ok", "p50 (s)", "p99 (s)", "sim q/s", "wall q/s"],
+            [
+                [n, r.ok, f"{r.latency_p50:.4f}", f"{r.latency_p99:.4f}",
+                 f"{r.qps_sim:,.0f}", f"{r.qps_wall:,.0f}"]
+                for n, r in ((1, single), (WORKERS, scaled))
+            ],
+        )
+        + f"\nscaling: {scaling:.2f}x (gate: >= {MIN_SCALING}x)",
+    )
+
+    payload = {
+        "clients": CLIENTS,
+        "seed": SEED,
+        "sizes": list(SIZES),
+        "replication": REPLICATION,
+        "single": leg_payload(single, wall_1, cluster_1),
+        "cluster": leg_payload(scaled, wall_n, cluster_n),
+        "scaling_sim": scaling,
+        "min_scaling": MIN_SCALING,
+        "placement": {m: list(cluster_n.owners(m)) for m in cluster_n.models},
+        "forecast_ledger": cluster_n.ledger.stats(),
+    }
+    (out_dir / "BENCH_cluster.json").write_text(json.dumps(payload, indent=2))
+
+    # Correctness riders: every request answered, nothing leaked as an error.
+    assert single.errors == 0 and scaled.errors == 0
+    assert single.ok + single.shed == REQUESTS
+    assert scaled.ok + scaled.shed == REQUESTS
+    # Balanced primary election: no worker owns more than half the shards.
+    primaries = payload["cluster"]["primaries"]
+    assert max(primaries.values()) <= len(SIZES) // 2
+
+    assert scaling >= MIN_SCALING

@@ -326,6 +326,117 @@ def _cmd_serve(args) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _cmd_serve_cluster(args) -> int:
+    from repro.faults import FaultPlan
+    from repro.serving import AdmissionPolicy, ClusterConfig, LoadDriver, ServerConfig, demo_cluster
+
+    faults = None
+    if args.crash:
+        windows: dict = {}
+        for worker, start, end in args.crash:
+            windows.setdefault(worker, []).append((float(start), float(end)))
+        faults = FaultPlan.crashes(windows)
+    config = ClusterConfig(
+        n_workers=args.workers,
+        replication=args.replication,
+        cluster_rate=args.cluster_rate,
+        worker=ServerConfig(
+            batch_max=args.batch_max,
+            n_samples=args.samples,
+            admission=AdmissionPolicy(max_queue=args.max_queue),
+        ),
+    )
+    cluster, _, _ = demo_cluster(config=config, faults=faults, rng=args.seed)
+    driver = LoadDriver(
+        cluster,
+        cluster.models,
+        _serving_workload(args),
+        max_requests=args.requests,
+        duration=args.duration,
+        rng=args.seed,
+    )
+    report = driver.run()
+    print(report.summary())
+    failovers = sum(1 for r in report.responses if getattr(r, "failover", False))
+    print(f"failover answers: {failovers}")
+    if args.json:
+        import json
+
+        print(json.dumps(cluster.snapshot(), indent=2))
+    else:
+        snap = cluster.metrics.snapshot()["counters"]
+        print(
+            format_table(
+                ["counter", "value"],
+                [[k, int(v)] for k, v in sorted(snap.items())],
+                title=f"cluster counters ({args.workers} workers, replication {args.replication})",
+            )
+        )
+        print(
+            format_table(
+                ["shard", "owners"],
+                [
+                    [m, " > ".join(cluster.owners(m))]
+                    for m in cluster.models
+                ],
+                title="shard placement (primary first)",
+            )
+        )
+    return 0 if report.errors == 0 else 1
+
+
+def _cmd_bench_cluster(args) -> int:
+    from repro.serving import ClosedLoop, ClusterConfig, LoadDriver, ServerConfig, demo_cluster
+    from repro.structural.engine import clear_plan_cache
+
+    # A worker config slow enough that args.clients closed-loop clients
+    # saturate a single worker, so aggregate capacity is what scales.
+    worker = ServerConfig(
+        service_time_base=0.02, service_time_per_request=0.005, batch_max=8
+    )
+    sizes = tuple(range(400, 2000, 200))
+
+    def drive(n_workers: int):
+        clear_plan_cache()
+        cluster, _, _ = demo_cluster(
+            sizes=sizes,
+            config=ClusterConfig(
+                n_workers=n_workers, replication=args.replication, worker=worker
+            ),
+            rng=args.seed,
+        )
+        driver = LoadDriver(
+            cluster,
+            cluster.models,
+            ClosedLoop(clients=args.clients),
+            max_requests=args.requests,
+            rng=args.seed,
+        )
+        return driver.run()
+
+    single = drive(1)
+    scaled = drive(args.workers)
+    scaling = scaled.qps_sim / single.qps_sim if single.qps_sim else float("inf")
+    print(
+        format_table(
+            ["workers", "ok", "shed", "errors", "p50 (s)", "p99 (s)", "sim q/s"],
+            [
+                [n, r.ok, r.shed, r.errors, f"{r.latency_p50:.4f}",
+                 f"{r.latency_p99:.4f}", f"{r.qps_sim:,.0f}"]
+                for n, r in ((1, single), (args.workers, scaled))
+            ],
+            title=f"Cluster scaling at {args.clients} closed-loop clients (seed {args.seed})",
+        )
+    )
+    print(f"\n{args.workers}-worker vs 1-worker simulated throughput: {scaling:.2f}x")
+    ok = (
+        scaling >= args.min_scaling
+        and single.errors == 0
+        and scaled.errors == 0
+    )
+    return 0 if ok else 1
+
+
 def _cmd_bench_serve(args) -> int:
     from repro.serving import ClosedLoop, LoadDriver, ServerConfig, demo_server
     from repro.structural.engine import clear_plan_cache
@@ -440,6 +551,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--json", action="store_true", help="dump the full server snapshot")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("serve-cluster", help="drive the sharded multi-worker cluster")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--replication", type=int, default=2)
+    p.add_argument("--requests", type=int, default=500)
+    p.add_argument("--clients", type=int, default=16)
+    p.add_argument("--rate", type=float, default=None,
+                   help="open-loop arrival rate in req/s (default: closed loop)")
+    p.add_argument("--think-time", type=float, default=0.0)
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated drive window in seconds")
+    p.add_argument("--batch-max", type=int, default=64)
+    p.add_argument("--samples", type=int, default=400)
+    p.add_argument("--max-queue", type=int, default=256)
+    p.add_argument("--cluster-rate", type=float, default=0.0,
+                   help="global admission rate in req/s (0 disables)")
+    p.add_argument("--crash", nargs=3, action="append", default=[],
+                   metavar=("WORKER", "START", "END"),
+                   help="crash WORKER from START to END simulated seconds (repeatable)")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--json", action="store_true", help="dump the full cluster snapshot")
+    p.set_defaults(func=_cmd_serve_cluster)
+
+    p = sub.add_parser("bench-cluster", help="multi-worker vs single-worker throughput scaling")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--replication", type=int, default=2)
+    p.add_argument("--requests", type=int, default=3000)
+    p.add_argument("--clients", type=int, default=256)
+    p.add_argument("--min-scaling", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=_cmd_bench_cluster)
 
     p = sub.add_parser("bench-serve", help="batched vs per-request serving throughput")
     p.add_argument("--requests", type=int, default=2000)

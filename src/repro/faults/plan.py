@@ -242,6 +242,25 @@ class FaultPlan:
         return cls()
 
     @classmethod
+    def crashes(cls, windows: dict) -> "FaultPlan":
+        """A plan of machine crash/restart windows and nothing else.
+
+        ``windows`` maps machine (or serving-cluster worker) name to an
+        iterable of ``(start, end)`` pairs or :class:`Outage` objects —
+        the explicit-schedule shorthand the cluster chaos tests and the
+        ``bench-cluster`` CLI use to crash one worker mid-load.
+        """
+        return cls(
+            machine_crashes={
+                name: tuple(
+                    o if isinstance(o, Outage) else Outage(start=o[0], end=o[1])
+                    for o in spans
+                )
+                for name, spans in windows.items()
+            }
+        )
+
+    @classmethod
     def generate(
         cls,
         config: FaultPlanConfig,

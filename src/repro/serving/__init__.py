@@ -16,13 +16,18 @@ pipeline into a long-running service:
 * :mod:`repro.serving.metrics` — counters/gauges/histograms snapshotable
   as JSON;
 * :mod:`repro.serving.driver` — seeded open/closed-loop load generation;
-* :mod:`repro.serving.demo` — a ready-made Platform 1 deployment.
+* :mod:`repro.serving.router` — consistent-hash shard placement;
+* :mod:`repro.serving.cluster` — the sharded multi-worker cluster with
+  replica failover over crashing workers (see ``docs/cluster.md``);
+* :mod:`repro.serving.demo` — ready-made Platform 1 deployments (one
+  server or a whole cluster).
 """
 
 from repro.serving.admission import AdmissionController, AdmissionPolicy, TokenBucket
-from repro.serving.demo import demo_server
+from repro.serving.cluster import ClusterConfig, ServingCluster
+from repro.serving.demo import demo_cluster, demo_server
 from repro.serving.driver import ClosedLoop, DriveReport, LoadDriver, OpenLoop
-from repro.serving.forecasts import ForecastCache
+from repro.serving.forecasts import ForecastCache, SharedRefreshLedger
 from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serving.protocol import (
     ErrorResponse,
@@ -31,12 +36,19 @@ from repro.serving.protocol import (
     PredictResponse,
     Response,
 )
+from repro.serving.router import ClusterRouter, HashRing
 from repro.serving.server import ModelSpec, PredictionServer, ServerConfig
 
 __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "TokenBucket",
+    "ClusterConfig",
+    "ServingCluster",
+    "ClusterRouter",
+    "HashRing",
+    "SharedRefreshLedger",
+    "demo_cluster",
     "ClosedLoop",
     "OpenLoop",
     "DriveReport",

@@ -1,0 +1,453 @@
+"""A sharded multi-worker serving cluster with failover.
+
+One :class:`~repro.serving.server.PredictionServer` batches well, but a
+production deployment scales *out*: N workers, each owning a share of
+the registered models, standing in for each other when hosts crash.
+:class:`ServingCluster` is that layer, driven entirely in simulated time
+with the same two calls as a single server (``submit`` / ``step``), so
+the seeded :class:`~repro.serving.driver.LoadDriver` drives a cluster
+unchanged.
+
+**Sharding.**  Every registered model is a shard, keyed by its name plus
+a fingerprint of its bindings, placed on a consistent-hash ring
+(:class:`~repro.serving.router.ClusterRouter`).  A shard has one primary
+worker and ``replication - 1`` standby replicas; requests normally go to
+the primary, so each worker's plan and forecast caches stay hot for its
+own shards rather than every worker paging through every model.
+
+**Failover.**  A seeded :class:`~repro.faults.plan.FaultPlan` (the
+``machine_crashes`` schedule, keyed by worker name) crashes and restarts
+workers.  The cluster's event loop processes crash boundaries exactly:
+at a crash instant the dead worker is drained — its queued and
+in-flight requests are re-routed to the shard's replicas from the
+cluster's own in-flight registry — and routing skips it until the
+restart instant, when it re-registers cold (forecast cache invalidated,
+clock jumped over the downtime).  A replica's answer is *never silent*
+about the transition: it is delivered with ``failover=True`` and a
+quality tag degraded to at least ``stale``, because a standby serves the
+migrated shard from standby-grade state.  The worst a client ever sees
+is a typed :class:`~repro.serving.protocol.OverloadedResponse` — a
+crash never surfaces as an error.
+
+**Admission.**  A global token bucket meters the whole cluster before
+per-worker queues apply their own bounds, so an aggregate overload sheds
+at the front door with a ``retry_after`` hint instead of filling N
+queues first.
+
+**Observability.**  The cluster keeps its own metrics registry
+(cluster-wide latency/queue-depth exact-quantile histograms, failover /
+shard-migration / crash counters) and ``snapshot()`` merges per-worker
+histograms into exact cluster-wide views
+(:meth:`~repro.serving.metrics.Histogram.merged`), all JSON-ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.faults.plan import FaultPlan
+from repro.nws.service import QUALITIES, NetworkWeatherService
+from repro.serving.admission import TokenBucket
+from repro.serving.forecasts import SharedRefreshLedger
+from repro.serving.metrics import Histogram, MetricsRegistry, _sanitise
+from repro.serving.protocol import (
+    SHED_THROTTLED,
+    SHED_UNAVAILABLE,
+    ErrorResponse,
+    OverloadedResponse,
+    PredictRequest,
+    PredictResponse,
+    Response,
+)
+from repro.serving.router import ClusterRouter, bindings_fingerprint
+from repro.serving.server import ModelSpec, PredictionServer, ServerConfig
+from repro.structural.engine import plan_cache_stats
+from repro.util.rng import as_generator
+
+__all__ = ["ClusterConfig", "ServingCluster"]
+
+#: Queue-depth histogram bucket bounds (requests waiting per worker).
+_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def _degraded(quality: str, floor: str = "stale") -> str:
+    """``quality`` degraded to at least ``floor`` (never upgraded)."""
+    return QUALITIES[max(QUALITIES.index(quality), QUALITIES.index(floor))]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster-level knobs (per-worker knobs live in ``worker``).
+
+    Attributes
+    ----------
+    n_workers:
+        Number of :class:`~repro.serving.server.PredictionServer`
+        workers.
+    replication:
+        Owners per shard: the primary plus standby replicas that take
+        the shard over when the primary crashes.
+    vnodes:
+        Virtual nodes per worker on the consistent-hash ring.
+    cluster_rate, cluster_burst:
+        Global token bucket over the whole cluster, metered in requests
+        per simulated second; ``cluster_rate=0`` disables it (the
+        default — per-worker queue bounds still apply).
+    worker:
+        The :class:`~repro.serving.server.ServerConfig` every worker
+        runs with.
+    """
+
+    n_workers: int = 4
+    replication: int = 2
+    vnodes: int = 64
+    cluster_rate: float = 0.0
+    cluster_burst: float = 64.0
+    worker: ServerConfig = field(default_factory=ServerConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+        if self.cluster_rate < 0.0:
+            raise ValueError(f"cluster_rate must be >= 0, got {self.cluster_rate}")
+        if self.cluster_burst < 1.0:
+            raise ValueError(f"cluster_burst must be >= 1, got {self.cluster_burst}")
+
+
+@dataclass
+class _InFlight:
+    """Where an admitted request currently lives."""
+
+    request: PredictRequest
+    worker: str
+    failover: bool
+
+
+class ServingCluster:
+    """N sharded prediction workers behind one submit/step surface.
+
+    Parameters
+    ----------
+    nws:
+        The shared live weather service all workers consult (telemetry
+        is a deployment-wide substrate; what is per-worker is the
+        *cache view* of it).
+    config:
+        Cluster and per-worker knobs.
+    faults:
+        Optional fault schedule; ``machine_crashes`` entries keyed by
+        worker name (``worker-0`` ... ``worker-N-1``) crash and restart
+        workers.  ``None`` runs a perfectly healthy cluster.
+    rng:
+        Seed; each worker draws from an independent child generator so
+        per-worker sampling is stable under cluster-size changes.
+    """
+
+    def __init__(
+        self,
+        nws: NetworkWeatherService,
+        *,
+        config: ClusterConfig | None = None,
+        faults: FaultPlan | None = None,
+        rng=None,
+    ):
+        self.nws = nws
+        self.config = config if config is not None else ClusterConfig()
+        self.faults = faults if faults is not None else FaultPlan.none()
+        self.ledger = SharedRefreshLedger()
+        self.metrics = MetricsRegistry()
+
+        gen = as_generator(rng)
+        children = gen.spawn(self.config.n_workers)
+        self.workers: dict[str, PredictionServer] = {}
+        for i in range(self.config.n_workers):
+            self.workers[f"worker-{i}"] = PredictionServer(
+                nws,
+                config=self.config.worker,
+                rng=children[i],
+                forecast_ledger=self.ledger,
+            )
+        self.router = ClusterRouter(
+            self.workers, replication=self.config.replication, vnodes=self.config.vnodes
+        )
+
+        self._clock = nws.now
+        self._up = {name: not self.faults.machine_down(name, self._clock) for name in self.workers}
+        self._bucket = (
+            TokenBucket(self.config.cluster_rate, self.config.cluster_burst, now=self._clock)
+            if self.config.cluster_rate > 0.0
+            else None
+        )
+        self._shards: dict[str, str] = {}  # model name -> shard key
+        self._inflight: dict[tuple[str, int], _InFlight] = {}
+
+        for name in (
+            "requests_total",
+            "responses_ok",
+            "shed_total",
+            "errors_total",
+            "failovers_total",
+            "requeued_total",
+            "shard_migrations_total",
+            "worker_crashes_total",
+            "worker_recoveries_total",
+        ):
+            self.metrics.counter(name)
+        self.metrics.histogram("latency_s")
+        self.metrics.histogram("worker_queue_depth", _DEPTH_BUCKETS)
+        self.metrics.gauge("workers_up").set(sum(self._up.values()))
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_model(self, spec: ModelSpec) -> None:
+        """Register ``spec`` cluster-wide and place its shard.
+
+        Every worker registers the model (any of them may have to stand
+        in as a replica), but routing sends its traffic to the shard's
+        owners, so only they keep its working set hot.
+        """
+        if spec.name in self._shards:
+            raise ValueError(f"model {spec.name!r} already registered")
+        for worker in self.workers.values():
+            worker.register_model(spec)
+        shard = f"{spec.name}|{bindings_fingerprint(spec.bindings)}"
+        self._shards[spec.name] = shard
+        self.router.owners(shard)  # place eagerly, in registration order
+        self.metrics.gauge("models_registered").set(len(self._shards))
+
+    @property
+    def models(self) -> list[str]:
+        """Registered model names, sorted."""
+        return sorted(self._shards)
+
+    @property
+    def now(self) -> float:
+        """Simulated time the cluster event loop has been stepped to."""
+        return self._clock
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted and waiting across all workers."""
+        return sum(w.queue_depth for w in self.workers.values())
+
+    @property
+    def healthy_workers(self) -> list[str]:
+        """Names of workers currently up, sorted."""
+        return sorted(name for name, up in self._up.items() if up)
+
+    def owners(self, model: str) -> tuple[str, ...]:
+        """The owner list (primary first) of ``model``'s shard."""
+        return self.router.owners(self._shards[model])
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: PredictRequest) -> Response | None:
+        """Admit and route ``request``, or answer it immediately.
+
+        Mirrors :meth:`PredictionServer.submit`: ``None`` means admitted
+        (a later :meth:`step` answers it); anything else is the final
+        typed response.
+        """
+        now = max(self._clock, request.submitted)
+        self.metrics.counter("requests_total").inc()
+
+        shard = self._shards.get(request.model)
+        if shard is None:
+            self.metrics.counter("errors_total").inc()
+            return ErrorResponse(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                completed=now,
+                message=f"unknown model {request.model!r}; registered: {self.models}",
+            )
+        if self._bucket is not None and not self._bucket.allow(now):
+            return self._shed(request, SHED_THROTTLED, now)
+
+        target, failover = self.router.route(shard, self._healthy_set())
+        if target is None:
+            return self._shed(request, SHED_UNAVAILABLE, now)
+        return self._place(request, target, failover)
+
+    def _place(self, request: PredictRequest, target: str, failover: bool) -> Response | None:
+        """Hand ``request`` to ``target``; track it while in flight."""
+        immediate = self.workers[target].submit(request)
+        if immediate is not None:
+            return self._account(replace(immediate, worker=target))
+        self._inflight[(request.client_id, request.request_id)] = _InFlight(
+            request=request, worker=target, failover=failover
+        )
+        return None
+
+    def _shed(self, request: PredictRequest, reason: str, at: float) -> OverloadedResponse:
+        drain = sum(
+            self.workers[n].config.drain_rate() for n in self.workers if self._up[n]
+        )
+        return self._account(
+            OverloadedResponse(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                completed=at,
+                reason=reason,
+                retry_after=(self.queue_depth / drain) if drain > 0.0 else float("inf"),
+            )
+        )
+
+    def _healthy_set(self) -> set:
+        return {name for name, up in self._up.items() if up}
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def step(self, to: float) -> list[Response]:
+        """Run every worker's event loop up to ``to``, with failover.
+
+        Crash and restart instants inside the window are processed
+        exactly: workers are stepped segment by segment between fault
+        boundaries, a worker crossing into a crash window is drained
+        (its unanswered requests re-route to replicas), and one crossing
+        out is restarted cold.  Responses are returned in completion
+        order with worker attribution and failover tagging applied.
+        """
+        if to < self._clock:
+            raise ValueError(f"cannot step the cluster backwards from {self._clock} to {to}")
+        out: list[Response] = []
+        for t in self._boundaries(self._clock, to):
+            for name in self.workers:
+                if self._up[name]:
+                    for resp in self.workers[name].step(t):
+                        out.append(self._deliver(name, resp))
+            self._apply_transitions(t, out)
+            self._clock = t
+        for name, worker in self.workers.items():
+            if self._up[name]:
+                self.metrics.histogram("worker_queue_depth", _DEPTH_BUCKETS).observe(
+                    worker.queue_depth
+                )
+        out.sort(key=lambda r: r.completed)
+        return out
+
+    def _boundaries(self, t0: float, t1: float) -> list[float]:
+        """Fault-transition instants in ``(t0, t1]``, ending with ``t1``."""
+        cuts = set()
+        for name in self.workers:
+            for outage in self.faults.machine_crashes.get(name, ()):
+                for edge in (outage.start, outage.end):
+                    if t0 < edge <= t1:
+                        cuts.add(edge)
+        out = sorted(cuts)
+        if not out or out[-1] != t1:
+            out.append(t1)
+        return out
+
+    def _apply_transitions(self, t: float, out: list[Response]) -> None:
+        """Crash/restart workers whose fault state flips at ``t``."""
+        for name, worker in self.workers.items():
+            down_now = self.faults.machine_down(name, t)
+            if down_now and self._up[name]:
+                self._up[name] = False
+                self.metrics.counter("worker_crashes_total").inc()
+                self._migrate(name, worker, t, out)
+            elif not down_now and not self._up[name]:
+                worker.restart(t)
+                self._up[name] = True
+                self.metrics.counter("worker_recoveries_total").inc()
+        self.metrics.gauge("workers_up").set(sum(self._up.values()))
+
+    def _migrate(self, dead: str, worker: PredictionServer, t: float, out: list[Response]) -> None:
+        """Re-route everything the crashed worker had not answered."""
+        worker.drain()
+        healthy = self._healthy_set()
+        stranded = [
+            key for key, entry in self._inflight.items() if entry.worker == dead
+        ]
+        moved_shards = set()
+        for key in stranded:
+            entry = self._inflight.pop(key)
+            shard = self._shards[entry.request.model]
+            target, failover = self.router.route(shard, healthy)
+            if target is None:
+                out.append(self._shed(entry.request, SHED_UNAVAILABLE, t))
+                continue
+            moved_shards.add(shard)
+            self.metrics.counter("requeued_total").inc()
+            immediate = self.workers[target].submit(entry.request)
+            if immediate is not None:
+                out.append(self._account(replace(immediate, worker=target)))
+            else:
+                self._inflight[key] = _InFlight(
+                    request=entry.request, worker=target, failover=True
+                )
+        self.metrics.counter("shard_migrations_total").inc(len(moved_shards))
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, name: str, resp: Response) -> Response:
+        """Stamp worker attribution and failover degradation on ``resp``."""
+        entry = self._inflight.pop((resp.client_id, resp.request_id), None)
+        failover = entry.failover if entry is not None else False
+        if isinstance(resp, PredictResponse) and failover:
+            resp = replace(
+                resp, worker=name, failover=True, quality=_degraded(resp.quality)
+            )
+            self.metrics.counter("failovers_total").inc()
+        else:
+            resp = replace(resp, worker=name)
+        return self._account(resp)
+
+    def _account(self, resp: Response) -> Response:
+        if resp.status == "ok":
+            self.metrics.counter("responses_ok").inc()
+            self.metrics.counter(f"quality_{resp.quality}").inc()
+            self.metrics.histogram("latency_s").observe(resp.latency)
+        elif resp.status == "overloaded":
+            self.metrics.counter("shed_total").inc()
+            self.metrics.counter(f"shed_{resp.reason}").inc()
+        else:
+            self.metrics.counter("errors_total").inc()
+        return resp
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Cluster-wide operational state, JSON-serialisable.
+
+        Includes per-worker snapshots, the cluster's own metrics, shard
+        placement, the shared-refresh ledger, and *exact* cluster-wide
+        latency / batch-size quantiles merged from worker histograms.
+        """
+        merged_latency = Histogram.merged(
+            "latency_s", (w.metrics.histogram("latency_s") for w in self.workers.values())
+        )
+        merged_batch = Histogram.merged(
+            "batch_size",
+            (w.metrics.histogram("batch_size") for w in self.workers.values()),
+        )
+        return _sanitise(
+            {
+                "now": self._clock,
+                "workers": {
+                    name: {
+                        "up": self._up[name],
+                        "queue_depth": worker.queue_depth,
+                        "metrics": worker.metrics.snapshot(),
+                        "forecast_cache": worker.forecasts.stats(),
+                    }
+                    for name, worker in self.workers.items()
+                },
+                "cluster": self.metrics.snapshot(),
+                "aggregated": {
+                    "latency_s": merged_latency.stats(),
+                    "batch_size": merged_batch.stats(),
+                },
+                "shards": self.router.placement(self._shards.values()),
+                "forecast_ledger": self.ledger.stats(),
+                "plan_cache": plan_cache_stats(),
+                "in_flight": len(self._inflight),
+            }
+        )

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.core.stochastic import StochasticValue
 from repro.faults.plan import FaultPlan
 from repro.nws.service import DegradationPolicy, NetworkWeatherService
+from repro.serving.cluster import ClusterConfig, ServingCluster
 from repro.serving.server import ModelSpec, PredictionServer, ServerConfig
 from repro.sor.decomposition import equal_strips
 from repro.structural.parameters import param_name
@@ -22,7 +23,7 @@ from repro.workload.loadgen import MIN_AVAILABILITY, single_mode_trace
 from repro.workload.modes import LoadMode
 from repro.workload.platforms import platform1
 
-__all__ = ["demo_server", "DEMO_SIZES", "NET_RESOURCE"]
+__all__ = ["demo_server", "demo_cluster", "DEMO_SIZES", "NET_RESOURCE"]
 
 #: SOR problem sizes registered as models ``sor-<size>``.
 DEMO_SIZES = (600, 1000, 1600)
@@ -34,23 +35,8 @@ NET_RESOURCE = "net:segment"
 _ITERATIONS = 20
 
 
-def demo_server(
-    *,
-    duration: float = 3600.0,
-    sizes: tuple = DEMO_SIZES,
-    config: ServerConfig | None = None,
-    faults: FaultPlan | None = None,
-    warmup: float = 60.0,
-    rng=11,
-):
-    """A serving stack over Platform 1: ``(server, platform, nws)``.
-
-    The NWS runs with a degradation policy (prior: dedicated-ish load)
-    so every qualified query yields a typed, tagged answer; ``faults``
-    threads a chaos schedule into every sensor.  ``warmup`` simulated
-    seconds of telemetry are ingested before the server starts, so the
-    first requests see real forecasts rather than fallbacks.
-    """
+def _demo_nws(duration: float, warmup: float, faults: FaultPlan | None, rng):
+    """The shared Platform 1 telemetry substrate: ``(plat, nws, resources)``."""
     plat = platform1(duration=duration, rng=rng)
     nws = NetworkWeatherService(
         degradation=DegradationPolicy(prior=StochasticValue(0.5, 0.4)),
@@ -67,8 +53,11 @@ def demo_server(
     nws.register(NET_RESOURCE, net_trace)
     if warmup > 0.0:
         nws.advance_to(warmup)
+    return plat, nws, resources
 
-    server = PredictionServer(nws, config=config, rng=rng)
+
+def _register_demo_models(target, plat, resources, sizes: tuple) -> None:
+    """Register ``sor-<size>`` specs on a server or cluster."""
     n_procs = len(plat.machines)
     model = SORModel(n_procs=n_procs, iterations=_ITERATIONS)
     expression = model.expression()
@@ -91,5 +80,50 @@ def demo_server(
             },
             clip=clip,
         )
-        server.register_model(spec)
+        target.register_model(spec)
+
+
+def demo_server(
+    *,
+    duration: float = 3600.0,
+    sizes: tuple = DEMO_SIZES,
+    config: ServerConfig | None = None,
+    faults: FaultPlan | None = None,
+    warmup: float = 60.0,
+    rng=11,
+):
+    """A serving stack over Platform 1: ``(server, platform, nws)``.
+
+    The NWS runs with a degradation policy (prior: dedicated-ish load)
+    so every qualified query yields a typed, tagged answer; ``faults``
+    threads a chaos schedule into every sensor.  ``warmup`` simulated
+    seconds of telemetry are ingested before the server starts, so the
+    first requests see real forecasts rather than fallbacks.
+    """
+    plat, nws, resources = _demo_nws(duration, warmup, faults, rng)
+    server = PredictionServer(nws, config=config, rng=rng)
+    _register_demo_models(server, plat, resources, sizes)
     return server, plat, nws
+
+
+def demo_cluster(
+    *,
+    duration: float = 3600.0,
+    sizes: tuple = DEMO_SIZES,
+    config: ClusterConfig | None = None,
+    faults: FaultPlan | None = None,
+    warmup: float = 60.0,
+    rng=11,
+):
+    """A sharded serving cluster over Platform 1: ``(cluster, plat, nws)``.
+
+    Same telemetry substrate and model family as :func:`demo_server`,
+    behind a :class:`~repro.serving.cluster.ServingCluster`.  One
+    ``faults`` plan serves both chaos planes: ``sensor_dropouts`` /
+    ``corruptions`` hit the NWS sensors, ``machine_crashes`` keyed
+    ``worker-<i>`` crash the serving workers themselves.
+    """
+    plat, nws, resources = _demo_nws(duration, warmup, faults, rng)
+    cluster = ServingCluster(nws, config=config, faults=faults, rng=rng)
+    _register_demo_models(cluster, plat, resources, sizes)
+    return cluster, plat, nws

@@ -26,7 +26,6 @@ import time
 from dataclasses import dataclass, field
 
 from repro.serving.protocol import PredictRequest, Response
-from repro.serving.server import PredictionServer
 from repro.util.rng import as_generator
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -112,7 +111,11 @@ class LoadDriver:
     Parameters
     ----------
     server:
-        The server under test (its clock must not be ahead of ``start``).
+        The service under test — a
+        :class:`~repro.serving.server.PredictionServer` or anything
+        sharing its ``submit`` / ``step`` / ``now`` / ``queue_depth`` /
+        ``models`` surface, such as a
+        :class:`~repro.serving.cluster.ServingCluster`.
     models:
         Model names requests draw from (uniformly, seeded).
     workload:
@@ -136,7 +139,7 @@ class LoadDriver:
 
     def __init__(
         self,
-        server: PredictionServer,
+        server,
         models: list[str],
         workload,
         *,

@@ -15,6 +15,18 @@ full :class:`~repro.nws.service.QualifiedForecast` (value + quality tag
 + staleness), so a cached answer carries the same ``fresh`` / ``stale``
 / ``fallback`` tag the service would have produced at the refresh
 instant.
+
+When several caches share one NWS — cluster workers holding replicas of
+the same shard — each refresh used to run the full qualified query once
+*per cache*, so a two-replica shard paid for every forecast twice.  A
+:class:`SharedRefreshLedger` fixes the double refresh: caches
+constructed with the same ledger publish each computed forecast (keyed
+by resource, refresh instant and delivered-measurement count) and reuse
+a peer's publication instead of re-running the query, as long as it is
+younger than their own refresh interval and no telemetry has arrived
+since.  Degradation semantics are unchanged — the reused object is the
+exact :class:`~repro.nws.service.QualifiedForecast` a fresh query at
+that instant produced.
 """
 
 from __future__ import annotations
@@ -23,7 +35,52 @@ from repro.nws.sensors import NWS_DEFAULT_PERIOD
 from repro.nws.service import NetworkWeatherService, QualifiedForecast
 from repro.util.validation import check_positive
 
-__all__ = ["ForecastCache"]
+__all__ = ["ForecastCache", "SharedRefreshLedger"]
+
+
+class SharedRefreshLedger:
+    """Cross-cache memo of freshly computed qualified forecasts.
+
+    One ledger is shared by every :class:`ForecastCache` of a serving
+    cluster.  Entries record ``(computed_at, delivered, forecast)`` per
+    resource; a peer cache may adopt an entry only while it is younger
+    than that cache's own refresh interval *and* the resource's sensor
+    has delivered no measurement since — the same two conditions under
+    which the cache would have trusted its private entry.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, tuple[float, int, QualifiedForecast]] = {}
+        self.shared_hits = 0
+        self.publishes = 0
+
+    def lookup(
+        self, resource: str, now: float, max_age: float, delivered: int
+    ) -> QualifiedForecast | None:
+        """A peer's forecast for ``resource``, if still trustworthy."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return None
+        computed_at, seen, forecast = entry
+        if delivered != seen or not (0.0 <= now - computed_at < max_age):
+            return None
+        self.shared_hits += 1
+        return forecast
+
+    def publish(
+        self, resource: str, computed_at: float, delivered: int, forecast: QualifiedForecast
+    ) -> None:
+        """Record a freshly computed forecast for peers to adopt."""
+        self._entries[resource] = (computed_at, delivered, forecast)
+        self.publishes += 1
+
+    def stats(self) -> dict:
+        """Ledger diagnostics: publishes, cross-cache hits, live entries."""
+        return {
+            "publishes": self.publishes,
+            "shared_hits": self.shared_hits,
+            "entries": len(self._entries),
+        }
 
 
 class ForecastCache:
@@ -37,6 +94,10 @@ class ForecastCache:
     refresh_interval:
         Maximum simulated age of a cached forecast before it is
         recomputed on next access.
+    ledger:
+        Optional :class:`SharedRefreshLedger` shared with peer caches
+        over the same NWS; a refresh first tries to adopt a peer's
+        publication before running the qualified query itself.
     """
 
     def __init__(
@@ -44,14 +105,17 @@ class ForecastCache:
         nws: NetworkWeatherService,
         *,
         refresh_interval: float = NWS_DEFAULT_PERIOD,
+        ledger: SharedRefreshLedger | None = None,
     ):
         check_positive(refresh_interval, "refresh_interval")
         self.nws = nws
         self.refresh_interval = refresh_interval
+        self.ledger = ledger
         self._cached: dict[str, tuple[float, QualifiedForecast]] = {}
         self._delivered: dict[str, int] = {}
         self.hits = 0
         self.refreshes = 0
+        self.shared_hits = 0
 
     def ingest_to(self, t: float) -> int:
         """Advance the weather service to ``t`` and invalidate on news.
@@ -86,7 +150,18 @@ class ForecastCache:
             if now - cached_at < self.refresh_interval:
                 self.hits += 1
                 return forecast
-        forecast = self.nws.query_qualified(resource)
+        if self.ledger is not None:
+            delivered = len(self.nws.sensor(resource).series)
+            forecast = self.ledger.lookup(resource, now, self.refresh_interval, delivered)
+            if forecast is not None:
+                self.shared_hits += 1
+                self._cached[resource] = (now, forecast)
+                self._delivered[resource] = delivered
+                return forecast
+            forecast = self.nws.query_qualified(resource)
+            self.ledger.publish(resource, now, delivered, forecast)
+        else:
+            forecast = self.nws.query_qualified(resource)
         self._cached[resource] = (now, forecast)
         self.refreshes += 1
         return forecast
@@ -100,10 +175,11 @@ class ForecastCache:
 
     def stats(self) -> dict:
         """Cache diagnostics: hits, refreshes, hit rate, live entries."""
-        lookups = self.hits + self.refreshes
+        lookups = self.hits + self.shared_hits + self.refreshes
         return {
             "hits": self.hits,
+            "shared_hits": self.shared_hits,
             "refreshes": self.refreshes,
-            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            "hit_rate": (self.hits + self.shared_hits) / lookups if lookups else 0.0,
             "entries": len(self._cached),
         }

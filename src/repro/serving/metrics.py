@@ -77,6 +77,36 @@ class Histogram:
     def count(self) -> int:
         return len(self._values)
 
+    @property
+    def values(self) -> tuple:
+        """Every observation, in arrival order (read-only view)."""
+        return tuple(self._values)
+
+    @classmethod
+    def merged(cls, name: str, histograms) -> "Histogram":
+        """One histogram holding every observation of ``histograms``.
+
+        The cluster-wide view of a per-worker metric: because
+        observations are retained in full, quantiles of the merged
+        histogram are *exact* over the union — not an approximation
+        stitched from per-worker quantiles.  All inputs must share
+        bucket bounds (they come from the same metric name).
+        """
+        histograms = list(histograms)
+        if not histograms:
+            return cls(name)
+        bounds = histograms[0].bounds
+        for h in histograms[1:]:
+            if h.bounds != bounds:
+                raise ValueError(
+                    f"cannot merge histograms with differing bounds: "
+                    f"{bounds} vs {h.bounds}"
+                )
+        out = cls(name, bounds)
+        for h in histograms:
+            out._values.extend(h._values)
+        return out
+
     def quantile(self, q: float) -> float:
         """Exact order-statistic quantile; NaN with no observations."""
         if not self._values:

@@ -15,6 +15,13 @@ stood on (``fresh`` / ``stale`` / ``fallback``, the worst across all
 resources consulted) and the staleness of the oldest one, so a client
 can weigh an answer exactly like a scheduler weighs a degraded NWS
 query.
+
+When a :class:`~repro.serving.cluster.ServingCluster` delivers the
+response, it additionally stamps the ``worker`` that produced it and —
+for answers served by a standby replica after its shard's primary
+crashed — sets ``failover=True`` and degrades the quality tag to at
+least ``stale`` (a replica answers from standby-grade shard state, and
+the transition must never be silent).
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ __all__ = [
     "SHED_QUEUE_FULL",
     "SHED_THROTTLED",
     "SHED_DEADLINE",
+    "SHED_UNAVAILABLE",
 ]
 
 #: Response statuses.
@@ -48,7 +56,10 @@ STATUS_ERROR = "error"
 SHED_QUEUE_FULL = "queue_full"
 SHED_THROTTLED = "throttled"
 SHED_DEADLINE = "deadline"
-_SHED_REASONS = (SHED_QUEUE_FULL, SHED_THROTTLED, SHED_DEADLINE)
+#: Cluster-level shed: the request's shard has no healthy owner left
+#: (every replica of the shard is crashed at routing time).
+SHED_UNAVAILABLE = "unavailable"
+_SHED_REASONS = (SHED_QUEUE_FULL, SHED_THROTTLED, SHED_DEADLINE, SHED_UNAVAILABLE)
 
 
 @dataclass(frozen=True)
@@ -93,11 +104,18 @@ class PredictRequest:
 
 @dataclass(frozen=True)
 class Response:
-    """Fields every typed response shares."""
+    """Fields every typed response shares.
+
+    ``worker`` is the serving-cluster attribution: the name of the
+    worker that produced the response (empty for a standalone
+    :class:`~repro.serving.server.PredictionServer`, or for cluster
+    decisions made before routing, e.g. a global-admission shed).
+    """
 
     request_id: int
     client_id: str
     completed: float
+    worker: str = ""
 
     @property
     def status(self) -> str:
@@ -130,6 +148,12 @@ class PredictResponse(Response):
         Simulated seconds from submission to completion.
     batch_size:
         Number of requests answered by the same vectorised evaluation.
+    failover:
+        True when a cluster answered from a standby replica because the
+        shard's primary worker was down; such answers carry a quality
+        tag of at least ``stale``.
+    model:
+        Name of the model the prediction was evaluated against.
     """
 
     value: StochasticValue = StochasticValue.point(0.0)
@@ -138,6 +162,8 @@ class PredictResponse(Response):
     staleness: float = 0.0
     latency: float = 0.0
     batch_size: int = 1
+    failover: bool = False
+    model: str = ""
 
     def __post_init__(self) -> None:
         if self.quality not in QUALITIES:

@@ -1,0 +1,159 @@
+"""Consistent-hash request routing for the serving cluster.
+
+A cluster shards models across workers so each worker keeps a *hot*
+plan/forecast working set for its share of the traffic instead of every
+worker touching every model.  The shard key is stable — the model name
+plus a fingerprint of its bindings — and placement uses a classic
+consistent-hash ring with virtual nodes:
+
+* each worker owns many pseudo-random points on a 64-bit ring
+  (``vnodes`` per worker), so shards spread evenly and adding or
+  removing one worker moves only ~1/N of the keys;
+* a shard's **owners** are the first ``replication`` *distinct* workers
+  clockwise from the shard's ring point;
+* the **primary** is elected among those owners with a bounded-load
+  tiebreak: the candidate currently holding the fewest primaries wins
+  (ring order breaks ties).  A raw ring skews badly at small shard
+  counts — a handful of models can all hash behind one worker's arc —
+  and the primary carries all of a shard's healthy-path traffic, so
+  electing least-loaded primaries is what makes cluster throughput
+  scale with workers.  Owner *sets* stay pure ring output, so adding
+  or removing a worker still only moves ~1/N of the keys;
+* routing walks the owner list in order and picks the first *healthy*
+  worker, reporting whether the pick was a failover (not the primary).
+
+Hashing is :func:`hashlib.blake2b`-based, so placement is deterministic
+across processes and runs — no dependence on ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.structural.parameters import Bindings
+
+__all__ = ["stable_hash", "bindings_fingerprint", "HashRing", "ClusterRouter"]
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``."""
+    return int.from_bytes(hashlib.blake2b(key.encode(), digest_size=8).digest(), "big")
+
+
+def bindings_fingerprint(bindings: Bindings) -> str:
+    """A short stable digest of a parameter environment.
+
+    Two specs sharing one expression but bound to different platforms
+    hash to different shards, so their hot forecast working sets land on
+    (generally) different workers.
+    """
+    parts = []
+    for name in bindings.names():
+        sv = bindings.resolve(name)
+        parts.append(f"{name}={sv.mean!r}+-{sv.spread!r}")
+    return hashlib.blake2b("|".join(parts).encode(), digest_size=6).hexdigest()
+
+
+class HashRing:
+    """A consistent-hash ring over a fixed set of node names."""
+
+    def __init__(self, nodes, *, vnodes: int = 64):
+        nodes = sorted(set(nodes))
+        if not nodes:
+            raise ValueError("ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.nodes = tuple(nodes)
+        self.vnodes = vnodes
+        points = []
+        for node in self.nodes:
+            for v in range(vnodes):
+                points.append((stable_hash(f"{node}#{v}"), node))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def owners(self, key: str, n: int) -> tuple[str, ...]:
+        """The first ``n`` distinct nodes clockwise from ``key``'s point."""
+        n = min(n, len(self.nodes))
+        start = bisect_right(self._hashes, stable_hash(key))
+        out: list[str] = []
+        for i in range(len(self._points)):
+            node = self._points[(start + i) % len(self._points)][1]
+            if node not in out:
+                out.append(node)
+                if len(out) == n:
+                    break
+        return tuple(out)
+
+
+class ClusterRouter:
+    """Shard placement and health-aware worker selection.
+
+    Parameters
+    ----------
+    workers:
+        Worker names (the ring's nodes).
+    replication:
+        Owners per shard (primary + ``replication - 1`` standby
+        replicas), capped at the worker count.
+    vnodes:
+        Virtual nodes per worker on the ring.
+    """
+
+    def __init__(self, workers, *, replication: int = 2, vnodes: int = 64):
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self._ring = HashRing(workers, vnodes=vnodes)
+        self.replication = min(replication, len(self._ring.nodes))
+        self._owners: dict[str, tuple[str, ...]] = {}
+        self._primary_load: dict[str, int] = {node: 0 for node in self._ring.nodes}
+
+    @property
+    def workers(self) -> tuple[str, ...]:
+        """All worker names on the ring, sorted."""
+        return self._ring.nodes
+
+    def owners(self, shard_key: str) -> tuple[str, ...]:
+        """The shard's owner list: primary first, then replicas.
+
+        First sight of a key *places* it: the owner set comes off the
+        ring, and the primary is the candidate holding the fewest
+        primaries so far (ring order breaks ties).  Placement is
+        memoised, so it is deterministic given the registration order —
+        which the cluster keeps deterministic by registering models in
+        a fixed order.
+        """
+        cached = self._owners.get(shard_key)
+        if cached is None:
+            candidates = self._ring.owners(shard_key, self.replication)
+            primary = min(candidates, key=lambda n: (self._primary_load[n], candidates.index(n)))
+            cached = (primary, *(n for n in candidates if n != primary))
+            self._primary_load[primary] += 1
+            self._owners[shard_key] = cached
+        return cached
+
+    def primary(self, shard_key: str) -> str:
+        """The shard's primary owner (health ignored)."""
+        return self.owners(shard_key)[0]
+
+    def route(self, shard_key: str, healthy) -> tuple[str | None, bool]:
+        """``(worker, failover)`` for a request against ``shard_key``.
+
+        Walks the owner list in order and returns the first worker in
+        ``healthy``; ``failover`` is True when that is not the primary.
+        ``(None, True)`` means every owner of the shard is down.
+        """
+        for i, worker in enumerate(self.owners(shard_key)):
+            if worker in healthy:
+                return worker, i > 0
+        return None, True
+
+    def shards_of(self, worker: str, shard_keys) -> list[str]:
+        """The shard keys whose primary is ``worker``."""
+        return [k for k in shard_keys if self.primary(k) == worker]
+
+    def placement(self, shard_keys) -> dict[str, tuple[str, ...]]:
+        """Owner lists for every shard key, for snapshots and tests."""
+        return {k: self.owners(k) for k in sorted(shard_keys)}

@@ -45,7 +45,7 @@ from repro.core.empirical import EmpiricalValue
 from repro.core.stochastic import StochasticValue, as_stochastic
 from repro.nws.service import QUALITIES, NetworkWeatherService, QualifiedForecast
 from repro.serving.admission import AdmissionController, AdmissionPolicy
-from repro.serving.forecasts import ForecastCache
+from repro.serving.forecasts import ForecastCache, SharedRefreshLedger
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.protocol import (
     SHED_DEADLINE,
@@ -207,10 +207,13 @@ class PredictionServer:
         *,
         config: ServerConfig | None = None,
         rng=None,
+        forecast_ledger: SharedRefreshLedger | None = None,
     ):
         self.nws = nws
         self.config = config if config is not None else ServerConfig()
-        self.forecasts = ForecastCache(nws, refresh_interval=self.config.refresh_interval)
+        self.forecasts = ForecastCache(
+            nws, refresh_interval=self.config.refresh_interval, ledger=forecast_ledger
+        )
         self.metrics = MetricsRegistry()
         self.admission = AdmissionController(self.config.admission)
         self._models: dict[str, ModelSpec] = {}
@@ -359,6 +362,17 @@ class PredictionServer:
         self._done.sort(key=lambda r: r.completed)
         out = [r for r in self._done if r.completed <= to]
         self._done = [r for r in self._done if r.completed > to]
+        # Answer metrics are observed at *delivery*, not at compute time,
+        # so work computed by a worker that crashes before delivering
+        # (discarded by drain()) never appears as a served answer.
+        for resp in out:
+            if resp.status == "ok":
+                self.metrics.counter("responses_ok").inc()
+                self.metrics.counter(f"quality_{resp.quality}").inc()
+                self.metrics.histogram("latency_s").observe(resp.latency)
+                self.metrics.histogram("staleness_at_answer_s", _STALENESS_BUCKETS).observe(
+                    min(resp.staleness, 1e9)
+                )
         return out
 
     def _shed_expired(self, t: float) -> list[Response]:
@@ -387,6 +401,45 @@ class PredictionServer:
                 kept.append(req)
         self._queue = kept
         return batch
+
+    # ------------------------------------------------------------------
+    # Cluster lifecycle hooks
+    # ------------------------------------------------------------------
+    def drain(self) -> list[PredictRequest]:
+        """Crash hook: abandon all pending work and return the queue.
+
+        Called by a serving cluster the instant this worker's host
+        crashes.  Queued requests are returned (the cluster re-routes
+        them to the shard's replicas); responses computed but not yet
+        delivered are discarded — a dead worker cannot deliver, and the
+        cluster re-issues those requests from its own in-flight registry
+        — and the in-service window is cancelled so a later restart does
+        not resume a half-finished batch.
+        """
+        dropped = list(self._queue)
+        self._queue.clear()
+        self._done.clear()
+        self._busy_until = self._clock
+        self.metrics.gauge("queue_depth").set(0)
+        return dropped
+
+    def restart(self, at: float) -> None:
+        """Recovery hook: bring a crashed worker back cold at time ``at``.
+
+        The event-loop clock jumps over the downtime (nothing was
+        served during it), and the forecast cache is invalidated — a
+        restarted host holds no telemetry view, so its first answers
+        recompute every consulted forecast from the live NWS instead of
+        trusting pre-crash entries.
+        """
+        if at < self._clock:
+            raise ValueError(f"cannot restart at {at}, before the clock ({self._clock})")
+        self._queue.clear()
+        self._done.clear()
+        self._clock = at
+        self._busy_until = at
+        self.forecasts.invalidate()
+        self.metrics.counter("restarts_total").inc()
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -456,13 +509,8 @@ class PredictionServer:
                     staleness=staleness,
                     latency=t_done - req.submitted,
                     batch_size=len(batch),
+                    model=req.model,
                 )
-            )
-            self.metrics.counter("responses_ok").inc()
-            self.metrics.counter(f"quality_{quality}").inc()
-            self.metrics.histogram("latency_s").observe(t_done - req.submitted)
-            self.metrics.histogram("staleness_at_answer_s", _STALENESS_BUCKETS).observe(
-                min(staleness, 1e9)
             )
         return responses
 

@@ -1,0 +1,101 @@
+"""Shared test fixtures: the golden-trace comparison harness.
+
+Golden traces are seeded end-to-end runs frozen as JSON under
+``tests/goldens/``.  A golden test builds the run's payload and hands it
+to the ``golden`` fixture, which either compares it against the stored
+file (float leaves within tolerance, everything else exact) or — when
+pytest runs with ``--update-goldens`` — rewrites the file and skips.
+
+Workflow after an intentional behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/ --update-goldens
+    git diff tests/goldens/   # review what actually changed
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Relative/absolute tolerance for float leaves.  Goldens are produced
+#: by seeded simulated-time runs, so differences beyond arithmetic noise
+#: mean the pipeline's behaviour actually changed.
+FLOAT_TOL = 1e-9
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current run instead of comparing",
+    )
+
+
+def _diff(expected, actual, path: str, errors: list) -> None:
+    """Collect human-readable mismatches between two JSON-ish trees."""
+    if len(errors) >= 10:  # enough to diagnose; keep the report readable
+        return
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                errors.append(f"{path}.{key}: unexpected new key")
+            elif key not in actual:
+                errors.append(f"{path}.{key}: missing key")
+            else:
+                _diff(expected[key], actual[key], f"{path}.{key}", errors)
+        return
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            errors.append(f"{path}: length {len(actual)} != golden {len(expected)}")
+            return
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _diff(e, a, f"{path}[{i}]", errors)
+        return
+    if isinstance(expected, float) or isinstance(actual, float):
+        same = (
+            isinstance(expected, (int, float))
+            and isinstance(actual, (int, float))
+            and not isinstance(expected, bool)
+            and not isinstance(actual, bool)
+            and math.isclose(float(expected), float(actual), rel_tol=FLOAT_TOL, abs_tol=FLOAT_TOL)
+        )
+        if not same:
+            errors.append(f"{path}: {actual!r} != golden {expected!r}")
+        return
+    if expected != actual:
+        errors.append(f"{path}: {actual!r} != golden {expected!r}")
+
+
+@pytest.fixture
+def golden(request):
+    """Compare a payload against ``tests/goldens/<name>.json``.
+
+    With ``--update-goldens`` the file is (re)written from the payload
+    and the test is skipped, so an update run cannot silently pass.
+    """
+
+    def check(name: str, payload: dict) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        # Round-trip through JSON so the comparison sees exactly what
+        # the file format can represent (tuples become lists, etc.).
+        payload = json.loads(json.dumps(payload))
+        if request.config.getoption("--update-goldens"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            pytest.skip(f"golden {name} updated")
+        if not path.exists():
+            pytest.fail(
+                f"golden {path.name} missing - run pytest with --update-goldens to create it"
+            )
+        expected = json.loads(path.read_text())
+        errors: list = []
+        _diff(expected, payload, name, errors)
+        if errors:
+            listing = "\n  ".join(errors)
+            pytest.fail(f"golden {path.name} mismatch:\n  {listing}")
+
+    return check

@@ -1,0 +1,133 @@
+"""Chaos soak: kill a serving worker mid-load, watch the cluster absorb it.
+
+A 4-worker cluster serves a seeded closed-loop drive while a
+:class:`~repro.faults.plan.FaultPlan` crashes the primary owner of at
+least one shard in the middle of the window.  The cluster must keep
+answering — not a single :class:`ErrorResponse` — with honest quality
+tags: answers for the migrated shards are served by standby replicas,
+tagged ``failover=True`` and degraded to at least ``stale``; after the
+primary restarts, its shards return to ``fresh`` primary-served
+answers.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.serving import ClosedLoop, ClusterConfig, ErrorResponse, LoadDriver, demo_cluster
+
+SEED = 7
+# The drive starts after demo warmup (t=60); the crash sits mid-window.
+CRASH_START = 60.4
+CRASH_END = 61.2
+
+
+@pytest.fixture(scope="module")
+def soak():
+    # Pick the crash target *from the placement*: a worker that is the
+    # primary owner of at least one shard, so failover actually fires.
+    probe, _, _ = demo_cluster(
+        duration=900.0,
+        config=ClusterConfig(n_workers=4, replication=2),
+        rng=SEED,
+    )
+    victim = probe.owners(probe.models[0])[0]
+    victim_models = [m for m in probe.models if probe.owners(m)[0] == victim]
+
+    faults = FaultPlan.crashes({victim: [(CRASH_START, CRASH_END)]})
+    cluster, _, _ = demo_cluster(
+        duration=900.0,
+        config=ClusterConfig(n_workers=4, replication=2),
+        faults=faults,
+        rng=SEED,
+    )
+    driver = LoadDriver(
+        cluster,
+        cluster.models,
+        ClosedLoop(clients=16),
+        max_requests=600,
+        rng=SEED,
+    )
+    return cluster, driver.run(), victim, victim_models
+
+
+class TestClusterChaos:
+    def test_placement_is_reproducible(self, soak):
+        cluster, _, victim, victim_models = soak
+        assert victim_models, "crash victim must primary-own at least one shard"
+        assert all(cluster.owners(m)[0] == victim for m in victim_models)
+
+    def test_zero_error_responses(self, soak):
+        cluster, report, _, _ = soak
+        assert report.errors == 0
+        assert not any(isinstance(r, ErrorResponse) for r in report.responses)
+        assert cluster.metrics.counter("errors_total").value == 0
+
+    def test_every_request_answered_exactly_once(self, soak):
+        _, report, _, _ = soak
+        assert report.ok + report.shed == report.submitted == 600
+        ids = [(r.client_id, r.request_id) for r in report.responses]
+        assert len(ids) == len(set(ids)), "duplicate answers for one request"
+
+    def test_crash_and_recovery_observed(self, soak):
+        cluster, _, _, _ = soak
+        counters = cluster.metrics.snapshot()["counters"]
+        assert counters["worker_crashes_total"] == 1
+        assert counters["worker_recoveries_total"] == 1
+        assert counters["shard_migrations_total"] >= 1
+        assert counters["failovers_total"] > 0
+
+    def test_dead_worker_serves_nothing_while_down(self, soak):
+        _, report, victim, _ = soak
+        during = [
+            r for r in report.responses
+            if r.ok and CRASH_START <= r.completed < CRASH_END
+        ]
+        assert during, "no answers landed inside the crash window"
+        assert victim not in {r.worker for r in during}
+
+    def test_failover_answers_are_tagged_and_degraded(self, soak):
+        _, report, victim, _ = soak
+        failover = [r for r in report.responses if r.ok and r.failover]
+        assert failover, "the crash produced no failover answers"
+        # Honest tagging: a standby's answer is never silently fresh.
+        assert all(r.quality in ("stale", "fallback") for r in failover)
+        assert all(r.worker != victim for r in failover)
+
+    def test_quality_degrades_monotonically_on_migrated_shards(self, soak):
+        _, report, _, victim_models = soak
+        ok = [r for r in report.responses if r.ok and r.model in victim_models]
+        before = [r for r in ok if r.completed < CRASH_START]
+        during = [r for r in ok if CRASH_START <= r.completed < CRASH_END]
+        assert before and during
+        assert all(r.quality == "fresh" and not r.failover for r in before)
+        # fresh -> stale/fallback, never an error, never silently fresh.
+        assert all(r.quality in ("stale", "fallback") for r in during if r.failover)
+
+    def test_full_recovery_to_fresh_after_restart(self, soak):
+        _, report, victim, victim_models = soak
+        after = [
+            r for r in report.responses
+            if r.ok and r.model in victim_models and r.completed > CRASH_END + 0.5
+        ]
+        assert after, "no answers for migrated shards after the restart"
+        assert all(r.quality == "fresh" and not r.failover for r in after)
+        # The restarted primary is serving its shards again.
+        assert victim in {r.worker for r in after}
+
+    def test_inflight_registry_drains(self, soak):
+        cluster, _, _, _ = soak
+        assert cluster.snapshot()["in_flight"] == 0
+
+    def test_metrics_count_only_delivered_answers(self, soak):
+        # Work the victim computed but never delivered (discarded by its
+        # drain) must not inflate any ledger: the merged latency
+        # histogram and the per-worker responses_ok sum both equal the
+        # number of answers clients actually received.
+        cluster, report, _, _ = soak
+        snap = cluster.snapshot()
+        assert snap["aggregated"]["latency_s"]["count"] == report.ok
+        per_worker_ok = sum(
+            w["metrics"]["counters"]["responses_ok"] for w in snap["workers"].values()
+        )
+        assert per_worker_ok == report.ok
+        assert snap["cluster"]["counters"]["responses_ok"] == report.ok

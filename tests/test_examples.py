@@ -75,3 +75,11 @@ class TestExamples:
         assert "median batch size" in out
         assert "reason=queue_full" in out
         assert "errors=0" in out
+
+    def test_cluster_failover(self, capsys):
+        out = run_example("cluster_failover.py", capsys)
+        assert "shard placement" in out
+        assert "crash target" in out
+        assert "errors=0" in out
+        assert "never silent" in out
+        assert "quality ['fresh']" in out

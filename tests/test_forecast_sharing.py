@@ -1,0 +1,144 @@
+"""Shared-cache contention: the ForecastCache double-refresh fix.
+
+When two cluster workers hold replicas of one shard, both consult the
+same NWS resources.  Without coordination each worker's ForecastCache
+runs the full qualified query per refresh interval — every forecast is
+computed once *per cache* instead of once per cluster.  The
+:class:`~repro.serving.forecasts.SharedRefreshLedger` fixes that: these
+tests pin the single-compute behaviour, the conditions under which a
+peer's entry must NOT be adopted (aged out, superseded by telemetry),
+and that a driven cluster actually exercises the sharing path.
+"""
+
+import pytest
+
+from repro.core.stochastic import StochasticValue
+from repro.nws.service import DegradationPolicy, NetworkWeatherService
+from repro.serving import (
+    ClosedLoop,
+    ClusterConfig,
+    ForecastCache,
+    LoadDriver,
+    SharedRefreshLedger,
+    demo_cluster,
+)
+from repro.workload.loadgen import single_mode_trace
+from repro.workload.modes import LoadMode
+
+RESOURCE = "cpu:m0"
+
+
+@pytest.fixture
+def nws():
+    service = NetworkWeatherService(
+        degradation=DegradationPolicy(prior=StochasticValue(0.5, 0.4))
+    )
+    trace = single_mode_trace(LoadMode(mean=0.6, std=0.05, weight=1.0), 600.0, rng=1)
+    service.register(RESOURCE, trace)
+    service.advance_to(60.0)
+    return service
+
+
+def counting(nws, calls):
+    """Wrap ``nws.query_qualified`` to count underlying computes."""
+    original = nws.query_qualified
+
+    def wrapped(resource, **kwargs):
+        calls[resource] = calls.get(resource, 0) + 1
+        return original(resource, **kwargs)
+
+    nws.query_qualified = wrapped
+    return nws
+
+
+class TestSharedRefreshLedger:
+    def test_two_caches_compute_once(self, nws):
+        calls: dict = {}
+        counting(nws, calls)
+        ledger = SharedRefreshLedger()
+        a = ForecastCache(nws, ledger=ledger)
+        b = ForecastCache(nws, ledger=ledger)
+
+        first = a.get(RESOURCE, 60.0)
+        second = b.get(RESOURCE, 60.0)
+
+        assert calls[RESOURCE] == 1, "the replica cache re-ran the qualified query"
+        assert second is first  # the exact QualifiedForecast object is adopted
+        assert ledger.stats() == {"publishes": 1, "shared_hits": 1, "entries": 1}
+        assert a.stats()["refreshes"] == 1 and a.stats()["shared_hits"] == 0
+        assert b.stats()["refreshes"] == 0 and b.stats()["shared_hits"] == 1
+
+    def test_unshared_caches_still_double_compute(self, nws):
+        # The contention the ledger exists to fix, pinned as a contrast.
+        calls: dict = {}
+        counting(nws, calls)
+        ForecastCache(nws).get(RESOURCE, 60.0)
+        ForecastCache(nws).get(RESOURCE, 60.0)
+        assert calls[RESOURCE] == 2
+
+    def test_aged_out_entries_are_not_adopted(self, nws):
+        calls: dict = {}
+        counting(nws, calls)
+        ledger = SharedRefreshLedger()
+        a = ForecastCache(nws, refresh_interval=5.0, ledger=ledger)
+        b = ForecastCache(nws, refresh_interval=5.0, ledger=ledger)
+
+        a.get(RESOURCE, 60.0)
+        b.get(RESOURCE, 66.0)  # a's publication is older than b's interval
+
+        assert calls[RESOURCE] == 2
+        assert ledger.shared_hits == 0
+
+    def test_new_telemetry_blocks_adoption(self, nws):
+        calls: dict = {}
+        counting(nws, calls)
+        ledger = SharedRefreshLedger()
+        a = ForecastCache(nws, refresh_interval=30.0, ledger=ledger)
+        b = ForecastCache(nws, refresh_interval=30.0, ledger=ledger)
+
+        a.get(RESOURCE, 60.0)
+        # New measurements arrive: the publication is now stale relative
+        # to the data even though it is young in wall time.
+        b.ingest_to(70.0)
+        b.get(RESOURCE, 70.0)
+
+        assert calls[RESOURCE] == 2, "b adopted a forecast superseded by telemetry"
+        assert ledger.shared_hits == 0
+
+    def test_private_entries_still_hit_before_the_ledger(self, nws):
+        ledger = SharedRefreshLedger()
+        a = ForecastCache(nws, ledger=ledger)
+        a.get(RESOURCE, 60.0)
+        a.get(RESOURCE, 61.0)
+        assert a.stats()["hits"] == 1
+        assert ledger.shared_hits == 0
+
+    def test_hit_rate_counts_shared_hits(self, nws):
+        ledger = SharedRefreshLedger()
+        a = ForecastCache(nws, ledger=ledger)
+        b = ForecastCache(nws, ledger=ledger)
+        a.get(RESOURCE, 60.0)
+        b.get(RESOURCE, 60.0)
+        assert b.stats()["hit_rate"] == 1.0
+
+
+class TestClusterSharing:
+    def test_driven_cluster_shares_refreshes(self):
+        cluster, _, _ = demo_cluster(
+            duration=600.0,
+            config=ClusterConfig(n_workers=4, replication=2),
+            rng=9,
+        )
+        driver = LoadDriver(
+            cluster, cluster.models, ClosedLoop(clients=8), max_requests=200, rng=9
+        )
+        report = driver.run()
+        assert report.errors == 0
+        stats = cluster.ledger.stats()
+        # Several workers serve shards over the same five NWS resources;
+        # the sharing path must actually fire under load.
+        assert stats["shared_hits"] > 0
+        per_worker_shared = sum(
+            w.forecasts.stats()["shared_hits"] for w in cluster.workers.values()
+        )
+        assert per_worker_shared == stats["shared_hits"]
