@@ -21,6 +21,7 @@ import time
 from conftest import emit
 
 from repro.serving import ClosedLoop, LoadDriver, ServerConfig, demo_server
+from repro.serving.server import _BATCH_BUCKETS
 from repro.structural.engine import clear_plan_cache, plan_cache_stats
 from repro.util.tables import format_table
 
@@ -93,7 +94,7 @@ def test_batched_serving_speedup(out_dir):
         "min_speedup": MIN_SPEEDUP,
         "min_batched_qps": MIN_BATCHED_QPS,
         "plan_cache": cache,
-        "batch_size_p50": server.metrics.histogram("batch_size").quantile(0.50),
+        "batch_size_p50": server.metrics.histogram("batch_size", _BATCH_BUCKETS).quantile(0.50),
     }
     (out_dir / "BENCH_serving.json").write_text(json.dumps(payload, indent=2))
 

@@ -23,6 +23,7 @@ from repro.serving import (
     ServerConfig,
     demo_server,
 )
+from repro.serving.server import _BATCH_BUCKETS
 from repro.structural.engine import plan_cache_stats
 
 
@@ -48,7 +49,7 @@ def main() -> None:
     cache = plan_cache_stats()
     print("\n64 closed-loop clients, 1000 requests (batched mode):")
     print("  " + report.summary().replace("\n", "\n  "))
-    batch_p50 = server.metrics.histogram("batch_size").quantile(0.50)
+    batch_p50 = server.metrics.histogram("batch_size", _BATCH_BUCKETS).quantile(0.50)
     print(f"  median batch size: {batch_p50:.0f}")
     print(f"  compiled plans: {cache['misses']} (3 model sizes share the "
           f"expression -> {cache['hits']} cache hits)")

@@ -120,6 +120,8 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.pipeline:
+        return _cmd_trace_pipeline(args)
     from repro.util.ascii_plot import ascii_series
     from repro.workload.platforms import platform1, platform2
 
@@ -133,6 +135,29 @@ def _cmd_trace(args) -> int:
             f"({args.duration:.0f} s, seed {args.seed})",
         )
     )
+    return 0
+
+
+def _cmd_trace_pipeline(args) -> int:
+    """Trace a seeded Platform 1 serving run and export span files."""
+    from repro.obs import traced_cluster_run, traced_server_run, write_chrome, write_json
+
+    run = traced_cluster_run if args.cluster else traced_server_run
+    tracer, report, _ = run(rng=args.seed)
+    kind = "cluster" if args.cluster else "server"
+    print(
+        f"traced {kind} run (seed {args.seed}): {report.ok} ok / "
+        f"{report.shed} shed / {report.errors} errors"
+    )
+    stages = ", ".join(f"{s}={n}" for s, n in tracer.stage_counts().items())
+    print(f"{len(tracer)} spans, {len(tracer.events)} events  ({stages})")
+    failovers = tracer.find(name="cluster.route", failover=True)
+    if failovers:
+        print(f"failover hops: {len(failovers)}")
+    if args.json_out:
+        print(f"wrote JSON trace: {write_json(tracer, args.json_out)}")
+    if args.chrome_out:
+        print(f"wrote Chrome trace: {write_chrome(tracer, args.chrome_out)}")
     return 0
 
 
@@ -510,11 +535,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="render ASCII histograms")
     p.set_defaults(func=_cmd_figures)
 
-    p = sub.add_parser("trace", help="render a platform load trace (Figures 8/11)")
+    p = sub.add_parser(
+        "trace",
+        help="render a platform load trace (Figures 8/11), or trace the "
+        "serving pipeline with --pipeline",
+    )
     p.add_argument("--platform", type=int, choices=(1, 2), default=2)
     p.add_argument("--machine", type=int, default=0)
     p.add_argument("--duration", type=float, default=1800.0)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="trace a seeded Platform 1 serving run end to end instead",
+    )
+    p.add_argument(
+        "--cluster",
+        action="store_true",
+        help="with --pipeline: trace the failover cluster drive",
+    )
+    p.add_argument("--json-out", help="with --pipeline: write canonical JSON trace here")
+    p.add_argument("--chrome-out", help="with --pipeline: write chrome://tracing file here")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("memory", help="in-core boundary study")

@@ -1,0 +1,367 @@
+"""Deterministic simulated-time tracing: spans, events, trace context.
+
+The pipeline this library grew into — NWS telemetry -> structural
+engine -> prediction server -> sharded cluster — makes decisions at
+every stage that shape a prediction's trustworthiness: which forecast a
+cache adopted and how stale it was, whether a compiled plan was a cache
+hit, how large the batch an answer rode in was, and whether a cluster
+answer took a failover hop through a standby replica.  A
+:class:`Tracer` records those decisions as nested :class:`Span` records
+plus a flat structured event log, so one request's answer can be read
+backwards to the exact evidence it stood on.
+
+Design constraints, both load-bearing:
+
+* **Deterministic.**  Trace and span identifiers come from seeded-run
+  counters (no ``uuid``, no wall clocks); span times are *simulated*
+  seconds supplied by the instrumented code.  A seeded run therefore
+  emits a bit-identical trace, and traces can be golden-tested like any
+  other pipeline output.
+* **Opt-in and inert by default.**  Every instrumented component takes
+  an optional tracer and defaults to :data:`NULL_TRACER`, whose methods
+  do nothing and allocate nothing.  With the null tracer the pipeline's
+  behaviour — including every golden trace — is bit-identical to the
+  untraced code; with a real tracer only *observations* are added (the
+  tracer never consumes RNG state and never alters control flow).
+
+Span times are explicit because simulated time is explicit everywhere
+in this library: a span starts at the simulated instant the caller
+passes and ends when the caller says so (``finish(t)``), defaulting to
+an instant (zero-duration) span.  Stages are free-form strings; the
+pipeline uses :data:`STAGE_NWS`, :data:`STAGE_STRUCTURAL`,
+:data:`STAGE_SERVING` and :data:`STAGE_CLUSTER`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "STAGE_NWS",
+    "STAGE_STRUCTURAL",
+    "STAGE_SERVING",
+    "STAGE_CLUSTER",
+    "STAGES",
+]
+
+#: Pipeline stages, in data-flow order.  Free-form strings are allowed;
+#: these four are what the built-in instrumentation emits.
+STAGE_NWS = "nws"
+STAGE_STRUCTURAL = "structural"
+STAGE_SERVING = "serving"
+STAGE_CLUSTER = "cluster"
+STAGES = (STAGE_NWS, STAGE_STRUCTURAL, STAGE_SERVING, STAGE_CLUSTER)
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span (or the global log).
+
+    ``seq`` is the tracer-wide allocation order — the total order of
+    everything the tracer recorded, independent of simulated time (two
+    events at the same simulated instant still have distinct ``seq``).
+    """
+
+    seq: int
+    name: str
+    t: float
+    span_id: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "name": self.name,
+            "t": self.t,
+            "span_id": self.span_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class Span:
+    """One timed operation in one pipeline stage.
+
+    Attributes
+    ----------
+    trace_id:
+        Groups the spans of one logical unit of work (one request, one
+        batch).  Allocated from the tracer's counter; children inherit
+        their parent's.
+    span_id:
+        Tracer-unique identifier, allocated in start order.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` for a root.
+    name:
+        What the operation is (``"serving.batch"``, ``"nws.query"``...).
+    stage:
+        Which pipeline stage produced it (see :data:`STAGES`).
+    start, end:
+        Simulated seconds.  ``end`` is ``None`` while open; an instant
+        span ends at its start.
+    attrs:
+        Structured key/value evidence (resource names, cache outcomes,
+        quality tags, failover hops).
+    events:
+        Point-in-time annotations within this span.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    name: str
+    stage: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+
+    def set(self, **attrs) -> "Span":
+        """Attach structured attributes; later values win."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, t: float | None = None) -> "Span":
+        """Close the span at simulated time ``t`` (default: instant).
+
+        Finishing an already-finished span is a no-op, so delivery paths
+        that might see a span twice stay idempotent.
+        """
+        if self.end is None:
+            self.end = self.start if t is None else float(t)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the span covers (0.0 while open / instant)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "stage": self.stage,
+            "start": self.start,
+            "end": self.start if self.end is None else self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+class Tracer:
+    """Collects spans and events from a seeded pipeline run.
+
+    All identifiers are small integers from per-tracer counters, so two
+    runs of the same seeded workload against fresh tracers produce
+    byte-identical exports.  The tracer keeps an *active-span stack* for
+    implicit parenting: a span started while another is active becomes
+    its child unless an explicit ``parent`` is given.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self.events: list[SpanEvent] = []
+        self._next_trace = 1
+        self._next_span = 1
+        self._next_seq = 1
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        t: float | None = None,
+        *,
+        stage: str,
+        parent: Span | None = None,
+        new_trace: bool = False,
+        **attrs,
+    ) -> Span:
+        """Open a span at simulated time ``t``.
+
+        ``t=None`` inherits the active span's start (for instrumented
+        code, like plan compilation, that has no clock of its own) and
+        falls back to 0.0 at the root.  ``new_trace=True`` forces a
+        fresh ``trace_id`` even under an active parent — used for units
+        of work (a batch) that serve several request traces at once.
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        if t is None:
+            t = parent.start if parent is not None else 0.0
+        if new_trace or parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+        else:
+            trace_id = parent.trace_id
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_span,
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            stage=stage,
+            start=float(t),
+            attrs=dict(attrs),
+        )
+        self._next_span += 1
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        t: float | None = None,
+        *,
+        stage: str,
+        new_trace: bool = False,
+        **attrs,
+    ):
+        """Context manager: the span is active (parents children) inside.
+
+        The body may close the span itself with ``sp.finish(t_done)``;
+        otherwise it is finished as an instant span on exit.
+        """
+        sp = self.start_span(name, t, stage=stage, new_trace=new_trace, **attrs)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            self._stack.pop()
+            sp.finish()
+
+    def event(self, name: str, t: float | None = None, **attrs) -> SpanEvent:
+        """Record a structured event, attached to the active span if any.
+
+        Events land both in the owning span (when one is active) and in
+        the tracer's flat ``events`` log, which is the chronological
+        story of the whole run.
+        """
+        active = self._stack[-1] if self._stack else None
+        if t is None:
+            t = active.start if active is not None else 0.0
+        ev = SpanEvent(
+            seq=self._next_seq,
+            name=name,
+            t=float(t),
+            span_id=None if active is None else active.span_id,
+            attrs=dict(attrs),
+        )
+        self._next_seq += 1
+        if active is not None:
+            active.events.append(ev)
+        self.events.append(ev)
+        return ev
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def find(self, *, name: str | None = None, stage: str | None = None, **attrs) -> list[Span]:
+        """Spans matching every given criterion, in start order."""
+        out = []
+        for sp in self.spans:
+            if name is not None and sp.name != name:
+                continue
+            if stage is not None and sp.stage != stage:
+                continue
+            if any(sp.attrs.get(k) != v for k, v in attrs.items()):
+                continue
+            out.append(sp)
+        return out
+
+    def stage_counts(self) -> dict:
+        """Number of spans per stage, sorted by stage name."""
+        counts: dict = {}
+        for sp in self.spans:
+            counts[sp.stage] = counts.get(sp.stage, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class NullTracer:
+    """The inert tracer: same surface as :class:`Tracer`, records nothing.
+
+    Every instrumented component defaults to this, so the untraced
+    pipeline allocates no span objects and takes no extra branches
+    beyond a cheap ``tracer.enabled`` check on its hot paths.
+    """
+
+    enabled = False
+
+    #: Shared inert span handed out by every call.
+    class _NullSpan:
+        __slots__ = ()
+        trace_id = 0
+        span_id = 0
+        parent_id = None
+        name = ""
+        stage = ""
+        start = 0.0
+        end = 0.0
+        duration = 0.0
+        attrs: dict = {}
+        events: list = []
+
+        def set(self, **attrs):
+            return self
+
+        def finish(self, t=None):
+            return self
+
+        def to_dict(self) -> dict:
+            return {}
+
+    _SPAN = _NullSpan()
+
+    spans: tuple = ()
+    events: tuple = ()
+    active = None
+
+    def start_span(self, name, t=None, *, stage, parent=None, new_trace=False, **attrs):
+        return self._SPAN
+
+    @contextmanager
+    def span(self, name, t=None, *, stage, new_trace=False, **attrs):
+        yield self._SPAN
+
+    def event(self, name, t=None, **attrs):
+        return None
+
+    def find(self, **criteria) -> list:
+        return []
+
+    def stage_counts(self) -> dict:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The process-wide inert tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer) -> "Tracer | NullTracer":
+    """``tracer`` itself, or :data:`NULL_TRACER` for ``None``."""
+    return NULL_TRACER if tracer is None else tracer

@@ -21,6 +21,12 @@ pipeline into a long-running service:
   replica failover over crashing workers (see ``docs/cluster.md``);
 * :mod:`repro.serving.demo` — ready-made Platform 1 deployments (one
   server or a whole cluster).
+
+Every serving component accepts an optional ``tracer``
+(:mod:`repro.obs`): with one installed, a request's admission, batch,
+forecast lookups and failover hops are recorded as deterministic
+simulated-time spans (see ``docs/observability.md``); without one the
+behaviour is bit-identical to untraced code.
 """
 
 from repro.serving.admission import AdmissionController, AdmissionPolicy, TokenBucket

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.faults.plan import FaultPlan
 from repro.nws.service import QUALITIES, NetworkWeatherService
+from repro.obs.tracer import STAGE_CLUSTER, as_tracer
 from repro.serving.admission import TokenBucket
 from repro.serving.forecasts import SharedRefreshLedger
 from repro.serving.metrics import Histogram, MetricsRegistry, _sanitise
@@ -60,7 +61,7 @@ from repro.serving.protocol import (
     Response,
 )
 from repro.serving.router import ClusterRouter, bindings_fingerprint
-from repro.serving.server import ModelSpec, PredictionServer, ServerConfig
+from repro.serving.server import _BATCH_BUCKETS, ModelSpec, PredictionServer, ServerConfig
 from repro.structural.engine import plan_cache_stats
 from repro.util.rng import as_generator
 
@@ -143,6 +144,12 @@ class ServingCluster:
     rng:
         Seed; each worker draws from an independent child generator so
         per-worker sampling is stable under cluster-size changes.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`, shared with every
+        worker: routing decisions, failover migrations and deliveries
+        then record spans (stage ``cluster``) alongside the workers'
+        serving spans, so a failover hop is visible end to end.
+        ``None`` (default) traces nothing and changes nothing.
     """
 
     def __init__(
@@ -152,12 +159,14 @@ class ServingCluster:
         config: ClusterConfig | None = None,
         faults: FaultPlan | None = None,
         rng=None,
+        tracer=None,
     ):
         self.nws = nws
         self.config = config if config is not None else ClusterConfig()
         self.faults = faults if faults is not None else FaultPlan.none()
         self.ledger = SharedRefreshLedger()
         self.metrics = MetricsRegistry()
+        self.tracer = as_tracer(tracer)
 
         gen = as_generator(rng)
         children = gen.spawn(self.config.n_workers)
@@ -168,6 +177,7 @@ class ServingCluster:
                 config=self.config.worker,
                 rng=children[i],
                 forecast_ledger=self.ledger,
+                tracer=self.tracer,
             )
         self.router = ClusterRouter(
             self.workers, replication=self.config.replication, vnodes=self.config.vnodes
@@ -270,6 +280,18 @@ class ServingCluster:
         target, failover = self.router.route(shard, self._healthy_set())
         if target is None:
             return self._shed(request, SHED_UNAVAILABLE, now)
+        if self.tracer.enabled:
+            self.tracer.start_span(
+                "cluster.route",
+                now,
+                stage=STAGE_CLUSTER,
+                new_trace=True,
+                request_id=request.request_id,
+                client_id=request.client_id,
+                shard=shard,
+                target=target,
+                failover=failover,
+            ).finish(now)
         return self._place(request, target, failover)
 
     def _place(self, request: PredictRequest, target: str, failover: bool) -> Response | None:
@@ -364,6 +386,30 @@ class ServingCluster:
         stranded = [
             key for key, entry in self._inflight.items() if entry.worker == dead
         ]
+        if not self.tracer.enabled:
+            self._requeue(stranded, t, healthy, out)
+            return
+        with self.tracer.span(
+            "cluster.failover",
+            t,
+            stage=STAGE_CLUSTER,
+            new_trace=True,
+            worker=dead,
+            stranded=len(stranded),
+        ) as sp:
+            requeued, shed = self._requeue(stranded, t, healthy, out)
+            sp.set(requeued=requeued, shed=shed)
+
+    def _requeue(
+        self, stranded: list, t: float, healthy: set, out: list[Response]
+    ) -> tuple[int, int]:
+        """Re-route ``stranded`` in-flight requests onto ``healthy`` workers.
+
+        Returns ``(requeued, shed)`` counts.  With tracing enabled each
+        re-routed request records a ``cluster.route`` span tagged
+        ``failover=True`` — the hop a replica's answer must carry.
+        """
+        requeued = shed = 0
         moved_shards = set()
         for key in stranded:
             entry = self._inflight.pop(key)
@@ -371,9 +417,22 @@ class ServingCluster:
             target, failover = self.router.route(shard, healthy)
             if target is None:
                 out.append(self._shed(entry.request, SHED_UNAVAILABLE, t))
+                shed += 1
                 continue
             moved_shards.add(shard)
             self.metrics.counter("requeued_total").inc()
+            requeued += 1
+            if self.tracer.enabled:
+                self.tracer.start_span(
+                    "cluster.route",
+                    t,
+                    stage=STAGE_CLUSTER,
+                    request_id=entry.request.request_id,
+                    client_id=entry.request.client_id,
+                    shard=shard,
+                    target=target,
+                    failover=True,
+                ).finish(t)
             immediate = self.workers[target].submit(entry.request)
             if immediate is not None:
                 out.append(self._account(replace(immediate, worker=target)))
@@ -382,6 +441,7 @@ class ServingCluster:
                     request=entry.request, worker=target, failover=True
                 )
         self.metrics.counter("shard_migrations_total").inc(len(moved_shards))
+        return requeued, shed
 
     # ------------------------------------------------------------------
     # Delivery
@@ -397,6 +457,20 @@ class ServingCluster:
             self.metrics.counter("failovers_total").inc()
         else:
             resp = replace(resp, worker=name)
+        if self.tracer.enabled:
+            attrs = {"quality": resp.quality} if isinstance(resp, PredictResponse) else {}
+            self.tracer.start_span(
+                "cluster.deliver",
+                resp.completed,
+                stage=STAGE_CLUSTER,
+                new_trace=True,
+                request_id=resp.request_id,
+                client_id=resp.client_id,
+                worker=name,
+                failover=failover,
+                status=resp.status,
+                **attrs,
+            ).finish(resp.completed)
         return self._account(resp)
 
     def _account(self, resp: Response) -> Response:
@@ -426,7 +500,7 @@ class ServingCluster:
         )
         merged_batch = Histogram.merged(
             "batch_size",
-            (w.metrics.histogram("batch_size") for w in self.workers.values()),
+            (w.metrics.histogram("batch_size", _BATCH_BUCKETS) for w in self.workers.values()),
         )
         return _sanitise(
             {

@@ -91,6 +91,7 @@ def demo_server(
     faults: FaultPlan | None = None,
     warmup: float = 60.0,
     rng=11,
+    tracer=None,
 ):
     """A serving stack over Platform 1: ``(server, platform, nws)``.
 
@@ -98,10 +99,14 @@ def demo_server(
     so every qualified query yields a typed, tagged answer; ``faults``
     threads a chaos schedule into every sensor.  ``warmup`` simulated
     seconds of telemetry are ingested before the server starts, so the
-    first requests see real forecasts rather than fallbacks.
+    first requests see real forecasts rather than fallbacks.  A
+    ``tracer`` (see :mod:`repro.obs`) is shared by the NWS and the
+    server, so one trace covers forecast lookups through delivery.
     """
     plat, nws, resources = _demo_nws(duration, warmup, faults, rng)
-    server = PredictionServer(nws, config=config, rng=rng)
+    server = PredictionServer(nws, config=config, rng=rng, tracer=tracer)
+    if tracer is not None:
+        nws.tracer = server.tracer
     _register_demo_models(server, plat, resources, sizes)
     return server, plat, nws
 
@@ -114,6 +119,7 @@ def demo_cluster(
     faults: FaultPlan | None = None,
     warmup: float = 60.0,
     rng=11,
+    tracer=None,
 ):
     """A sharded serving cluster over Platform 1: ``(cluster, plat, nws)``.
 
@@ -121,9 +127,12 @@ def demo_cluster(
     behind a :class:`~repro.serving.cluster.ServingCluster`.  One
     ``faults`` plan serves both chaos planes: ``sensor_dropouts`` /
     ``corruptions`` hit the NWS sensors, ``machine_crashes`` keyed
-    ``worker-<i>`` crash the serving workers themselves.
+    ``worker-<i>`` crash the serving workers themselves.  A ``tracer``
+    is shared by the NWS, the cluster and every worker.
     """
     plat, nws, resources = _demo_nws(duration, warmup, faults, rng)
-    cluster = ServingCluster(nws, config=config, faults=faults, rng=rng)
+    cluster = ServingCluster(nws, config=config, faults=faults, rng=rng, tracer=tracer)
+    if tracer is not None:
+        nws.tracer = cluster.tracer
     _register_demo_models(cluster, plat, resources, sizes)
     return cluster, plat, nws

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from repro.nws.sensors import NWS_DEFAULT_PERIOD
 from repro.nws.service import NetworkWeatherService, QualifiedForecast
+from repro.obs.tracer import STAGE_NWS, as_tracer
 from repro.util.validation import check_positive
 
 __all__ = ["ForecastCache", "SharedRefreshLedger"]
@@ -98,6 +99,11 @@ class ForecastCache:
         Optional :class:`SharedRefreshLedger` shared with peer caches
         over the same NWS; a refresh first tries to adopt a peer's
         publication before running the qualified query itself.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; each lookup then
+        records a span with its outcome (``hit`` / ``adopt`` /
+        ``refresh``) so a request's trace shows exactly where its
+        forecasts came from.  ``None`` (default) traces nothing.
     """
 
     def __init__(
@@ -106,11 +112,13 @@ class ForecastCache:
         *,
         refresh_interval: float = NWS_DEFAULT_PERIOD,
         ledger: SharedRefreshLedger | None = None,
+        tracer=None,
     ):
         check_positive(refresh_interval, "refresh_interval")
         self.nws = nws
         self.refresh_interval = refresh_interval
         self.ledger = ledger
+        self.tracer = as_tracer(tracer)
         self._cached: dict[str, tuple[float, QualifiedForecast]] = {}
         self._delivered: dict[str, int] = {}
         self.hits = 0
@@ -134,6 +142,8 @@ class ForecastCache:
                 self._delivered[resource] = delivered
                 if self._cached.pop(resource, None) is not None:
                     invalidated += 1
+        if invalidated and self.tracer.enabled:
+            self.tracer.event("forecast.invalidated", t, count=invalidated)
         return invalidated
 
     def get(self, resource: str, now: float) -> QualifiedForecast:
@@ -143,13 +153,30 @@ class ForecastCache:
         ``refresh_interval`` *and* no new telemetry arrived for the
         resource (see :meth:`ingest_to`); otherwise the underlying
         qualified query runs again.
+
+        With a tracer installed each lookup records a span (stage
+        ``nws``) whose ``outcome`` attribute says what happened:
+        ``"hit"`` (private entry reused), ``"adopt"`` (a peer's ledger
+        publication reused) or ``"refresh"`` (qualified query re-run —
+        its own span nests underneath when the NWS shares the tracer).
         """
+        if not self.tracer.enabled:
+            return self._lookup(resource, now)[0]
+        with self.tracer.span(
+            "forecast.lookup", now, stage=STAGE_NWS, resource=resource
+        ) as sp:
+            forecast, outcome = self._lookup(resource, now)
+            sp.set(outcome=outcome, quality=forecast.quality, staleness=forecast.staleness)
+        return forecast
+
+    def _lookup(self, resource: str, now: float) -> tuple[QualifiedForecast, str]:
+        """The refresh-vs-adopt decision: ``(forecast, outcome)``."""
         entry = self._cached.get(resource)
         if entry is not None:
             cached_at, forecast = entry
             if now - cached_at < self.refresh_interval:
                 self.hits += 1
-                return forecast
+                return forecast, "hit"
         if self.ledger is not None:
             delivered = len(self.nws.sensor(resource).series)
             forecast = self.ledger.lookup(resource, now, self.refresh_interval, delivered)
@@ -157,14 +184,14 @@ class ForecastCache:
                 self.shared_hits += 1
                 self._cached[resource] = (now, forecast)
                 self._delivered[resource] = delivered
-                return forecast
+                return forecast, "adopt"
             forecast = self.nws.query_qualified(resource)
             self.ledger.publish(resource, now, delivered, forecast)
         else:
             forecast = self.nws.query_qualified(resource)
         self._cached[resource] = (now, forecast)
         self.refreshes += 1
-        return forecast
+        return forecast, "refresh"
 
     def invalidate(self, resource: str | None = None) -> None:
         """Drop one resource's cached forecast, or all of them."""

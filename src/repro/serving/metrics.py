@@ -16,6 +16,7 @@ additionally buckets observations for a at-a-glance distribution shape.
 from __future__ import annotations
 
 import json
+import math
 
 import numpy as np
 
@@ -71,7 +72,18 @@ class Histogram:
         self._values: list[float] = []
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
+        """Record one observation.
+
+        NaN is rejected outright: a single NaN observation would poison
+        ``min``/``max``/quantiles and silently fall outside every bucket
+        (counts would no longer sum to ``count``).  ``+inf`` is a valid
+        observation — an unbounded latency, e.g. a ``retry_after`` hint
+        with zero drain — and lands in the overflow bucket.
+        """
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name!r} cannot observe NaN")
+        self._values.append(value)
 
     @property
     def count(self) -> int:
@@ -108,10 +120,15 @@ class Histogram:
         return out
 
     def quantile(self, q: float) -> float:
-        """Exact order-statistic quantile; NaN with no observations."""
+        """Exact order-statistic quantile; NaN with no observations.
+
+        ``method="nearest"`` returns an actual observation rather than
+        interpolating, so a histogram containing ``+inf`` still yields a
+        meaningful quantile instead of ``inf - inf`` artefacts.
+        """
         if not self._values:
             return float("nan")
-        return float(np.quantile(np.asarray(self._values), q))
+        return float(np.quantile(np.asarray(self._values), q, method="nearest"))
 
     def stats(self) -> dict:
         """Summary: count/mean/min/max, exact p50/p90/p99, bucket counts."""
@@ -159,9 +176,23 @@ class MetricsRegistry:
         return self._gauges[name]
 
     def histogram(self, name: str, bounds: tuple = DEFAULT_LATENCY_BUCKETS) -> Histogram:
-        if name not in self._histograms:
-            self._check_fresh(name)
-            self._histograms[name] = Histogram(name, bounds)
+        """The histogram registered under ``name``, created on first touch.
+
+        Re-fetching an existing histogram requires the *same* bounds:
+        silently returning it under different bounds would let two call
+        sites disagree about the bucket layout while sharing one metric.
+        """
+        existing = self._histograms.get(name)
+        if existing is not None:
+            requested = tuple(float(b) for b in bounds)
+            if requested != existing.bounds:
+                raise ValueError(
+                    f"histogram {name!r} already registered with bounds "
+                    f"{existing.bounds}, not {requested}"
+                )
+            return existing
+        self._check_fresh(name)
+        self._histograms[name] = Histogram(name, bounds)
         return self._histograms[name]
 
     def _check_fresh(self, name: str) -> None:

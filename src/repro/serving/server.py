@@ -44,6 +44,7 @@ import numpy as np
 from repro.core.empirical import EmpiricalValue
 from repro.core.stochastic import StochasticValue, as_stochastic
 from repro.nws.service import QUALITIES, NetworkWeatherService, QualifiedForecast
+from repro.obs.tracer import STAGE_SERVING, as_tracer
 from repro.serving.admission import AdmissionController, AdmissionPolicy
 from repro.serving.forecasts import ForecastCache, SharedRefreshLedger
 from repro.serving.metrics import MetricsRegistry
@@ -208,11 +209,16 @@ class PredictionServer:
         config: ServerConfig | None = None,
         rng=None,
         forecast_ledger: SharedRefreshLedger | None = None,
+        tracer=None,
     ):
         self.nws = nws
         self.config = config if config is not None else ServerConfig()
+        self.tracer = as_tracer(tracer)
         self.forecasts = ForecastCache(
-            nws, refresh_interval=self.config.refresh_interval, ledger=forecast_ledger
+            nws,
+            refresh_interval=self.config.refresh_interval,
+            ledger=forecast_ledger,
+            tracer=self.tracer,
         )
         self.metrics = MetricsRegistry()
         self.admission = AdmissionController(self.config.admission)
@@ -222,6 +228,9 @@ class PredictionServer:
         self._clock = nws.now
         self._busy_until = nws.now
         self._rng = as_generator(rng)
+        # Open per-request trace spans, keyed (client_id, request_id);
+        # only populated when a live tracer is installed.
+        self._req_spans: dict[tuple[str, int], object] = {}
         # Touch the headline metrics so an idle snapshot shows them at 0.
         for name in (
             "requests_total",
@@ -276,6 +285,11 @@ class PredictionServer:
         (admission shed) or :class:`ErrorResponse` (unknown model /
         override).  Admitted requests are answered by a later
         :meth:`step`.
+
+        With a tracer installed, every admitted request opens a
+        ``request`` span (its own trace) that stays open until the
+        answer is delivered; rejected submissions record an instant
+        ``serving.reject`` span instead.
         """
         now = max(self._clock, request.submitted)
         self.metrics.counter("requests_total").inc()
@@ -283,6 +297,7 @@ class PredictionServer:
         spec = self._models.get(request.model)
         if spec is None:
             self.metrics.counter("errors_total").inc()
+            self._trace_reject(request, now, "unknown_model")
             return ErrorResponse(
                 request_id=request.request_id,
                 client_id=request.client_id,
@@ -292,6 +307,7 @@ class PredictionServer:
         bad = set(request.overrides) - set(spec.sampled)
         if bad:
             self.metrics.counter("errors_total").inc()
+            self._trace_reject(request, now, "bad_override")
             return ErrorResponse(
                 request_id=request.request_id,
                 client_id=request.client_id,
@@ -307,12 +323,51 @@ class PredictionServer:
             return self._shed(request, reason, now)
 
         self._queue.append(request)
+        if self.tracer.enabled:
+            self._req_spans[(request.client_id, request.request_id)] = self.tracer.start_span(
+                "request",
+                now,
+                stage=STAGE_SERVING,
+                new_trace=True,
+                request_id=request.request_id,
+                client_id=request.client_id,
+                model=request.model,
+            )
         self.metrics.gauge("queue_depth").set(len(self._queue))
         return None
+
+    def _trace_reject(self, request: PredictRequest, at: float, why: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.start_span(
+                "serving.reject",
+                at,
+                stage=STAGE_SERVING,
+                new_trace=True,
+                request_id=request.request_id,
+                client_id=request.client_id,
+                model=request.model,
+                outcome=f"error:{why}",
+            ).finish(at)
 
     def _shed(self, request: PredictRequest, reason: str, at: float) -> OverloadedResponse:
         self.metrics.counter("shed_total").inc()
         self.metrics.counter(f"shed_{reason}").inc()
+        if self.tracer.enabled:
+            sp = self._req_spans.pop((request.client_id, request.request_id), None)
+            if sp is not None:
+                # Admitted earlier, shed while queued (deadline expiry).
+                sp.set(outcome=f"shed:{reason}").finish(at)
+            else:
+                self.tracer.start_span(
+                    "serving.reject",
+                    at,
+                    stage=STAGE_SERVING,
+                    new_trace=True,
+                    request_id=request.request_id,
+                    client_id=request.client_id,
+                    model=request.model,
+                    outcome=f"shed:{reason}",
+                ).finish(at)
         return OverloadedResponse(
             request_id=request.request_id,
             client_id=request.client_id,
@@ -352,7 +407,28 @@ class PredictionServer:
             t_start = max(t_start, max(r.submitted for r in batch))
             duration = self.config.service_time(len(batch))
             t_done = t_start + duration
-            self._done.extend(self._serve_batch(batch, t_start, t_done))
+            if self.tracer.enabled:
+                # A batch serves several request traces at once, so it
+                # gets a trace of its own; request spans link to it via
+                # the request_ids attribute and their batch events.
+                with self.tracer.span(
+                    "serving.batch",
+                    t_start,
+                    stage=STAGE_SERVING,
+                    new_trace=True,
+                    model=batch[0].model,
+                    batch_size=len(batch),
+                    request_ids=[r.request_id for r in batch],
+                ) as sp:
+                    responses = self._serve_batch(batch, t_start, t_done)
+                    sp.finish(t_done)
+                for req in batch:
+                    rsp = self._req_spans.get((req.client_id, req.request_id))
+                    if rsp is not None:
+                        rsp.set(batch_span=sp.span_id)
+            else:
+                responses = self._serve_batch(batch, t_start, t_done)
+            self._done.extend(responses)
             self._busy_until = t_done
             self.metrics.counter("batches_total").inc()
             self.metrics.histogram("batch_size", _BATCH_BUCKETS).observe(len(batch))
@@ -373,6 +449,22 @@ class PredictionServer:
                 self.metrics.histogram("staleness_at_answer_s", _STALENESS_BUCKETS).observe(
                     min(resp.staleness, 1e9)
                 )
+        if self.tracer.enabled:
+            for resp in out:
+                sp = self._req_spans.pop((resp.client_id, resp.request_id), None)
+                if sp is None:
+                    continue
+                if resp.status == "ok":
+                    sp.set(
+                        outcome="ok",
+                        quality=resp.quality,
+                        staleness=resp.staleness,
+                        latency=resp.latency,
+                        batch_size=resp.batch_size,
+                    )
+                else:
+                    sp.set(outcome=resp.status)
+                sp.finish(resp.completed)
         return out
 
     def _shed_expired(self, t: float) -> list[Response]:
@@ -421,6 +513,10 @@ class PredictionServer:
         self._done.clear()
         self._busy_until = self._clock
         self.metrics.gauge("queue_depth").set(0)
+        if self.tracer.enabled:
+            for sp in self._req_spans.values():
+                sp.set(outcome="drained").finish(self._clock)
+            self._req_spans.clear()
         return dropped
 
     def restart(self, at: float) -> None:
@@ -440,6 +536,11 @@ class PredictionServer:
         self._busy_until = at
         self.forecasts.invalidate()
         self.metrics.counter("restarts_total").inc()
+        if self.tracer.enabled:
+            for sp in self._req_spans.values():
+                sp.set(outcome="lost_in_restart").finish(at)
+            self._req_spans.clear()
+            self.tracer.event("worker.restart", at)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -534,9 +635,15 @@ class PredictionServer:
         k_total = len(batch)
         sampled = spec.sampled
         try:
-            plan = compile_expr(spec.expression, sampled, policy=spec.policy)
-        except (UnsupportedPolicyError, UnsupportedExpressionError):
+            plan = compile_expr(
+                spec.expression, sampled, policy=spec.policy, tracer=self.tracer
+            )
+        except (UnsupportedPolicyError, UnsupportedExpressionError) as exc:
+            if self.tracer.enabled and self.tracer.active is not None:
+                self.tracer.active.set(fallback=type(exc).__name__)
             return self._propagate_reference(spec, batch, shared)
+        if self.tracer.enabled and self.tracer.active is not None:
+            self.tracer.active.set(engine="vectorised")
         draws: dict[str, np.ndarray] = {}
         for param in sampled:
             bounds = spec.clip.get(param) if spec.clip else None
@@ -557,6 +664,8 @@ class PredictionServer:
         """The baseline: one per-sample reference loop per request."""
         from repro.structural.montecarlo import monte_carlo_predict
 
+        if self.tracer.enabled and self.tracer.active is not None:
+            self.tracer.active.set(engine="reference")
         n = self.config.n_samples
         out = []
         for req in batch:

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.core.arithmetic import Relatedness, ReciprocalRule
 from repro.core.group_ops import MaxStrategy
+from repro.obs.tracer import STAGE_STRUCTURAL
 from repro.structural.components import ComponentModel
 from repro.structural.expr import (
     Add,
@@ -486,6 +487,7 @@ def compile_expr(
     bindings_or_sampled=None,
     *,
     policy: EvalPolicy | None = None,
+    tracer=None,
 ) -> CompiledExpr:
     """Compile (or fetch from cache) a vectorised plan for ``expression``.
 
@@ -502,6 +504,11 @@ def compile_expr(
     policy:
         Evaluation policy applied to residual stochastic values; defaults
         to the Monte Carlo point policy (related sums, by-mean Max).
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; each call then
+        records an instant span (stage ``structural``) with the
+        plan-cache outcome (``cache_hit``) and the sampled-parameter
+        count.  Tracing never affects the cache key or its contents.
 
     Raises
     ------
@@ -530,6 +537,7 @@ def compile_expr(
     if plan is not None:
         _PLAN_CACHE_HITS += 1
         _PLAN_CACHE.move_to_end(key)
+        _trace_compile(tracer, plan, cache_hit=True)
         return plan
     _PLAN_CACHE_MISSES += 1
     plan = CompiledExpr(expression, sampled, policy)
@@ -537,7 +545,21 @@ def compile_expr(
     while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
         _PLAN_CACHE.popitem(last=False)
         _PLAN_CACHE_EVICTIONS += 1
+    _trace_compile(tracer, plan, cache_hit=False)
     return plan
+
+
+def _trace_compile(tracer, plan: CompiledExpr, *, cache_hit: bool) -> None:
+    """Record one ``plan.compile`` span (no-op without a live tracer)."""
+    if tracer is None or not tracer.enabled:
+        return
+    tracer.start_span(
+        "plan.compile",
+        stage=STAGE_STRUCTURAL,
+        cache_hit=cache_hit,
+        sampled=len(plan.sampled),
+        bound=len(plan.bound),
+    ).finish()
 
 
 def clear_plan_cache() -> None:

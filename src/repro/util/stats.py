@@ -26,34 +26,26 @@ __all__ = [
 _SQRT2 = math.sqrt(2.0)
 _SQRT2PI = math.sqrt(2.0 * math.pi)
 
-# Abramowitz & Stegun 7.1.26 constants for the erf approximation used as a
-# vectorised fallback; scalar paths use math.erf which is exact to double
-# precision.
-_A1, _A2, _A3, _A4, _A5 = (
-    0.254829592,
-    -0.284496736,
-    1.421413741,
-    -1.453152027,
-    1.061405429,
-)
-_P = 0.3275911
+# math.erf broadcast over arrays: exact to double precision on every
+# element, so scalar and array inputs agree bit-for-bit.  (An earlier
+# version used the A&S 7.1.26 rational approximation for arrays, which
+# made erf(0.5) and erf([0.5])[0] differ by up to ~1.5e-7 — enough to
+# make normal_cdf input-shape-dependent.)
+_erf_elementwise = np.frompyfunc(math.erf, 1, 1)
 
 
 def erf(x):
-    """Error function, vectorised.
+    """Error function, vectorised and exact to double precision.
 
-    Scalar inputs use :func:`math.erf` (exact); array inputs use the
-    Abramowitz & Stegun 7.1.26 rational approximation (|error| < 1.5e-7),
-    which is ample for the 2-sigma interval arithmetic in this library.
+    Scalar and array inputs take the same per-element :func:`math.erf`
+    path, so ``erf(v) == erf([v])[0]`` exactly — callers like
+    :func:`normal_cdf` are not input-shape-dependent.
     """
     if np.isscalar(x):
         return math.erf(float(x))
     x = np.asarray(x, dtype=float)
-    sign = np.sign(x)
-    ax = np.abs(x)
-    t = 1.0 / (1.0 + _P * ax)
-    poly = t * (_A1 + t * (_A2 + t * (_A3 + t * (_A4 + t * _A5))))
-    return sign * (1.0 - poly * np.exp(-ax * ax))
+    # frompyfunc returns a bare Python float for 0-d input; normalise.
+    return np.asarray(_erf_elementwise(x), dtype=float)
 
 
 def normal_pdf(x, mean: float = 0.0, std: float = 1.0):
@@ -127,11 +119,8 @@ def normal_quantile(p, mean: float = 0.0, std: float = 1.0):
             ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
         )
 
-    # One Halley refinement step against the exact CDF (math.erf per
-    # element: quantile evaluation is not a hot path, and the rational
-    # erf approximation would cap tail accuracy at ~5e-5).
-    exact_erf = np.array([math.erf(v) for v in np.atleast_1d(z / _SQRT2)])
-    e = 0.5 * (1.0 + exact_erf.reshape(z.shape)) - p
+    # One Halley refinement step against the exact CDF.
+    e = 0.5 * (1.0 + np.asarray(_erf_elementwise(z / _SQRT2), dtype=float)) - p
     u = e * _SQRT2PI * np.exp(0.5 * z * z)
     z = z - u / (1.0 + 0.5 * z * u)
 

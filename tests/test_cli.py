@@ -65,6 +65,25 @@ class TestCommands:
         assert "platform 2 load" in out
         assert "*" in out
 
+    def test_trace_pipeline_exports(self, capsys, tmp_path):
+        import json
+
+        json_out = tmp_path / "trace.json"
+        chrome_out = tmp_path / "trace_chrome.json"
+        assert main([
+            "trace", "--pipeline",
+            "--json-out", str(json_out),
+            "--chrome-out", str(chrome_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "traced server run (seed 7)" in out
+        assert "spans" in out
+        doc = json.loads(json_out.read_text())
+        assert doc["format"] == "repro.obs/v1"
+        assert doc["summary"]["spans"] > 0
+        chrome = json.loads(chrome_out.read_text())
+        assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+
     def test_figures_plot_flag(self, capsys):
         assert main(["figures", "--which", "5", "--plot"]) == 0
         out = capsys.readouterr().out

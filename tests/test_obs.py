@@ -1,0 +1,176 @@
+"""Tests for repro.obs — the deterministic tracing layer itself."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    STAGE_CLUSTER,
+    STAGE_NWS,
+    STAGE_SERVING,
+    STAGES,
+    NullTracer,
+    Tracer,
+    as_tracer,
+    trace_to_chrome,
+    trace_to_dict,
+    write_chrome,
+    write_json,
+)
+
+
+class TestSpanLifecycle:
+    def test_ids_are_counters_in_start_order(self):
+        tr = Tracer()
+        a = tr.start_span("a", 1.0, stage=STAGE_NWS)
+        b = tr.start_span("b", 2.0, stage=STAGE_NWS)
+        assert (a.span_id, b.span_id) == (1, 2)
+        assert (a.trace_id, b.trace_id) == (1, 2)  # both roots
+
+    def test_finish_is_idempotent_and_defaults_to_instant(self):
+        tr = Tracer()
+        sp = tr.start_span("a", 5.0, stage=STAGE_NWS)
+        sp.finish()
+        assert sp.end == 5.0 and sp.duration == 0.0
+        sp.finish(9.0)  # second finish must not move the end
+        assert sp.end == 5.0
+
+    def test_finish_at_time_records_duration(self):
+        tr = Tracer()
+        sp = tr.start_span("a", 5.0, stage=STAGE_NWS).finish(7.5)
+        assert sp.duration == 2.5
+
+    def test_set_accumulates_attrs(self):
+        tr = Tracer()
+        sp = tr.start_span("a", 0.0, stage=STAGE_NWS, x=1)
+        sp.set(y=2).set(x=3)
+        assert sp.attrs == {"x": 3, "y": 2}
+
+
+class TestParenting:
+    def test_context_manager_nests_and_shares_trace_id(self):
+        tr = Tracer()
+        with tr.span("outer", 1.0, stage=STAGE_SERVING) as outer:
+            assert tr.active is outer
+            inner = tr.start_span("inner", 1.5, stage=STAGE_NWS)
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        assert tr.active is None
+        assert outer.end is not None  # auto-finished on exit
+
+    def test_new_trace_forces_fresh_trace_id_under_a_parent(self):
+        tr = Tracer()
+        with tr.span("batch", 1.0, stage=STAGE_SERVING) as outer:
+            child = tr.start_span("req", 1.0, stage=STAGE_SERVING, new_trace=True)
+        assert child.parent_id == outer.span_id
+        assert child.trace_id != outer.trace_id
+
+    def test_default_time_inherits_parent_start(self):
+        tr = Tracer()
+        with tr.span("outer", 3.25, stage=STAGE_SERVING):
+            inner = tr.start_span("inner", stage=STAGE_NWS)
+        assert inner.start == 3.25
+
+    def test_events_attach_to_active_span_and_flat_log(self):
+        tr = Tracer()
+        tr.event("global", 0.5, k="v")
+        with tr.span("outer", 1.0, stage=STAGE_SERVING) as outer:
+            tr.event("inner", 1.5)
+        assert [e.name for e in tr.events] == ["global", "inner"]
+        assert tr.events[0].span_id is None
+        assert tr.events[1].span_id == outer.span_id
+        assert [e.seq for e in tr.events] == [1, 2]
+        assert outer.events[0].name == "inner"
+
+
+class TestIntrospection:
+    def test_find_filters_on_name_stage_and_attrs(self):
+        tr = Tracer()
+        tr.start_span("route", 0.0, stage=STAGE_CLUSTER, failover=False)
+        hit = tr.start_span("route", 1.0, stage=STAGE_CLUSTER, failover=True)
+        tr.start_span("route", 2.0, stage=STAGE_SERVING, failover=True)
+        assert tr.find(name="route", stage=STAGE_CLUSTER, failover=True) == [hit]
+
+    def test_stage_counts_sorted(self):
+        tr = Tracer()
+        tr.start_span("a", 0.0, stage=STAGE_SERVING)
+        tr.start_span("b", 0.0, stage=STAGE_NWS)
+        tr.start_span("c", 0.0, stage=STAGE_NWS)
+        assert tr.stage_counts() == {STAGE_NWS: 2, STAGE_SERVING: 1}
+        assert len(tr) == 3
+
+
+class TestNullTracer:
+    def test_as_tracer_maps_none_to_the_singleton(self):
+        assert as_tracer(None) is NULL_TRACER
+        tr = Tracer()
+        assert as_tracer(tr) is tr
+
+    def test_null_tracer_records_nothing(self):
+        nt = NullTracer()
+        assert not nt.enabled
+        sp = nt.start_span("a", 1.0, stage=STAGE_NWS, x=1)
+        sp.set(y=2).finish(5.0)
+        with nt.span("b", 2.0, stage=STAGE_NWS) as inner:
+            inner.set(z=3)
+        nt.event("e", 3.0)
+        assert len(nt) == 0
+        assert nt.spans == () and nt.events == ()
+        assert nt.find(name="a") == []
+        assert nt.stage_counts() == {}
+        assert nt.active is None
+
+
+class TestExport:
+    @staticmethod
+    def small_trace() -> Tracer:
+        tr = Tracer()
+        with tr.span("outer", 1.0, stage=STAGE_SERVING, q="fresh") as sp:
+            tr.start_span("inner", 1.25, stage=STAGE_NWS, staleness=float("inf")).finish(1.5)
+            tr.event("mark", 1.3, n=2)
+            sp.finish(2.0)
+        return tr
+
+    def test_json_document_shape(self):
+        doc = trace_to_dict(self.small_trace())
+        assert doc["format"] == "repro.obs/v1"
+        assert doc["summary"]["spans"] == 2
+        assert doc["summary"]["stages"] == {STAGE_NWS: 1, STAGE_SERVING: 1}
+        outer, inner = doc["spans"]
+        assert outer["span_id"] == 1 and inner["parent_id"] == 1
+        assert inner["attrs"]["staleness"] == "inf"  # sanitised, strict JSON
+        json.dumps(doc)
+
+    def test_chrome_document_shape(self):
+        doc = trace_to_chrome(self.small_trace())
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(meta) == 1 + len(STAGES)  # process + one thread per stage
+        assert len(spans) == 2 and len(instants) == 1
+        outer = next(e for e in spans if e["name"] == "outer")
+        assert outer["ts"] == 1.0e6 and outer["dur"] == 1.0e6  # seconds -> us
+        assert outer["args"]["q"] == "fresh"
+        tids = {e["tid"] for e in spans}
+        assert len(tids) == 2  # one thread per stage
+        json.dumps(doc)
+
+    def test_writers_roundtrip(self, tmp_path):
+        tr = self.small_trace()
+        jp = write_json(tr, tmp_path / "t.json")
+        cp = write_chrome(tr, tmp_path / "t_chrome.json")
+        assert json.loads(jp.read_text()) == trace_to_dict(tr)
+        assert json.loads(cp.read_text()) == trace_to_chrome(tr)
+
+    def test_export_is_reproducible(self):
+        a = json.dumps(trace_to_dict(self.small_trace()), sort_keys=True)
+        b = json.dumps(trace_to_dict(self.small_trace()), sort_keys=True)
+        assert a == b
+
+
+class TestValidation:
+    def test_stage_is_required(self):
+        with pytest.raises(TypeError):
+            Tracer().start_span("a", 0.0)

@@ -11,6 +11,7 @@ import repro.core
 import repro.distributions
 import repro.faults
 import repro.nws
+import repro.obs
 import repro.scheduling
 import repro.serving
 import repro.sor
@@ -62,6 +63,7 @@ class TestPublicApi:
             repro.distributions,
             repro.faults,
             repro.nws,
+            repro.obs,
             repro.scheduling,
             repro.serving,
             repro.sor,
@@ -81,6 +83,7 @@ class TestPublicApi:
             repro.distributions,
             repro.faults,
             repro.nws,
+            repro.obs,
             repro.scheduling,
             repro.serving,
             repro.sor,

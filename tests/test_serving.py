@@ -13,6 +13,7 @@ from repro.serving import (
     AdmissionPolicy,
     ClosedLoop,
     ForecastCache,
+    Histogram,
     LoadDriver,
     MetricsRegistry,
     ModelSpec,
@@ -121,6 +122,55 @@ class TestMetrics:
         assert payload["counters"]["a"] == 1.0
         assert payload["gauges"]["b"] == 2.5
         assert payload["histograms"]["c"]["count"] == 1
+
+    def test_histogram_refetch_with_different_bounds_rejected(self):
+        # Regression: histogram(name, other_bounds) silently returned
+        # the existing histogram, letting two call sites disagree about
+        # the bucket layout of one shared metric.
+        reg = MetricsRegistry()
+        reg.histogram("lat", (1.0, 10.0))
+        with pytest.raises(ValueError, match="bounds"):
+            reg.histogram("lat", (1.0, 5.0))
+        with pytest.raises(ValueError, match="bounds"):
+            reg.histogram("lat")  # default bounds differ too
+        # Same bounds re-fetch the same object (int/float-equal counts).
+        assert reg.histogram("lat", (1, 10)) is reg.histogram("lat", (1.0, 10.0))
+
+    def test_histogram_rejects_nan(self):
+        # Regression: one NaN observation made min/max/quantiles NaN and
+        # fell outside every bucket, so counts stopped summing to count.
+        h = MetricsRegistry().histogram("lat", (1.0, 10.0))
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(float("nan"))
+        assert h.count == 0
+
+    def test_histogram_inf_stays_consistent(self):
+        h = MetricsRegistry().histogram("lat", (1.0, 10.0))
+        for v in (0.5, 2.0, float("inf")):
+            h.observe(v)
+        s = h.stats()
+        assert s["count"] == 3
+        assert sum(s["buckets"].values()) == s["count"]
+        assert s["buckets"]["overflow"] == 1
+        assert s["min"] == 0.5 and s["max"] == float("inf")
+        assert math.isfinite(s["mean"])  # mean over finite observations
+        assert s["p50"] == 2.0  # nearest-order-statistic, inf-safe
+        assert h.quantile(0.5) == 2.0
+
+    def test_merged_histogram_with_inf_stays_consistent(self):
+        a = Histogram("lat", (1.0, 10.0))
+        b = Histogram("lat", (1.0, 10.0))
+        a.observe(0.5)
+        a.observe(float("inf"))
+        b.observe(3.0)
+        merged = Histogram.merged("lat", [a, b])
+        s = merged.stats()
+        assert s["count"] == 3
+        assert sum(s["buckets"].values()) == 3
+        assert s["p50"] == 3.0
+        assert merged.quantile(0.9) == float("inf")
+        with pytest.raises(ValueError, match="NaN"):
+            merged.observe(float("nan"))
 
 
 class TestAdmission:

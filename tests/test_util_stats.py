@@ -36,6 +36,31 @@ class TestErf:
         assert erf(10.0) == pytest.approx(1.0)
         assert erf(-10.0) == pytest.approx(-1.0)
 
+    def test_scalar_and_array_paths_agree_exactly(self):
+        # Regression: the array path used the A&S 7.1.26 approximation
+        # (error up to ~1.5e-7) while scalars used math.erf, making
+        # erf(x) != erf([x])[0] and normal_cdf input-shape-dependent.
+        for x in (-3.0, -0.5, 0.0, 0.3, 0.7, 1.0, 2.5):
+            assert erf(x) == erf(np.array([x]))[0]
+            assert erf(np.array([x]))[0] == math.erf(x)
+
+    def test_vector_matches_scipy_to_double_precision(self):
+        xs = np.linspace(-4, 4, 101)
+        np.testing.assert_allclose(erf(xs), scipy_erf(xs), rtol=1e-13, atol=1e-15)
+
+    def test_shapes_and_types(self):
+        assert isinstance(erf(0.5), float)
+        assert erf(np.array([0.1, 0.2])).shape == (2,)
+        assert erf(np.array([[0.1], [0.2]])).shape == (2, 1)
+        assert erf(np.array([0.1, 0.2])).dtype == np.float64
+
+    def test_normal_cdf_shape_independent(self):
+        for x in (-2.0, -0.3, 0.0, 0.9, 3.1):
+            scalar = normal_cdf(x, 1.0, 2.0)
+            array = normal_cdf(np.array([x]), 1.0, 2.0)[0]
+            assert scalar == array
+            assert scalar == pytest.approx(sps.norm.cdf(x, 1.0, 2.0), abs=1e-15)
+
 
 class TestNormalPdf:
     def test_matches_scipy(self):
