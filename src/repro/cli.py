@@ -410,6 +410,31 @@ def _cmd_serve_cluster(args) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _cmd_scenarios(args) -> int:
+    from repro.serving.scenarios import POLICIES, builtin_scenarios, load_scenario, run_scenario
+
+    if args.list:
+        for name in builtin_scenarios():
+            scenario = load_scenario(name)
+            print(f"{name}: {scenario.description}")
+        return 0
+
+    names = [args.scenario] if args.scenario else builtin_scenarios()
+    policies = [args.policy] if args.policy else list(POLICIES)
+    reports = []
+    for name in names:
+        scenario = load_scenario(name)
+        for policy in policies:
+            report = run_scenario(scenario, policy)
+            reports.append(report)
+            print(report.summary())
+    if args.json:
+        import json
+
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    return 0 if all(r.passed for r in reports) else 1
+
+
 def _cmd_bench_cluster(args) -> int:
     from repro.serving import ClosedLoop, ClusterConfig, LoadDriver, ServerConfig, demo_cluster
     from repro.structural.engine import clear_plan_cache
@@ -614,6 +639,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--json", action="store_true", help="dump the full cluster snapshot")
     p.set_defaults(func=_cmd_serve_cluster)
+
+    p = sub.add_parser(
+        "scenarios", help="run chaos scenarios against the elastic cluster"
+    )
+    p.add_argument("--list", action="store_true", help="list built-in scenarios and exit")
+    p.add_argument("--scenario", default=None,
+                   help="built-in name or YAML path (default: all built-ins)")
+    p.add_argument("--policy", default=None,
+                   choices=["static", "reactive", "forecast"],
+                   help="placement policy (default: bake off all three)")
+    p.add_argument("--json", action="store_true", help="dump the scenario reports")
+    p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser("bench-cluster", help="multi-worker vs single-worker throughput scaling")
     p.add_argument("--workers", type=int, default=4)

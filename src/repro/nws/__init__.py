@@ -19,6 +19,7 @@ from repro.nws.forecasters import (
     default_forecasters,
 )
 from repro.nws.evaluation import CalibrationReport, calibrate_one_step, calibrate_query
+from repro.nws.feedback import FeedBank, LoadFeed
 from repro.nws.modal import ModalCombination, ModalLoadCharacterizer, select_n_modes_bic
 from repro.nws.predictor import AdaptivePredictor, ForecasterScore
 from repro.nws.sensors import NWS_DEFAULT_PERIOD, Sensor
@@ -27,6 +28,8 @@ from repro.nws.service import DegradationPolicy, NetworkWeatherService, Qualifie
 
 __all__ = [
     "CalibrationReport",
+    "FeedBank",
+    "LoadFeed",
     "calibrate_one_step",
     "calibrate_query",
     "ModalCombination",

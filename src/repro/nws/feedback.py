@@ -1,0 +1,198 @@
+"""Push-fed NWS forecasting over a system's *own* telemetry.
+
+The paper's central move is to "predict the system with the system":
+the same Network Weather Service machinery that forecasts CPU and
+network availability can forecast any operational series the deployment
+emits about itself — cluster arrival rates, per-shard queue depths,
+shed rates.  The pull-based :class:`~repro.nws.sensors.Sensor` samples
+a ground-truth :class:`~repro.workload.traces.Trace`; an operational
+series has no trace to sample, it *happens* — so this module provides
+the push-fed counterpart.
+
+:class:`LoadFeed` wraps one
+:class:`~repro.nws.predictor.AdaptivePredictor` tournament (the same
+forecaster family, the same best-MAE-wins rule, the same empirical
+error bars) behind an ``observe(t, value)`` / ``forecast()`` surface,
+and adds what a *planning* consumer needs that a one-step consumer
+does not: a trend estimate over the recent window and a
+:meth:`LoadFeed.forecast_ahead` that projects the tournament forecast
+``lead`` seconds forward — the quantity an autoscaler acts on when new
+capacity takes time to provision.
+
+:class:`FeedBank` is a keyed collection of feeds (one per shard, say)
+sharing one configuration, with deterministic iteration order.
+
+Everything here is deterministic: feeds consume no RNG, and identical
+observation sequences produce identical forecasts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.stochastic import StochasticValue
+from repro.nws.predictor import AdaptivePredictor
+
+__all__ = ["LoadFeed", "FeedBank"]
+
+
+class LoadFeed:
+    """An NWS forecaster tournament over a pushed operational series.
+
+    Parameters
+    ----------
+    name:
+        What the series measures (``"cluster.arrival_rate"``); carried
+        into snapshots and trace spans.
+    trend_window:
+        Number of recent observations the trend slope is fitted over
+        (ordinary least squares against observation time).
+    error_window:
+        Residual window for the tournament's empirical error bar,
+        passed through to :class:`AdaptivePredictor`.
+    """
+
+    def __init__(self, name: str, *, trend_window: int = 8, error_window: int = 32):
+        if trend_window < 2:
+            raise ValueError(f"trend_window must be >= 2, got {trend_window}")
+        self.name = name
+        self.predictor = AdaptivePredictor(error_window=error_window)
+        self._recent: deque[tuple[float, float]] = deque(maxlen=trend_window)
+        self._last_t: float | None = None
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def observe(self, t: float, value: float) -> None:
+        """Feed one sample of the series, measured at simulated ``t``.
+
+        Samples must arrive in non-decreasing time order (the series is
+        an event-loop by-product; out-of-order delivery would mean the
+        caller's clock ran backwards).
+        """
+        if self._last_t is not None and t < self._last_t:
+            raise ValueError(f"feed {self.name!r} observed t={t} after t={self._last_t}")
+        self._last_t = t
+        self.predictor.observe(float(value))
+        self._recent.append((float(t), float(value)))
+
+    @property
+    def n_observations(self) -> int:
+        """Samples fed so far."""
+        return self.predictor.n_observations
+
+    @property
+    def last(self) -> float:
+        """The most recent observed value (0.0 before any sample)."""
+        return self._recent[-1][1] if self._recent else 0.0
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def forecast(self) -> StochasticValue:
+        """The tournament's one-step-ahead forecast with its error bar."""
+        return self.predictor.forecast()
+
+    def trend(self) -> float:
+        """Least-squares slope of the recent window, in value/second.
+
+        Zero until two samples at distinct times exist.  This is the
+        *surge detector*: a flash crowd shows up as a large positive
+        slope several control ticks before the level itself saturates
+        anything.
+        """
+        if len(self._recent) < 2:
+            return 0.0
+        ts = np.array([t for t, _ in self._recent])
+        vs = np.array([v for _, v in self._recent])
+        span = ts - ts[0]
+        denom = float(np.sum((span - span.mean()) ** 2))
+        if denom == 0.0:
+            return 0.0
+        return float(np.sum((span - span.mean()) * (vs - vs.mean())) / denom)
+
+    def forecast_ahead(self, lead: float) -> StochasticValue:
+        """The series projected ``lead`` seconds past the next step.
+
+        The tournament's one-step forecast anchors the level; the recent
+        trend extends it forward.  Only a *rising* trend is projected —
+        an autoscaler planning capacity must never extrapolate a dip
+        into scaling down ahead of evidence (under-provisioning on a
+        guess violates graceful degradation; over-provisioning merely
+        costs a worker-interval).  The error bar inherits the
+        tournament's residual spread.
+        """
+        if lead < 0.0:
+            raise ValueError(f"lead must be >= 0, got {lead}")
+        base = self.forecast()
+        rise = max(0.0, self.trend()) * lead
+        return StochasticValue(base.mean + rise, base.spread)
+
+    def provenance(self) -> dict:
+        """Forecast provenance: who won the tournament, on what basis.
+
+        The dict an autoscaler attaches to its decision spans, so a
+        scale-up can be read backwards to the forecaster that argued
+        for it.
+        """
+        scores = self.predictor.scores()
+        return {
+            "feed": self.name,
+            "observations": self.n_observations,
+            "forecaster": scores[0].name if scores else self.predictor.forecasters[0].name,
+            "mae": scores[0].mae if scores else float("nan"),
+            "trend_per_s": self.trend(),
+        }
+
+
+class FeedBank:
+    """Keyed :class:`LoadFeed` collection with deterministic ordering.
+
+    One bank per signal family — e.g. ``FeedBank("shard.depth")`` holding
+    one feed per shard key.  Feeds are created on first touch.
+    """
+
+    def __init__(self, family: str, *, trend_window: int = 8, error_window: int = 32):
+        self.family = family
+        self._trend_window = trend_window
+        self._error_window = error_window
+        self._feeds: dict[str, LoadFeed] = {}
+
+    def feed(self, key: str) -> LoadFeed:
+        """The feed for ``key``, created on first use."""
+        got = self._feeds.get(key)
+        if got is None:
+            got = LoadFeed(
+                f"{self.family}:{key}",
+                trend_window=self._trend_window,
+                error_window=self._error_window,
+            )
+            self._feeds[key] = got
+        return got
+
+    def observe(self, key: str, t: float, value: float) -> None:
+        """Feed one sample into ``key``'s series."""
+        self.feed(key).observe(t, value)
+
+    def keys(self) -> list[str]:
+        """Tracked keys, sorted."""
+        return sorted(self._feeds)
+
+    def __len__(self) -> int:
+        return len(self._feeds)
+
+    def snapshot(self) -> dict:
+        """Per-key forecast/provenance summary, JSON-ready."""
+        out = {}
+        for key in self.keys():
+            feed = self._feeds[key]
+            entry = dict(feed.provenance())
+            entry["last"] = feed.last
+            if feed.n_observations > 0:
+                fc = feed.forecast()
+                entry["forecast_mean"] = fc.mean
+                entry["forecast_spread"] = fc.spread
+            out[key] = entry
+        return out

@@ -19,6 +19,7 @@ from repro.obs.pipeline import traced_cluster_run, traced_server_run
 from repro.obs.tracer import (
     NULL_TRACER,
     STAGE_CLUSTER,
+    STAGE_ELASTIC,
     STAGE_NWS,
     STAGE_SERVING,
     STAGE_STRUCTURAL,
@@ -42,6 +43,7 @@ __all__ = [
     "STAGE_STRUCTURAL",
     "STAGE_SERVING",
     "STAGE_CLUSTER",
+    "STAGE_ELASTIC",
     "trace_to_dict",
     "trace_to_chrome",
     "write_json",

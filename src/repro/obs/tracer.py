@@ -48,6 +48,7 @@ __all__ = [
     "STAGE_STRUCTURAL",
     "STAGE_SERVING",
     "STAGE_CLUSTER",
+    "STAGE_ELASTIC",
     "STAGES",
 ]
 
@@ -57,7 +58,8 @@ STAGE_NWS = "nws"
 STAGE_STRUCTURAL = "structural"
 STAGE_SERVING = "serving"
 STAGE_CLUSTER = "cluster"
-STAGES = (STAGE_NWS, STAGE_STRUCTURAL, STAGE_SERVING, STAGE_CLUSTER)
+STAGE_ELASTIC = "elastic"
+STAGES = (STAGE_NWS, STAGE_STRUCTURAL, STAGE_SERVING, STAGE_CLUSTER, STAGE_ELASTIC)
 
 
 @dataclass

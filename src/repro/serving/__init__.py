@@ -16,9 +16,17 @@ pipeline into a long-running service:
 * :mod:`repro.serving.metrics` — counters/gauges/histograms snapshotable
   as JSON;
 * :mod:`repro.serving.driver` — seeded open/closed-loop load generation;
-* :mod:`repro.serving.router` — consistent-hash shard placement;
+* :mod:`repro.serving.schedules` — time-varying arrival-rate schedules
+  (diurnal waves, flash crowds) realised by seeded thinning;
+* :mod:`repro.serving.router` — consistent-hash shard placement with
+  elastic membership (sticky-primary rebalance on add/remove);
 * :mod:`repro.serving.cluster` — the sharded multi-worker cluster with
   replica failover over crashing workers (see ``docs/cluster.md``);
+* :mod:`repro.serving.elastic` — the autoscaler and its placement
+  policies (static / load-adaptive / forecast-aware over an internal
+  NWS load feed);
+* :mod:`repro.serving.scenarios` — the seeded YAML-driven chaos
+  scenario suite asserting graceful-degradation invariants;
 * :mod:`repro.serving.demo` — ready-made Platform 1 deployments (one
   server or a whole cluster).
 
@@ -33,8 +41,25 @@ from repro.serving.admission import AdmissionController, AdmissionPolicy, TokenB
 from repro.serving.cluster import ClusterConfig, ServingCluster
 from repro.serving.demo import demo_cluster, demo_server
 from repro.serving.driver import ClosedLoop, DriveReport, LoadDriver, OpenLoop
+from repro.serving.elastic import (
+    Autoscaler,
+    ElasticConfig,
+    ForecastAwarePolicy,
+    LoadAdaptivePolicy,
+    PlacementPolicy,
+    StaticPolicy,
+    policy_by_name,
+)
 from repro.serving.forecasts import ForecastCache, SharedRefreshLedger
 from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serving.schedules import (
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowdRate,
+    PiecewiseRate,
+    RateSchedule,
+    schedule_from_spec,
+)
 from repro.serving.protocol import (
     ErrorResponse,
     OverloadedResponse,
@@ -53,6 +78,19 @@ __all__ = [
     "ServingCluster",
     "ClusterRouter",
     "HashRing",
+    "Autoscaler",
+    "ElasticConfig",
+    "PlacementPolicy",
+    "StaticPolicy",
+    "LoadAdaptivePolicy",
+    "ForecastAwarePolicy",
+    "policy_by_name",
+    "RateSchedule",
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "PiecewiseRate",
+    "schedule_from_spec",
     "SharedRefreshLedger",
     "demo_cluster",
     "ClosedLoop",

@@ -34,6 +34,22 @@ per-worker queues apply their own bounds, so an aggregate overload sheds
 at the front door with a ``retry_after`` hint instead of filling N
 queues first.
 
+**Elasticity.**  With an :class:`~repro.serving.elastic.ElasticConfig`
+installed, an :class:`~repro.serving.elastic.Autoscaler` runs inside the
+event loop at control-interval boundaries: its placement policy (static,
+load-adaptive, or forecast-aware over an internal NWS load feed) votes a
+fleet size, and the cluster orders new workers (live after a
+``provision_time`` cold start, joining the ring with a sticky-primary
+rebalance) or gracefully drains existing ones (off the ring first so new
+arrivals route elsewhere, then a grace period to finish the queue, then
+forced migration of the remainder through the same failover machinery a
+crash uses — so a migrated answer is tagged and degraded, never silently
+wrong).  A worker that *crashes while draining* is migrated once by the
+crash path and retired on the spot, so it can neither double-deliver nor
+resurrect at the fault window's end.  With ``elastic=None`` (the
+default) none of this code runs and the cluster is bit-identical to the
+fixed-fleet version, golden traces included.
+
 **Observability.**  The cluster keeps its own metrics registry
 (cluster-wide latency/queue-depth exact-quantile histograms, failover /
 shard-migration / crash counters) and ``snapshot()`` merges per-worker
@@ -47,8 +63,9 @@ from dataclasses import dataclass, field, replace
 
 from repro.faults.plan import FaultPlan
 from repro.nws.service import QUALITIES, NetworkWeatherService
-from repro.obs.tracer import STAGE_CLUSTER, as_tracer
+from repro.obs.tracer import STAGE_CLUSTER, STAGE_ELASTIC, as_tracer
 from repro.serving.admission import TokenBucket
+from repro.serving.elastic import Autoscaler, ElasticConfig
 from repro.serving.forecasts import SharedRefreshLedger
 from repro.serving.metrics import Histogram, MetricsRegistry, _sanitise
 from repro.serving.protocol import (
@@ -150,6 +167,12 @@ class ServingCluster:
         then record spans (stage ``cluster``) alongside the workers'
         serving spans, so a failover hop is visible end to end.
         ``None`` (default) traces nothing and changes nothing.
+    elastic:
+        Optional :class:`~repro.serving.elastic.ElasticConfig`; installs
+        an autoscaler that adds and drains workers at runtime under the
+        configured placement policy.  ``None`` (default) keeps the fleet
+        fixed — the event loop then takes no elastic branches and stays
+        bit-identical to the pre-elastic cluster.
     """
 
     def __init__(
@@ -160,6 +183,7 @@ class ServingCluster:
         faults: FaultPlan | None = None,
         rng=None,
         tracer=None,
+        elastic: ElasticConfig | None = None,
     ):
         self.nws = nws
         self.config = config if config is not None else ClusterConfig()
@@ -170,6 +194,10 @@ class ServingCluster:
 
         gen = as_generator(rng)
         children = gen.spawn(self.config.n_workers)
+        # Kept for elastic scale-ups: each new worker draws the next
+        # child stream, so the first n_workers draws above — and with
+        # them every seeded golden — are untouched by elasticity.
+        self._gen = gen
         self.workers: dict[str, PredictionServer] = {}
         for i in range(self.config.n_workers):
             self.workers[f"worker-{i}"] = PredictionServer(
@@ -193,6 +221,15 @@ class ServingCluster:
         self._shards: dict[str, str] = {}  # model name -> shard key
         self._inflight: dict[tuple[str, int], _InFlight] = {}
 
+        # Elastic state.  All empty/inert when elasticity is off.
+        self.elastic = elastic
+        self._specs: list[ModelSpec] = []
+        self._next_worker_idx = self.config.n_workers
+        self._provisioning: list[tuple[str, PredictionServer, float]] = []
+        self._draining: dict[str, float] = {}  # name -> force deadline
+        self.shard_arrivals: dict[str, int] = {}
+        self.autoscaler = Autoscaler(self, elastic) if elastic is not None else None
+
         for name in (
             "requests_total",
             "responses_ok",
@@ -203,6 +240,9 @@ class ServingCluster:
             "shard_migrations_total",
             "worker_crashes_total",
             "worker_recoveries_total",
+            "scale_ups_total",
+            "scale_downs_total",
+            "workers_retired_total",
         ):
             self.metrics.counter(name)
         self.metrics.histogram("latency_s")
@@ -223,6 +263,9 @@ class ServingCluster:
             raise ValueError(f"model {spec.name!r} already registered")
         for worker in self.workers.values():
             worker.register_model(spec)
+        for _, server, _ in self._provisioning:
+            server.register_model(spec)
+        self._specs.append(spec)
         shard = f"{spec.name}|{bindings_fingerprint(spec.bindings)}"
         self._shards[spec.name] = shard
         self.router.owners(shard)  # place eagerly, in registration order
@@ -247,6 +290,16 @@ class ServingCluster:
     def healthy_workers(self) -> list[str]:
         """Names of workers currently up, sorted."""
         return sorted(name for name, up in self._up.items() if up)
+
+    @property
+    def routable_workers(self) -> list[str]:
+        """Workers both on the ring and up — the real serving capacity.
+
+        Excludes crashed workers (on the ring, not serving) and
+        draining ones (serving their remainder, off the ring); this is
+        the count autoscaling policies size against.
+        """
+        return [n for n in self.router.workers if self._up.get(n, False)]
 
     def owners(self, model: str) -> tuple[str, ...]:
         """The owner list (primary first) of ``model``'s shard."""
@@ -274,6 +327,7 @@ class ServingCluster:
                 completed=now,
                 message=f"unknown model {request.model!r}; registered: {self.models}",
             )
+        self.shard_arrivals[shard] = self.shard_arrivals.get(shard, 0) + 1
         if self._bucket is not None and not self._bucket.allow(now):
             return self._shed(request, SHED_THROTTLED, now)
 
@@ -337,12 +391,23 @@ class ServingCluster:
         if to < self._clock:
             raise ValueError(f"cannot step the cluster backwards from {self._clock} to {to}")
         out: list[Response] = []
-        for t in self._boundaries(self._clock, to):
-            for name in self.workers:
+        controls = (
+            set(self.autoscaler.control_times(self._clock, to))
+            if self.autoscaler is not None
+            else ()
+        )
+        for t in self._boundaries(self._clock, to, controls):
+            for name in list(self.workers):
                 if self._up[name]:
                     for resp in self.workers[name].step(t):
                         out.append(self._deliver(name, resp))
+            if self._provisioning:
+                self._commission_ready(t)
             self._apply_transitions(t, out)
+            if self._draining:
+                self._finalize_drains(t, out)
+            if self.autoscaler is not None and t in controls:
+                self.autoscaler.control(t)
             self._clock = t
         for name, worker in self.workers.items():
             if self._up[name]:
@@ -352,27 +417,47 @@ class ServingCluster:
         out.sort(key=lambda r: r.completed)
         return out
 
-    def _boundaries(self, t0: float, t1: float) -> list[float]:
-        """Fault-transition instants in ``(t0, t1]``, ending with ``t1``."""
+    def _boundaries(self, t0: float, t1: float, extra=()) -> list[float]:
+        """Event instants in ``(t0, t1]``, ending with ``t1``.
+
+        Fault edges always cut; with elasticity enabled, autoscaler
+        control ticks (``extra``), worker ready times and drain
+        deadlines cut too, so commissions, retirements and scaling
+        decisions all land at their exact simulated instants.
+        """
         cuts = set()
         for name in self.workers:
             for outage in self.faults.machine_crashes.get(name, ()):
                 for edge in (outage.start, outage.end):
                     if t0 < edge <= t1:
                         cuts.add(edge)
+        cuts.update(e for e in extra if t0 < e <= t1)
+        cuts.update(r for _, _, r in self._provisioning if t0 < r <= t1)
+        cuts.update(d for d in self._draining.values() if t0 < d <= t1)
         out = sorted(cuts)
         if not out or out[-1] != t1:
             out.append(t1)
         return out
 
     def _apply_transitions(self, t: float, out: list[Response]) -> None:
-        """Crash/restart workers whose fault state flips at ``t``."""
-        for name, worker in self.workers.items():
+        """Crash/restart workers whose fault state flips at ``t``.
+
+        A worker that crashes *while draining* is a special case: the
+        crash path migrates its unanswered work exactly once (requeue
+        pops the in-flight registry, so the drain finalizer cannot see
+        those requests again), and the worker is retired immediately —
+        it is already off the ring, and letting the fault window's end
+        "restart" a retired worker would resurrect a ghost no request
+        can ever route to.
+        """
+        for name, worker in list(self.workers.items()):
             down_now = self.faults.machine_down(name, t)
             if down_now and self._up[name]:
                 self._up[name] = False
                 self.metrics.counter("worker_crashes_total").inc()
                 self._migrate(name, worker, t, out)
+                if name in self._draining:
+                    self._retire(name, t, reason="crashed_while_draining")
             elif not down_now and not self._up[name]:
                 worker.restart(t)
                 self._up[name] = True
@@ -442,6 +527,196 @@ class ServingCluster:
                 )
         self.metrics.counter("shard_migrations_total").inc(len(moved_shards))
         return requeued, shed
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    @property
+    def provisioning_count(self) -> int:
+        """Workers ordered but not yet routable."""
+        return len(self._provisioning)
+
+    @property
+    def draining_workers(self) -> list[str]:
+        """Names of workers currently draining toward retirement, sorted."""
+        return sorted(self._draining)
+
+    def order_worker(self, t: float, *, provenance: dict | None = None) -> str:
+        """Order one new worker at time ``t``; it joins the ring after
+        the configured provision time.
+
+        The newcomer draws the *next* child generator from the cluster's
+        seed stream — the original ``n_workers`` draws are untouched, so
+        enabling elasticity never perturbs the seeded behaviour of the
+        starting fleet.  Returns the new worker's name.
+        """
+        if self.elastic is None:
+            raise RuntimeError("order_worker needs an ElasticConfig installed")
+        name = f"worker-{self._next_worker_idx}"
+        self._next_worker_idx += 1
+        ready = t + self.elastic.provision_time
+        server = PredictionServer(
+            self.nws,
+            config=self.config.worker,
+            rng=self._gen.spawn(1)[0],
+            forecast_ledger=self.ledger,
+            tracer=self.tracer,
+            clock=ready,
+        )
+        for spec in self._specs:
+            server.register_model(spec)
+        self._provisioning.append((name, server, ready))
+        self.metrics.counter("scale_ups_total").inc()
+        if self.tracer.enabled:
+            self.tracer.start_span(
+                "elastic.scale_up",
+                t,
+                stage=STAGE_ELASTIC,
+                new_trace=True,
+                worker=name,
+                ready_at=ready,
+                **(provenance or {}),
+            ).finish(t)
+        return name
+
+    def _commission_ready(self, t: float) -> None:
+        """Join every provisioned worker whose ready time has arrived."""
+        ready_now = [p for p in self._provisioning if p[2] <= t]
+        if not ready_now:
+            return
+        self._provisioning = [p for p in self._provisioning if p[2] > t]
+        for name, server, _ in ready_now:
+            self.workers[name] = server
+            self._up[name] = not self.faults.machine_down(name, t)
+            moves = self.router.add_worker(name)
+            primaries_moved = sum(1 for m in moves if m.primary_moved)
+            self.metrics.counter("shard_migrations_total").inc(primaries_moved)
+            if self.tracer.enabled:
+                self.tracer.start_span(
+                    "elastic.rebalance",
+                    t,
+                    stage=STAGE_ELASTIC,
+                    new_trace=True,
+                    worker=name,
+                    joined=True,
+                    shards_moved=len(moves),
+                    primaries_moved=primaries_moved,
+                ).finish(t)
+        self.metrics.gauge("workers_up").set(sum(self._up.values()))
+
+    def drain_candidate(self) -> str | None:
+        """The worker a scale-down should retire, or ``None``.
+
+        Candidates are up, routable, and not already draining; among
+        them the one holding the fewest primaries goes first (least
+        traffic to migrate), with the highest worker index breaking
+        ties (retire the newest).  ``None`` when at most one routable
+        worker remains — the ring never empties.
+        """
+        candidates = [
+            name
+            for name in self.router.workers
+            if name in self.workers and self._up[name] and name not in self._draining
+        ]
+        if len(candidates) < 2:
+            return None
+        counts = self.router.primary_counts()
+
+        def rank(name: str) -> tuple:
+            return (counts.get(name, 0), -int(name.rsplit("-", 1)[1]))
+
+        return min(candidates, key=rank)
+
+    def begin_drain(
+        self, name: str, t: float, *, grace: float | None = None, provenance: dict | None = None
+    ) -> None:
+        """Start retiring ``name`` gracefully at time ``t``.
+
+        The worker leaves the ring immediately — new arrivals route to
+        the rebalanced owners — but keeps serving its queue for
+        ``grace`` seconds (default: the elastic config's
+        ``drain_grace``).  Whatever it has not answered by the deadline
+        is force-migrated through the failover machinery, tagged and
+        degraded like any other migrated answer.
+        """
+        if name not in self.workers or name not in self.router.workers:
+            raise ValueError(f"worker {name!r} is not a routable cluster member")
+        if name in self._draining:
+            raise ValueError(f"worker {name!r} is already draining")
+        if not self._up[name]:
+            raise ValueError(f"worker {name!r} is down; crash migration already covers it")
+        if grace is None:
+            if self.elastic is None:
+                raise ValueError("grace is required when no ElasticConfig is installed")
+            grace = self.elastic.drain_grace
+        moves = self.router.remove_worker(name)
+        primaries_moved = sum(1 for m in moves if m.primary_moved)
+        self.metrics.counter("shard_migrations_total").inc(primaries_moved)
+        self.metrics.counter("scale_downs_total").inc()
+        self._draining[name] = t + grace
+        if self.tracer.enabled:
+            self.tracer.start_span(
+                "elastic.scale_down",
+                t,
+                stage=STAGE_ELASTIC,
+                new_trace=True,
+                worker=name,
+                deadline=t + grace,
+                shards_moved=len(moves),
+                primaries_moved=primaries_moved,
+                **(provenance or {}),
+            ).finish(t)
+
+    def _finalize_drains(self, t: float, out: list[Response]) -> None:
+        """Retire draining workers that emptied out or hit their deadline.
+
+        Pending work is read from the *live* in-flight registry at the
+        moment of retirement — never from a snapshot taken at drain
+        start — so a request the worker answered during the grace
+        period can never also be re-routed (the delivery already popped
+        its registry entry), and one it did not answer is re-routed
+        exactly once (the requeue pops it).
+        """
+        for name in list(self._draining):
+            worker = self.workers[name]
+            pending = [key for key, entry in self._inflight.items() if entry.worker == name]
+            if not pending:
+                self._retire(name, t, reason="drained_clean")
+            elif t >= self._draining[name]:
+                worker.drain()
+                healthy = self._healthy_set() - {name}
+                if self.tracer.enabled:
+                    with self.tracer.span(
+                        "cluster.failover",
+                        t,
+                        stage=STAGE_CLUSTER,
+                        new_trace=True,
+                        worker=name,
+                        stranded=len(pending),
+                        drain_deadline=True,
+                    ) as sp:
+                        requeued, shed = self._requeue(pending, t, healthy, out)
+                        sp.set(requeued=requeued, shed=shed)
+                else:
+                    self._requeue(pending, t, healthy, out)
+                self._retire(name, t, reason="drain_deadline")
+
+    def _retire(self, name: str, t: float, *, reason: str) -> None:
+        """Remove a drained (or crashed-while-draining) worker for good."""
+        self.workers.pop(name)
+        self._up.pop(name, None)
+        self._draining.pop(name, None)
+        self.metrics.counter("workers_retired_total").inc()
+        self.metrics.gauge("workers_up").set(sum(self._up.values()))
+        if self.tracer.enabled:
+            self.tracer.start_span(
+                "elastic.retire",
+                t,
+                stage=STAGE_ELASTIC,
+                new_trace=True,
+                worker=name,
+                reason=reason,
+            ).finish(t)
 
     # ------------------------------------------------------------------
     # Delivery
@@ -523,5 +798,12 @@ class ServingCluster:
                 "forecast_ledger": self.ledger.stats(),
                 "plan_cache": plan_cache_stats(),
                 "in_flight": len(self._inflight),
+                "elastic": None
+                if self.autoscaler is None
+                else {
+                    **self.autoscaler.snapshot(),
+                    "provisioning": [name for name, _, _ in self._provisioning],
+                    "draining": sorted(self._draining),
+                },
             }
         )

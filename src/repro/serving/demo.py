@@ -120,6 +120,7 @@ def demo_cluster(
     warmup: float = 60.0,
     rng=11,
     tracer=None,
+    elastic=None,
 ):
     """A sharded serving cluster over Platform 1: ``(cluster, plat, nws)``.
 
@@ -128,10 +129,14 @@ def demo_cluster(
     ``faults`` plan serves both chaos planes: ``sensor_dropouts`` /
     ``corruptions`` hit the NWS sensors, ``machine_crashes`` keyed
     ``worker-<i>`` crash the serving workers themselves.  A ``tracer``
-    is shared by the NWS, the cluster and every worker.
+    is shared by the NWS, the cluster and every worker.  ``elastic``
+    (an :class:`~repro.serving.elastic.ElasticConfig`) turns on the
+    autoscaler; the default ``None`` keeps the fleet fixed.
     """
     plat, nws, resources = _demo_nws(duration, warmup, faults, rng)
-    cluster = ServingCluster(nws, config=config, faults=faults, rng=rng, tracer=tracer)
+    cluster = ServingCluster(
+        nws, config=config, faults=faults, rng=rng, tracer=tracer, elastic=elastic
+    )
     if tracer is not None:
         nws.tracer = cluster.tracer
     _register_demo_models(cluster, plat, resources, sizes)

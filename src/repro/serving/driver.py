@@ -6,8 +6,12 @@ grid, reusing the arrival-process idioms of
 :mod:`repro.workload.loadgen` (seeded exponential inter-arrival draws):
 
 * **open loop** (:class:`OpenLoop`) — submissions arrive by a Poisson
-  process at a fixed rate, indifferent to responses.  The honest way to
-  overload a server: arrivals do not slow down when the queue grows.
+  process, indifferent to responses.  The honest way to overload a
+  server: arrivals do not slow down when the queue grows.  The rate is
+  either a constant or any
+  :class:`~repro.serving.schedules.RateSchedule` (diurnal waves, flash
+  crowds, explicit segments), realised as a non-homogeneous Poisson
+  process by seeded Lewis–Shedler thinning.
 * **closed loop** (:class:`ClosedLoop`) — each client keeps exactly one
   request in flight: submit, wait for the response, think, submit
   again.  Shed clients back off by the server's ``retry_after`` advice.
@@ -25,7 +29,10 @@ import heapq
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.serving.protocol import PredictRequest, Response
+from repro.serving.schedules import RateSchedule
 from repro.util.rng import as_generator
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -34,16 +41,27 @@ __all__ = ["OpenLoop", "ClosedLoop", "DriveReport", "LoadDriver"]
 
 @dataclass(frozen=True)
 class OpenLoop:
-    """Poisson arrivals at ``rate`` requests per simulated second,
-    attributed round-robin to ``clients`` distinct client identities."""
+    """Poisson arrivals attributed round-robin to ``clients`` identities.
 
-    rate: float
+    ``rate`` is either a constant (requests per simulated second — the
+    draw sequence is bit-identical to the original constant-rate
+    driver) or a :class:`~repro.serving.schedules.RateSchedule`, whose
+    time axis is relative to the drive start.
+    """
+
+    rate: float | RateSchedule
     clients: int = 8
 
     def __post_init__(self) -> None:
-        check_positive(self.rate, "rate")
+        if not isinstance(self.rate, RateSchedule):
+            check_positive(self.rate, "rate")
         if self.clients < 1:
             raise ValueError(f"clients must be >= 1, got {self.clients}")
+
+    @property
+    def schedule(self) -> RateSchedule | None:
+        """The rate schedule, or ``None`` for the constant-rate case."""
+        return self.rate if isinstance(self.rate, RateSchedule) else None
 
 
 @dataclass(frozen=True)
@@ -132,6 +150,12 @@ class LoadDriver:
         Event-loop step size in simulated seconds.
     rng:
         Seed for arrival draws and model choice.
+    model_weights:
+        Optional traffic skew: map of model name to relative weight
+        (unlisted models get zero traffic).  ``None`` (default) keeps
+        the original uniform seeded choice, draw-for-draw.  This is how
+        the scenario suite builds *hot-key* workloads where one shard
+        soaks most of the offered load.
     """
 
     #: Hard cap on drain time after submissions stop, in ticks.
@@ -148,6 +172,7 @@ class LoadDriver:
         deadline: float | None = None,
         tick: float = 0.05,
         rng=None,
+        model_weights: dict | None = None,
     ):
         if not isinstance(workload, (OpenLoop, ClosedLoop)):
             raise TypeError(f"workload must be OpenLoop or ClosedLoop, got {workload!r}")
@@ -167,10 +192,59 @@ class LoadDriver:
         self.tick = tick
         self._rng = as_generator(rng)
         self._start = server.now
+        self._cum_weights = None
+        if model_weights is not None:
+            unknown = set(model_weights) - set(self.models)
+            if unknown:
+                raise ValueError(
+                    f"model_weights name unknown models {sorted(unknown)}; "
+                    f"drive models: {self.models}"
+                )
+            raw = np.array([float(model_weights.get(m, 0.0)) for m in self.models])
+            if np.any(raw < 0.0) or raw.sum() <= 0.0:
+                raise ValueError("model_weights must be non-negative with a positive sum")
+            self._cum_weights = np.cumsum(raw / raw.sum())
 
     # ------------------------------------------------------------------
+    def _pick_model(self) -> str:
+        if self._cum_weights is None:
+            return self.models[int(self._rng.integers(len(self.models)))]
+        idx = int(np.searchsorted(self._cum_weights, float(self._rng.random()), side="right"))
+        return self.models[min(idx, len(self.models) - 1)]
+
+    def _arrival_times(self, start: float) -> list[float]:
+        """Seeded open-loop arrival instants, in order.
+
+        A constant rate replays the original homogeneous draw sequence
+        bit-for-bit.  A :class:`~repro.serving.schedules.RateSchedule`
+        is realised by Lewis–Shedler thinning: candidates arrive at the
+        schedule's ``max_rate`` and each survives with probability
+        ``rate_at(t) / max_rate`` — an exact non-homogeneous Poisson
+        process, still bit-reproducible from the seed.
+        """
+        horizon = start + (self.duration if self.duration is not None else float("inf"))
+        n_budget = self.max_requests if self.max_requests is not None else float("inf")
+        schedule = self.workload.schedule
+        out: list[float] = []
+        t = start
+        if schedule is None:
+            while len(out) < n_budget:
+                t += float(self._rng.exponential(1.0 / self.workload.rate))
+                if t > horizon:
+                    break
+                out.append(t)
+            return out
+        lam_max = schedule.max_rate
+        while len(out) < n_budget:
+            t += float(self._rng.exponential(1.0 / lam_max))
+            if t > horizon:
+                break
+            if float(self._rng.random()) * lam_max <= schedule.rate_at(t - start):
+                out.append(t)
+        return out
+
     def _make_request(self, client: str, submitted: float, request_id: int) -> PredictRequest:
-        model = self.models[int(self._rng.integers(len(self.models)))]
+        model = self._pick_model()
         deadline = None if self.deadline is None else submitted + self.deadline
         return PredictRequest(
             request_id=request_id,
@@ -196,17 +270,9 @@ class LoadDriver:
                 heapq.heappush(events, (start, seq, f"client-{c}"))
                 seq += 1
         else:
-            t = start
-            horizon = start + (self.duration if self.duration is not None else float("inf"))
-            n_budget = self.max_requests if self.max_requests is not None else float("inf")
-            n = 0
-            while n < n_budget:
-                t += float(self._rng.exponential(1.0 / self.workload.rate))
-                if t > horizon:
-                    break
-                heapq.heappush(events, (t, seq, f"client-{n % self.workload.clients}"))
+            for t in self._arrival_times(start):
+                heapq.heappush(events, (t, seq, f"client-{seq % self.workload.clients}"))
                 seq += 1
-                n += 1
 
         in_flight = 0
         next_id = 0

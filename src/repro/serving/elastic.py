@@ -1,0 +1,448 @@
+"""Forecast-aware elastic autoscaling for the serving cluster.
+
+The cluster PRs 3–5 built runs a *fixed* N workers behind one
+consistent-hash ring: it can shed and fail over, but it can only react
+to overload after the damage is done.  This module closes the loop the
+paper keeps pointing at — *predict the system with the system*: the
+same NWS forecasting machinery that predicts CPU availability predicts
+the cluster's own offered load, and an :class:`Autoscaler` adds or
+drains workers *ahead* of the surge instead of behind it.
+
+Three placement policies stand behind one interface, so scenarios can
+bake them off against each other:
+
+* :class:`StaticPolicy` — never scales; exactly the fixed-ring
+  behaviour the cluster had before this module existed.
+* :class:`LoadAdaptivePolicy` — reactive: sizes the fleet from the
+  *measured* arrival rate and queue backlog.  It only learns about a
+  flash crowd once the queue is already growing, so every reaction is
+  late by at least the provisioning delay.
+* :class:`ForecastAwarePolicy` — an internal NWS tournament
+  (:class:`~repro.nws.feedback.LoadFeed`) over the cluster's own
+  arrival-rate series, with per-shard feeds riding along.  Capacity is
+  planned against the forecast projected ``lead_time`` seconds forward
+  (one provisioning delay ahead), so workers are ready *when the spike
+  lands*, not after it.
+
+The :class:`Autoscaler` itself is policy-agnostic: each control tick it
+measures the cluster, lets the policy vote a desired fleet size, clamps
+it to ``[min_workers, max_workers]``, and turns the difference into
+scale-ups (new workers take ``provision_time`` simulated seconds to
+come up) or graceful drains (grace-bounded shard migration through the
+cluster's failover machinery).  Every decision can be traced: with a
+tracer installed, scale-ups, drains and rebalances record
+``stage="elastic"`` spans carrying the full forecast provenance — which
+forecaster won the tournament, what it predicted, what trend it saw —
+so a scale-up can be read backwards to the evidence that argued for it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.nws.feedback import FeedBank, LoadFeed
+from repro.obs.tracer import STAGE_ELASTIC
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "ClusterSignals",
+    "PlacementPolicy",
+    "StaticPolicy",
+    "LoadAdaptivePolicy",
+    "ForecastAwarePolicy",
+    "ElasticConfig",
+    "Autoscaler",
+    "policy_by_name",
+]
+
+
+@dataclass(frozen=True)
+class ClusterSignals:
+    """What the autoscaler measured over one control interval.
+
+    Attributes
+    ----------
+    t:
+        Simulated time of the control tick.
+    arrival_rate:
+        Submissions per simulated second over the last interval
+        (everything offered, including what admission later shed).
+    shed_rate:
+        Shed responses per simulated second over the last interval.
+    queue_depth:
+        Requests admitted and waiting across all workers right now.
+    active:
+        Workers both routable and up — crashed workers do not count,
+        which is how a correlated failure shows up to the policies as a
+        capacity hole to fill rather than a healthy fleet.
+    pending:
+        Workers provisioning (paid for, not yet routable).
+    capacity_per_worker:
+        One worker's service capacity in requests per simulated second
+        at its configured batching regime.
+    per_shard_rate:
+        Submissions per second per shard key over the last interval.
+    """
+
+    t: float
+    arrival_rate: float
+    shed_rate: float
+    queue_depth: int
+    active: int
+    pending: int
+    capacity_per_worker: float
+    per_shard_rate: dict = field(default_factory=dict)
+
+
+class PlacementPolicy:
+    """Base class: votes a desired fleet size each control tick."""
+
+    #: Short name carried into spans, reports and the bake-off table.
+    name = "abstract"
+
+    def observe(self, signals: ClusterSignals) -> None:
+        """Feed one control tick of measurements (before the vote)."""
+
+    def desired_workers(self, signals: ClusterSignals) -> int:
+        """The fleet size this policy wants, before min/max clamping."""
+        raise NotImplementedError
+
+    def provenance(self) -> dict:
+        """Evidence behind the latest vote, attached to decision spans."""
+        return {"policy": self.name}
+
+    def snapshot(self) -> dict:
+        """JSON-ready introspection for cluster snapshots."""
+        return {"policy": self.name}
+
+
+class StaticPolicy(PlacementPolicy):
+    """Today's behaviour: the fleet never changes size."""
+
+    name = "static"
+
+    def desired_workers(self, signals: ClusterSignals) -> int:
+        return signals.active + signals.pending
+
+
+def _size_for(rate: float, signals: ClusterSignals, utilisation: float, drain_s: float) -> int:
+    """Workers needed to serve ``rate`` plus the backlog at target utilisation."""
+    backlog_rate = signals.queue_depth / drain_s if drain_s > 0 else 0.0
+    demand = rate + backlog_rate
+    usable = utilisation * signals.capacity_per_worker
+    if usable <= 0.0:
+        return signals.active + signals.pending
+    return max(1, math.ceil(demand / usable))
+
+
+@dataclass
+class LoadAdaptivePolicy(PlacementPolicy):
+    """Reactive sizing from measured load — no prediction.
+
+    Attributes
+    ----------
+    target_utilisation:
+        Fraction of a worker's capacity the policy plans to use; the
+        rest is headroom for burst-within-interval variance.
+    backlog_drain_s:
+        Horizon over which an observed queue backlog should be worked
+        off; a deep queue therefore demands extra workers *now*.
+    """
+
+    target_utilisation: float = 0.7
+    backlog_drain_s: float = 2.0
+
+    name = "reactive"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_utilisation <= 1.0:
+            raise ValueError(
+                f"target_utilisation must be in (0, 1], got {self.target_utilisation}"
+            )
+        check_positive(self.backlog_drain_s, "backlog_drain_s")
+
+    def desired_workers(self, signals: ClusterSignals) -> int:
+        return _size_for(
+            signals.arrival_rate, signals, self.target_utilisation, self.backlog_drain_s
+        )
+
+    def provenance(self) -> dict:
+        return {"policy": self.name, "basis": "measured_rate+backlog"}
+
+
+@dataclass
+class ForecastAwarePolicy(PlacementPolicy):
+    """NWS-forecast sizing: scale for where the load is *going*.
+
+    An internal :class:`~repro.nws.feedback.LoadFeed` runs the NWS
+    forecaster tournament over the cluster's own arrival-rate series;
+    a :class:`~repro.nws.feedback.FeedBank` tracks per-shard arrival
+    series alongside (hot-shard visibility in snapshots and spans).
+    Sizing uses the tournament forecast projected ``lead_time`` seconds
+    forward — set the lead to the provisioning delay plus one control
+    interval so a worker ordered now is routable when the predicted
+    load arrives.
+
+    Attributes
+    ----------
+    lead_time:
+        How far ahead (simulated seconds) capacity is planned.
+    headroom:
+        Fraction of the forecast's error bar added on top of its mean
+        (the tournament spread is an empirical 2-sigma, so ``0.5``
+        plans one sigma above the point forecast).
+    target_utilisation, backlog_drain_s:
+        As for :class:`LoadAdaptivePolicy`.
+    """
+
+    lead_time: float = 4.0
+    headroom: float = 0.5
+    target_utilisation: float = 0.7
+    backlog_drain_s: float = 2.0
+
+    name = "forecast"
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.lead_time, "lead_time")
+        check_nonnegative(self.headroom, "headroom")
+        if not 0.0 < self.target_utilisation <= 1.0:
+            raise ValueError(
+                f"target_utilisation must be in (0, 1], got {self.target_utilisation}"
+            )
+        check_positive(self.backlog_drain_s, "backlog_drain_s")
+        self.feed = LoadFeed("cluster.arrival_rate")
+        self.shard_feeds = FeedBank("shard.arrival_rate")
+        self._last_forecast: dict = {}
+
+    def observe(self, signals: ClusterSignals) -> None:
+        self.feed.observe(signals.t, signals.arrival_rate)
+        for shard, rate in sorted(signals.per_shard_rate.items()):
+            self.shard_feeds.observe(shard, signals.t, rate)
+
+    def planning_rate(self, signals: ClusterSignals) -> float:
+        """The rate capacity is sized against: forecast-ahead, floored
+        by the measured rate (a forecast may lag a surge by one step;
+        the measurement never does)."""
+        if self.feed.n_observations == 0:
+            return signals.arrival_rate
+        ahead = self.feed.forecast_ahead(self.lead_time)
+        predicted = ahead.mean + self.headroom * ahead.spread
+        self._last_forecast = {
+            "forecast_mean": ahead.mean,
+            "forecast_spread": ahead.spread,
+            "planned_rate": max(signals.arrival_rate, predicted),
+        }
+        return max(signals.arrival_rate, predicted)
+
+    def desired_workers(self, signals: ClusterSignals) -> int:
+        return _size_for(
+            self.planning_rate(signals), signals, self.target_utilisation, self.backlog_drain_s
+        )
+
+    def provenance(self) -> dict:
+        out = {"policy": self.name, "lead_time": self.lead_time}
+        out.update(self.feed.provenance())
+        out.update(self._last_forecast)
+        return out
+
+    def snapshot(self) -> dict:
+        out = {"policy": self.name, "lead_time": self.lead_time}
+        if self.feed.n_observations:
+            out["cluster_feed"] = self.feed.provenance()
+            out["shards"] = self.shard_feeds.snapshot()
+        return out
+
+
+def policy_by_name(name: str, **kwargs) -> PlacementPolicy:
+    """Construct a policy from its bake-off name.
+
+    ``"static"``, ``"reactive"`` (load-adaptive) or ``"forecast"``
+    (forecast-aware); keyword arguments pass through to the policy
+    constructor.
+    """
+    table = {
+        "static": StaticPolicy,
+        "reactive": LoadAdaptivePolicy,
+        "forecast": ForecastAwarePolicy,
+    }
+    if name not in table:
+        raise ValueError(f"unknown policy {name!r}; known: {sorted(table)}")
+    return table[name](**kwargs)
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Autoscaler knobs.
+
+    Attributes
+    ----------
+    policy:
+        The :class:`PlacementPolicy` voting the fleet size.
+    min_workers, max_workers:
+        Hard fleet bounds; the autoscaler never drains below the floor
+        or provisions past the ceiling.
+    control_interval:
+        Simulated seconds between control ticks.
+    provision_time:
+        Simulated seconds between ordering a worker and it joining the
+        ring — the cold-start a reactive policy is always behind by.
+    drain_grace:
+        Seconds a draining worker gets to finish its queue before the
+        remainder is force-migrated through the failover machinery.
+    cooldown:
+        Minimum seconds between *scale-down* actions (scale-ups are
+        never delayed: under-capacity hurts immediately, over-capacity
+        merely costs a worker-interval).
+    """
+
+    policy: PlacementPolicy
+    min_workers: int = 1
+    max_workers: int = 8
+    control_interval: float = 1.0
+    provision_time: float = 2.0
+    drain_grace: float = 5.0
+    cooldown: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.policy, PlacementPolicy):
+            raise TypeError(f"policy must be a PlacementPolicy, got {self.policy!r}")
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= min_workers "
+                f"({self.min_workers})"
+            )
+        check_positive(self.control_interval, "control_interval")
+        check_nonnegative(self.provision_time, "provision_time")
+        check_nonnegative(self.drain_grace, "drain_grace")
+        check_nonnegative(self.cooldown, "cooldown")
+
+
+class Autoscaler:
+    """Turns policy votes into cluster scale actions, with telemetry.
+
+    Owned by a :class:`~repro.serving.cluster.ServingCluster` when an
+    :class:`ElasticConfig` is installed; driven by the cluster's event
+    loop at control-interval boundaries.  Keeps a decision timeline
+    (JSON-ready) so scenario reports can plot fleet size against load.
+    """
+
+    def __init__(self, cluster, config: ElasticConfig):
+        self.cluster = cluster
+        self.config = config
+        self.timeline: list[dict] = []
+        self._last_counts: dict[str, float] = {}
+        self._last_shard_counts: dict[str, int] = {}
+        self._last_t: float | None = None
+        self._last_scale_down: float = float("-inf")
+
+    # ------------------------------------------------------------------
+    def control_times(self, t0: float, t1: float) -> list[float]:
+        """Control-tick instants in ``(t0, t1]``."""
+        dt = self.config.control_interval
+        first = math.floor(t0 / dt) + 1
+        last = math.floor(t1 / dt)
+        return [k * dt for k in range(first, last + 1)]
+
+    def _measure(self, t: float) -> ClusterSignals:
+        cluster = self.cluster
+        counters = {
+            "requests": cluster.metrics.counter("requests_total").value,
+            "shed": cluster.metrics.counter("shed_total").value,
+        }
+        shard_counts = dict(cluster.shard_arrivals)
+        dt = (t - self._last_t) if self._last_t is not None else self.config.control_interval
+        dt = max(dt, 1e-9)
+        rate = (counters["requests"] - self._last_counts.get("requests", 0.0)) / dt
+        shed = (counters["shed"] - self._last_counts.get("shed", 0.0)) / dt
+        per_shard = {
+            shard: (count - self._last_shard_counts.get(shard, 0)) / dt
+            for shard, count in shard_counts.items()
+        }
+        self._last_counts = counters
+        self._last_shard_counts = shard_counts
+        self._last_t = t
+        return ClusterSignals(
+            t=t,
+            arrival_rate=rate,
+            shed_rate=shed,
+            queue_depth=cluster.queue_depth,
+            active=len(cluster.routable_workers),
+            pending=cluster.provisioning_count,
+            capacity_per_worker=cluster.config.worker.drain_rate(),
+            per_shard_rate=per_shard,
+        )
+
+    def control(self, t: float) -> None:
+        """One control tick: measure, vote, act."""
+        cfg = self.config
+        signals = self._measure(t)
+        policy = cfg.policy
+        policy.observe(signals)
+        desired = max(cfg.min_workers, min(cfg.max_workers, policy.desired_workers(signals)))
+        current = signals.active + signals.pending
+
+        action = "hold"
+        if desired > current:
+            action = "scale_up"
+            for _ in range(desired - current):
+                self.cluster.order_worker(t, provenance=policy.provenance())
+        elif (
+            desired < current
+            and signals.pending == 0
+            and t - self._last_scale_down >= cfg.cooldown
+        ):
+            # pending == 0: never retire live capacity against workers
+            # that are *ordered but not yet serving* — draining on the
+            # promise of provisioning capacity collapses the ring
+            # exactly when the load that prompted the order arrives.
+            victim = self.cluster.drain_candidate()
+            if victim is not None:
+                action = "scale_down"
+                self._last_scale_down = t
+                self.cluster.begin_drain(
+                    victim, t, grace=cfg.drain_grace, provenance=policy.provenance()
+                )
+
+        self.timeline.append(
+            {
+                "t": t,
+                "arrival_rate": signals.arrival_rate,
+                "shed_rate": signals.shed_rate,
+                "queue_depth": signals.queue_depth,
+                "active": signals.active,
+                "pending": signals.pending,
+                "desired": desired,
+                "action": action,
+            }
+        )
+        tracer = self.cluster.tracer
+        if tracer.enabled and action != "hold":
+            tracer.start_span(
+                "elastic.decision",
+                t,
+                stage=STAGE_ELASTIC,
+                new_trace=True,
+                action=action,
+                desired=desired,
+                active=signals.active,
+                pending=signals.pending,
+                queue_depth=signals.queue_depth,
+                arrival_rate=signals.arrival_rate,
+                **cfg.policy.provenance(),
+            ).finish(t)
+
+    def snapshot(self) -> dict:
+        """Autoscaler state for cluster snapshots, JSON-ready."""
+        return {
+            "policy": self.config.policy.snapshot(),
+            "min_workers": self.config.min_workers,
+            "max_workers": self.config.max_workers,
+            "control_interval": self.config.control_interval,
+            "provision_time": self.config.provision_time,
+            "decisions": len(self.timeline),
+            "scale_ups": sum(1 for e in self.timeline if e["action"] == "scale_up"),
+            "scale_downs": sum(1 for e in self.timeline if e["action"] == "scale_down"),
+        }

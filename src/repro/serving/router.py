@@ -20,7 +20,15 @@ consistent-hash ring with virtual nodes:
   scale with workers.  Owner *sets* stay pure ring output, so adding
   or removing a worker still only moves ~1/N of the keys;
 * routing walks the owner list in order and picks the first *healthy*
-  worker, reporting whether the pick was a failover (not the primary).
+  worker, reporting whether the pick was a failover (not the primary);
+* membership is **elastic**: :meth:`ClusterRouter.add_worker` and
+  :meth:`ClusterRouter.remove_worker` rebuild the ring at runtime and
+  re-place every shard with *sticky* primaries — a shard keeps its
+  primary whenever the new ring still lists it as an owner, so one
+  membership change relocates only the minimal key range (the shards
+  whose owner arc the change actually intercepted) instead of
+  reshuffling the cluster.  Each call reports exactly which shards
+  moved, so the cluster can migrate them deliberately.
 
 Hashing is :func:`hashlib.blake2b`-based, so placement is deterministic
 across processes and runs — no dependence on ``PYTHONHASHSEED``.
@@ -30,10 +38,17 @@ from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
+from dataclasses import dataclass
 
 from repro.structural.parameters import Bindings
 
-__all__ = ["stable_hash", "bindings_fingerprint", "HashRing", "ClusterRouter"]
+__all__ = [
+    "stable_hash",
+    "bindings_fingerprint",
+    "HashRing",
+    "ClusterRouter",
+    "ShardMove",
+]
 
 
 def stable_hash(key: str) -> int:
@@ -88,6 +103,20 @@ class HashRing:
         return tuple(out)
 
 
+@dataclass(frozen=True)
+class ShardMove:
+    """One shard whose owner list changed in a membership rebalance."""
+
+    shard: str
+    old_owners: tuple[str, ...]
+    new_owners: tuple[str, ...]
+
+    @property
+    def primary_moved(self) -> bool:
+        """True when the shard's primary changed (traffic relocates)."""
+        return self.old_owners[0] != self.new_owners[0]
+
+
 class ClusterRouter:
     """Shard placement and health-aware worker selection.
 
@@ -97,7 +126,9 @@ class ClusterRouter:
         Worker names (the ring's nodes).
     replication:
         Owners per shard (primary + ``replication - 1`` standby
-        replicas), capped at the worker count.
+        replicas), capped at the worker count.  The *configured* value
+        is remembered, so a cluster that scales from one worker back up
+        regains its standby replicas.
     vnodes:
         Virtual nodes per worker on the ring.
     """
@@ -106,6 +137,8 @@ class ClusterRouter:
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
         self._ring = HashRing(workers, vnodes=vnodes)
+        self._vnodes = vnodes
+        self._replication_target = replication
         self.replication = min(replication, len(self._ring.nodes))
         self._owners: dict[str, tuple[str, ...]] = {}
         self._primary_load: dict[str, int] = {node: 0 for node in self._ring.nodes}
@@ -157,3 +190,76 @@ class ClusterRouter:
     def placement(self, shard_keys) -> dict[str, tuple[str, ...]]:
         """Owner lists for every shard key, for snapshots and tests."""
         return {k: self.owners(k) for k in sorted(shard_keys)}
+
+    def primary_counts(self) -> dict[str, int]:
+        """Primaries held per worker (election-balance introspection)."""
+        return dict(self._primary_load)
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def add_worker(self, name: str) -> list[ShardMove]:
+        """Join ``name`` to the ring and re-place every known shard.
+
+        Returns the shards whose owner list changed.  Placement is
+        *sticky*: a shard keeps its current primary whenever the new
+        ring still lists that worker as an owner, so only the key range
+        the new worker's vnodes intercept actually relocates (~1/N of
+        shards for the N+1-th worker) — the consistent-hashing minimal
+        movement property the rebalance tests pin down.
+        """
+        if name in self._ring.nodes:
+            raise ValueError(f"worker {name!r} is already on the ring")
+        return self._rebuild((*self._ring.nodes, name))
+
+    def remove_worker(self, name: str) -> list[ShardMove]:
+        """Retire ``name`` from the ring and re-place every known shard.
+
+        Shards whose primary was the removed worker re-elect a primary
+        among their new owners (least-loaded first); shards that merely
+        listed it as a standby keep their primary and only refresh the
+        replica tail.
+        """
+        if name not in self._ring.nodes:
+            raise ValueError(f"worker {name!r} is not on the ring; nodes: {self._ring.nodes}")
+        remaining = tuple(n for n in self._ring.nodes if n != name)
+        if not remaining:
+            raise ValueError("cannot remove the last worker from the ring")
+        return self._rebuild(remaining)
+
+    def _rebuild(self, nodes: tuple[str, ...]) -> list[ShardMove]:
+        """Re-place every memoised shard on a ring over ``nodes``.
+
+        Stickiness is *bounded*: a previous primary keeps a shard only
+        while it holds fewer than ~1.5x the ideal primary share.  On a
+        balanced ring the cap never binds (``ceil(S/N) <= 1.5*S/(N+1)``
+        for N >= 2), so ordinary add/remove stays ring-minimal; after a
+        degenerate transition (say the ring briefly collapsed to one
+        node, making it primary everywhere), the cap forces the excess
+        to re-elect onto the least-loaded newcomers instead of letting
+        stickiness pin the whole keyspace to one worker forever.
+        """
+        self._ring = HashRing(nodes, vnodes=self._vnodes)
+        self.replication = min(self._replication_target, len(self._ring.nodes))
+        old = self._owners
+        self._owners = {}
+        self._primary_load = {node: 0 for node in self._ring.nodes}
+        cap = max(1, -(-3 * len(old) // (2 * len(self._ring.nodes))))
+        moves: list[ShardMove] = []
+        # Insertion order == registration order, so re-election stays
+        # deterministic for a given history of placements.
+        for shard, previous in old.items():
+            candidates = self._ring.owners(shard, self.replication)
+            if previous[0] in candidates and self._primary_load[previous[0]] < cap:
+                primary = previous[0]  # sticky: no traffic relocation
+            else:
+                primary = min(
+                    candidates,
+                    key=lambda n: (self._primary_load[n], candidates.index(n)),
+                )
+            placed = (primary, *(n for n in candidates if n != primary))
+            self._primary_load[primary] += 1
+            self._owners[shard] = placed
+            if placed != previous:
+                moves.append(ShardMove(shard=shard, old_owners=previous, new_owners=placed))
+        return moves

@@ -1,0 +1,245 @@
+"""Time-varying arrival-rate schedules for open-loop load generation.
+
+Henwood & Watkins (PAPERS.md) measured production arrival processes and
+found them bursty and heavy-tailed — nothing like the constant-rate
+Poisson stream the original :class:`~repro.serving.driver.OpenLoop`
+played.  A :class:`RateSchedule` describes the *instantaneous* arrival
+rate :math:`\\lambda(t)` as a function of time since the drive started;
+the driver turns it into a seeded non-homogeneous Poisson arrival
+process by Lewis–Shedler thinning (draw candidate arrivals at the
+schedule's peak rate, keep each with probability
+:math:`\\lambda(t)/\\lambda_{max}`), which is bit-reproducible from a
+single seed like every other random path in the library.
+
+Four shapes cover the chaos scenario suite:
+
+* :class:`ConstantRate` — the original behaviour, as a schedule;
+* :class:`DiurnalRate` — a sinusoidal daily wave (compressed into
+  whatever period the scenario picks);
+* :class:`FlashCrowdRate` — a trapezoidal surge: baseline, steep ramp,
+  sustained peak, decay back to baseline;
+* :class:`PiecewiseRate` — explicit ``(start, rate)`` segments for
+  anything else.
+
+All schedules are immutable, validated, and carry ``max_rate`` (the
+thinning envelope) and a ``describe()`` dict for scenario reports.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "RateSchedule",
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "PiecewiseRate",
+    "schedule_from_spec",
+]
+
+
+class RateSchedule:
+    """Base class: instantaneous arrival rate over time-since-start."""
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate (requests per simulated second) at time ``t``."""
+        raise NotImplementedError
+
+    @property
+    def max_rate(self) -> float:
+        """A tight upper bound on :meth:`rate_at` (thinning envelope)."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-ready description for scenario reports."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateSchedule):
+    """The homogeneous case: ``rate`` requests/second forever."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate, "rate")
+
+    def rate_at(self, t: float) -> float:  # noqa: ARG002 - constant by definition
+        return self.rate
+
+    @property
+    def max_rate(self) -> float:
+        return self.rate
+
+    def describe(self) -> dict:
+        return {"kind": "constant", "rate": self.rate}
+
+
+@dataclass(frozen=True)
+class DiurnalRate(RateSchedule):
+    """A sinusoidal wave: ``base + amplitude * sin(2*pi*(t+phase)/period)``.
+
+    The trough ``base - amplitude`` must stay positive — an arrival
+    process whose rate hits zero stalls the thinning loop's acceptance
+    probability for whole windows, which is almost never what a
+    scenario means by "quiet hours".
+    """
+
+    base: float
+    amplitude: float
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.base, "base")
+        check_nonnegative(self.amplitude, "amplitude")
+        check_positive(self.period, "period")
+        if self.amplitude >= self.base:
+            raise ValueError(
+                f"amplitude ({self.amplitude}) must be < base ({self.base}) "
+                "so the trough rate stays positive"
+            )
+
+    def rate_at(self, t: float) -> float:
+        return self.base + self.amplitude * math.sin(
+            2.0 * math.pi * (t + self.phase) / self.period
+        )
+
+    @property
+    def max_rate(self) -> float:
+        return self.base + self.amplitude
+
+    def describe(self) -> dict:
+        return {
+            "kind": "diurnal",
+            "base": self.base,
+            "amplitude": self.amplitude,
+            "period": self.period,
+            "phase": self.phase,
+        }
+
+
+@dataclass(frozen=True)
+class FlashCrowdRate(RateSchedule):
+    """A trapezoidal surge over a baseline.
+
+    ``base`` until ``start``; linear ramp to ``peak`` over ``rise``
+    seconds; ``peak`` held for ``hold`` seconds; linear decay back to
+    ``base`` over ``fall`` seconds; ``base`` thereafter.
+    """
+
+    base: float
+    peak: float
+    start: float
+    rise: float
+    hold: float
+    fall: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.base, "base")
+        check_positive(self.peak, "peak")
+        check_nonnegative(self.start, "start")
+        check_positive(self.rise, "rise")
+        check_nonnegative(self.hold, "hold")
+        check_positive(self.fall, "fall")
+        if self.peak <= self.base:
+            raise ValueError(f"peak ({self.peak}) must exceed base ({self.base})")
+
+    @property
+    def surge_end(self) -> float:
+        """When the rate is back to baseline."""
+        return self.start + self.rise + self.hold + self.fall
+
+    def rate_at(self, t: float) -> float:
+        if t <= self.start or t >= self.surge_end:
+            return self.base
+        if t < self.start + self.rise:
+            frac = (t - self.start) / self.rise
+            return self.base + frac * (self.peak - self.base)
+        if t < self.start + self.rise + self.hold:
+            return self.peak
+        frac = (self.surge_end - t) / self.fall
+        return self.base + frac * (self.peak - self.base)
+
+    @property
+    def max_rate(self) -> float:
+        return self.peak
+
+    def describe(self) -> dict:
+        return {
+            "kind": "flash",
+            "base": self.base,
+            "peak": self.peak,
+            "start": self.start,
+            "rise": self.rise,
+            "hold": self.hold,
+            "fall": self.fall,
+        }
+
+
+@dataclass(frozen=True)
+class PiecewiseRate(RateSchedule):
+    """Explicit ``(start_time, rate)`` steps; the last rate holds forever."""
+
+    segments: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("segments must be non-empty")
+        segs = tuple((float(t), float(r)) for t, r in self.segments)
+        if segs[0][0] != 0.0:
+            raise ValueError(f"first segment must start at t=0, got {segs[0][0]}")
+        for (t0, _), (t1, _) in zip(segs, segs[1:]):
+            if t1 <= t0:
+                raise ValueError("segment start times must be strictly increasing")
+        for _, r in segs:
+            check_positive(r, "rate")
+        object.__setattr__(self, "segments", segs)
+
+    def rate_at(self, t: float) -> float:
+        starts = [s for s, _ in self.segments]
+        idx = max(0, bisect_right(starts, t) - 1)
+        return self.segments[idx][1]
+
+    @property
+    def max_rate(self) -> float:
+        return max(r for _, r in self.segments)
+
+    def describe(self) -> dict:
+        return {"kind": "piecewise", "segments": [list(s) for s in self.segments]}
+
+
+#: Spec keys understood by :func:`schedule_from_spec`, by kind.
+_SPEC_KINDS = {
+    "constant": (ConstantRate, ("rate",)),
+    "diurnal": (DiurnalRate, ("base", "amplitude", "period", "phase")),
+    "flash": (FlashCrowdRate, ("base", "peak", "start", "rise", "hold", "fall")),
+    "piecewise": (PiecewiseRate, ("segments",)),
+}
+
+
+def schedule_from_spec(spec: dict) -> RateSchedule:
+    """Build a schedule from a scenario-YAML mapping.
+
+    ``spec`` carries ``kind`` plus that kind's constructor fields (see
+    the classes above); unknown keys are an error so scenario files
+    fail loudly rather than silently ignoring a typo.
+    """
+    if "kind" not in spec:
+        raise ValueError(f"arrival spec needs a 'kind', got {sorted(spec)}")
+    kind = spec["kind"]
+    if kind not in _SPEC_KINDS:
+        raise ValueError(f"unknown arrival kind {kind!r}; known: {sorted(_SPEC_KINDS)}")
+    cls, fields = _SPEC_KINDS[kind]
+    extra = set(spec) - {"kind"} - set(fields)
+    if extra:
+        raise ValueError(f"arrival kind {kind!r} does not accept {sorted(extra)}")
+    kwargs = {k: spec[k] for k in fields if k in spec}
+    if kind == "piecewise":
+        kwargs["segments"] = tuple((float(t), float(r)) for t, r in kwargs["segments"])
+    return cls(**kwargs)

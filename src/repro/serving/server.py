@@ -210,6 +210,7 @@ class PredictionServer:
         rng=None,
         forecast_ledger: SharedRefreshLedger | None = None,
         tracer=None,
+        clock: float | None = None,
     ):
         self.nws = nws
         self.config = config if config is not None else ServerConfig()
@@ -225,8 +226,11 @@ class PredictionServer:
         self._models: dict[str, ModelSpec] = {}
         self._queue: deque[PredictRequest] = deque()
         self._done: list[Response] = []
-        self._clock = nws.now
-        self._busy_until = nws.now
+        # ``clock`` lets an elastic cluster commission a worker mid-run:
+        # the newcomer's event loop starts at its ready instant instead
+        # of wherever the shared NWS clock happens to stand.
+        self._clock = nws.now if clock is None else float(clock)
+        self._busy_until = self._clock
         self._rng = as_generator(rng)
         # Open per-request trace spans, keyed (client_id, request_id);
         # only populated when a live tracer is installed.

@@ -151,3 +151,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "dropout_windows=0" in out
         assert "fresh" in out and "stale" not in out.replace("stale_s", "")
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("diurnal-wave", "flash-crowd", "hot-shard", "rack-failure"):
+            assert name in out
+
+    def test_scenarios_custom_yaml_run(self, capsys, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "tiny.yaml"
+        path.write_text(yaml.safe_dump({
+            "name": "tiny",
+            "seed": 5,
+            "duration": 5.0,
+            "clients": 4,
+            "arrival": {"kind": "constant", "rate": 40.0},
+            "cluster": {"workers": 2},
+            "invariants": {
+                "max_p99": 6.0, "latency_slo": 2.0,
+                "disturbance_end": 5.0, "recovery_within": 15.0,
+            },
+        }))
+        assert main(["scenarios", "--scenario", str(path), "--policy", "static"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny [static]" in out and "PASS" in out

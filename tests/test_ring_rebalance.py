@@ -1,0 +1,138 @@
+"""Property tests for elastic ring membership changes.
+
+The consistent-hash contract the autoscaler leans on, pinned as
+hypothesis properties over shard populations and membership histories:
+
+* **Minimal movement** — adding or removing one worker relocates at
+  most ~2/N of the shard primaries (the slice the changed arc
+  intercepts, doubled for slack over vnode variance), never a
+  wholesale reshuffle.
+* **Replica-set stability** — a shard's new owner set still comes off
+  the ring, distinct, primary first.
+* **Primary balance** — after any add/remove sequence, no worker holds
+  more than the bounded-load election cap's worth of primaries, so a
+  degenerate transition (ring collapsed to one node, then regrown) can
+  never pin the keyspace to one worker.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.router import ClusterRouter
+
+shard_counts = st.integers(min_value=20, max_value=120)
+worker_counts = st.integers(min_value=2, max_value=8)
+salts = st.integers(min_value=0, max_value=1000)
+
+
+def make_router(n_workers: int, n_shards: int, salt: int, replication: int = 2):
+    workers = [f"worker-{i}" for i in range(n_workers)]
+    router = ClusterRouter(workers, replication=replication)
+    shards = [f"shard-{salt}-{i}" for i in range(n_shards)]
+    for s in shards:
+        router.owners(s)
+    return router, shards
+
+
+def primaries(router: ClusterRouter, shards) -> dict:
+    return {s: router.owners(s)[0] for s in shards}
+
+
+class TestMinimalMovement:
+    @settings(max_examples=40, deadline=None)
+    @given(n_shards=shard_counts, n_workers=worker_counts, salt=salts)
+    def test_add_one_worker_moves_at_most_two_over_n(self, n_shards, n_workers, salt):
+        router, shards = make_router(n_workers, n_shards, salt)
+        before = primaries(router, shards)
+        moves = router.add_worker("worker-new")
+        after = primaries(router, shards)
+        moved = sum(1 for s in shards if before[s] != after[s])
+        bound = math.ceil(2.0 * n_shards / n_workers)
+        assert moved <= bound, f"{moved} primaries moved, bound {bound}"
+        assert moved == sum(1 for m in moves if m.primary_moved)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_shards=shard_counts, n_workers=worker_counts, salt=salts)
+    def test_remove_one_worker_moves_at_most_its_share_doubled(
+        self, n_shards, n_workers, salt
+    ):
+        router, shards = make_router(n_workers, n_shards, salt)
+        before = primaries(router, shards)
+        victim = f"worker-{n_workers - 1}"
+        router.remove_worker(victim)
+        after = primaries(router, shards)
+        # Shards the victim did not own should overwhelmingly stay put;
+        # allow the bounded-load cap a little re-election slack.
+        moved_foreign = sum(
+            1 for s in shards if before[s] != victim and before[s] != after[s]
+        )
+        bound = math.ceil(2.0 * n_shards / n_workers)
+        assert moved_foreign <= bound
+        assert victim not in set(after.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_shards=shard_counts, n_workers=worker_counts, salt=salts)
+    def test_owner_sets_stay_well_formed(self, n_shards, n_workers, salt):
+        router, shards = make_router(n_workers, n_shards, salt)
+        router.add_worker("worker-new")
+        for s in shards:
+            owners = router.owners(s)
+            assert len(owners) == len(set(owners)) == min(2, n_workers + 1)
+            assert owners[0] == router.primary(s)
+            assert all(o in router.workers for o in owners)
+
+
+class TestPrimaryBalance:
+    def cap(self, n_shards: int, n_workers: int) -> int:
+        """The bounded-load stickiness cap: ceil(1.5 * S / N)."""
+        return max(1, math.ceil(1.5 * n_shards / n_workers))
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_shards=shard_counts, n_workers=worker_counts, salt=salts)
+    def test_balance_after_one_addition(self, n_shards, n_workers, salt):
+        router, shards = make_router(n_workers, n_shards, salt)
+        router.add_worker("worker-new")
+        counts = router.primary_counts()
+        assert sum(counts.values()) == n_shards
+        assert max(counts.values()) <= self.cap(n_shards, n_workers + 1) + 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(n_shards=shard_counts, salt=salts, data=st.data())
+    def test_balance_after_membership_history(self, n_shards, salt, data):
+        """A random add/remove walk never concentrates the primaries."""
+        router, shards = make_router(4, n_shards, salt)
+        next_idx = 4
+        for _ in range(data.draw(st.integers(min_value=2, max_value=6))):
+            if len(router.workers) <= 2 or data.draw(st.booleans()):
+                router.add_worker(f"worker-{next_idx}")
+                next_idx += 1
+            else:
+                router.remove_worker(
+                    data.draw(st.sampled_from(sorted(router.workers)))
+                )
+        counts = router.primary_counts()
+        assert sum(counts.values()) == n_shards
+        assert max(counts.values()) <= self.cap(n_shards, len(router.workers)) + 1
+
+    def test_recovery_from_a_collapsed_ring(self):
+        """Regression: stickiness must not pin the keyspace to the one
+        survivor of a degenerate transition."""
+        router, shards = make_router(4, 60, salt=0)
+        for name in ("worker-1", "worker-2", "worker-3"):
+            router.remove_worker(name)
+        assert router.primary_counts() == {"worker-0": 60}  # all pinned, by necessity
+        for name in ("worker-4", "worker-5", "worker-6"):
+            router.add_worker(name)
+        counts = router.primary_counts()
+        # The old survivor holds at most the bounded-load cap, not all 60.
+        assert counts["worker-0"] <= self.cap(60, 4) + 1
+        assert min(counts.values()) > 0  # every newcomer took real load
+
+    def test_replication_regrows_after_scale_up(self):
+        router, shards = make_router(2, 30, salt=1, replication=3)
+        assert router.replication == 2  # capped by fleet size
+        router.add_worker("worker-2")
+        assert router.replication == 3
+        assert all(len(router.owners(s)) == 3 for s in shards)

@@ -1,0 +1,148 @@
+"""Tests for the YAML chaos-scenario suite.
+
+Covers the data layer (YAML loading, spec validation, fault-window
+shifting, per-policy elastic config synthesis), seeded end-to-end
+reproducibility of :func:`run_scenario`, and the graceful-degradation
+invariants on a small scenario under every policy.  The full-size
+canned scenarios are exercised by ``benchmarks/bench_scenarios.py``.
+"""
+
+import pytest
+
+from repro.serving.elastic import ForecastAwarePolicy, LoadAdaptivePolicy
+from repro.serving.scenarios import (
+    POLICIES,
+    Scenario,
+    builtin_scenarios,
+    load_scenario,
+    run_scenario,
+)
+from repro.serving.schedules import ConstantRate, FlashCrowdRate
+
+yaml = pytest.importorskip("yaml")
+
+SMALL = {
+    "name": "small-surge",
+    "description": "tiny flash crowd for fast regression runs",
+    "seed": 5,
+    "duration": 10.0,
+    "warmup": 60.0,
+    "clients": 8,
+    "deadline": 5.0,
+    "arrival": {
+        "kind": "flash",
+        "base": 30.0,
+        "peak": 220.0,
+        "start": 2.0,
+        "rise": 1.0,
+        "hold": 3.0,
+        "fall": 1.0,
+    },
+    "cluster": {"workers": 2, "replication": 2},
+    "elastic": {"min_workers": 1, "max_workers": 5, "provision_time": 1.0},
+    "invariants": {
+        "max_p99": 6.0,
+        "latency_slo": 2.0,
+        "disturbance_end": 7.0,
+        "recovery_within": 15.0,
+    },
+    "surge": [2.0, 8.0],
+}
+
+
+class TestScenarioData:
+    def test_builtins_ship_all_four_chaos_stories(self):
+        assert builtin_scenarios() == [
+            "diurnal-wave",
+            "flash-crowd",
+            "hot-shard",
+            "rack-failure",
+        ]
+
+    @pytest.mark.parametrize("name", ["diurnal-wave", "flash-crowd", "hot-shard", "rack-failure"])
+    def test_builtin_yaml_loads_clean(self, name):
+        s = load_scenario(name)
+        assert s.name == name
+        assert s.duration > 0 and s.seed >= 0
+        assert s.invariants.max_p99 > 0
+        assert len(s.sizes) == 10  # fine-grained sharding for rebalances
+
+    def test_load_scenario_by_path_and_unknown(self, tmp_path):
+        path = tmp_path / "custom.yaml"
+        path.write_text(yaml.safe_dump(SMALL))
+        assert Scenario.from_yaml(path).name == "small-surge"
+        assert load_scenario(str(path)).name == "small-surge"
+        with pytest.raises(ValueError, match="unknown scenario"):
+            load_scenario("no-such-story")
+
+    def test_from_dict_rejects_unknown_and_missing_keys(self):
+        bad = dict(SMALL, typo_key=1)
+        with pytest.raises(ValueError, match="unknown keys"):
+            Scenario.from_dict(bad)
+        missing = {k: v for k, v in SMALL.items() if k != "invariants"}
+        with pytest.raises(ValueError, match="missing required key"):
+            Scenario.from_dict(missing)
+
+    def test_arrival_spec_builds_typed_schedule(self):
+        s = Scenario.from_dict(SMALL)
+        assert isinstance(s.arrival, FlashCrowdRate)
+        assert s.arrival.peak == 220.0
+        constant = Scenario.from_dict(
+            dict(SMALL, arrival={"kind": "constant", "rate": 50.0})
+        )
+        assert isinstance(constant.arrival, ConstantRate)
+
+    def test_fault_windows_shift_by_the_drive_offset(self):
+        s = Scenario.from_dict(
+            dict(SMALL, faults={"worker-0": [[2.0, 4.0]]})
+        )
+        plan = s.fault_plan(60.0)
+        outage = plan.machine_crashes["worker-0"][0]
+        assert (outage.start, outage.end) == (62.0, 64.0)
+        assert Scenario.from_dict(SMALL).fault_plan(60.0) is None
+
+    def test_elastic_config_per_policy(self):
+        s = Scenario.from_dict(SMALL)
+        assert s.elastic_config("static") is None  # the golden-path baseline
+        reactive = s.elastic_config("reactive")
+        assert isinstance(reactive.policy, LoadAdaptivePolicy)
+        assert reactive.min_workers == 1 and reactive.max_workers == 5
+        forecast = s.elastic_config("forecast")
+        assert isinstance(forecast.policy, ForecastAwarePolicy)
+        # Lead = provision_time + control_interval: a worker ordered on
+        # the forecast is routable when the predicted load lands.
+        assert forecast.policy.lead_time == pytest.approx(1.0 + 1.0)
+
+
+class TestRunScenario:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_scenario(Scenario.from_dict(SMALL), "oracle")
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        scenario = Scenario.from_dict(SMALL)
+        return {policy: run_scenario(scenario, policy) for policy in POLICIES}
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_invariants_hold_under_every_policy(self, reports, policy):
+        report = reports[policy]
+        assert report.passed, report.violations
+        assert report.errors == 0
+        assert report.ok + report.shed == report.submitted > 0
+        assert report.latency_p99 <= SMALL["invariants"]["max_p99"]
+
+    def test_autoscaling_policies_actually_scale(self, reports):
+        assert reports["static"].scale_ups == 0
+        assert reports["static"].peak_workers == 2
+        for policy in ("reactive", "forecast"):
+            assert reports[policy].scale_ups >= 1, policy
+            assert reports[policy].peak_workers > 2, policy
+
+    def test_seeded_run_is_reproducible(self, reports):
+        again = run_scenario(Scenario.from_dict(SMALL), "forecast")
+        assert again.to_dict() == reports["forecast"].to_dict()
+
+    def test_summary_mentions_verdict(self, reports):
+        line = reports["forecast"].summary()
+        assert "small-surge" in line and "PASS" in line
