@@ -307,6 +307,62 @@ def _cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_predict(args) -> int:
+    from repro.core.stochastic import StochasticValue
+    from repro.sor.decomposition import equal_strips
+    from repro.structural.montecarlo import monte_carlo_predict
+    from repro.structural.repeaters import PrecisionTarget
+    from repro.structural.sor_model import SORModel, bindings_for_platform
+    from repro.workload.platforms import platform1
+
+    plat = platform1(duration=args.at + 60.0, rng=args.seed)
+    loads = {
+        i: StochasticValue.from_samples(
+            m.availability.window(max(0.0, args.at - 90.0), args.at).values
+        )
+        for i, m in enumerate(plat.machines)
+    }
+    n_procs = len(plat.machines)
+    model = SORModel(n_procs=n_procs, iterations=args.iterations)
+    bindings = bindings_for_platform(
+        plat.machines, plat.network, equal_strips(args.size, n_procs), loads=loads
+    )
+    target = None if args.precision is None else PrecisionTarget.parse(
+        args.precision, max_samples=args.samples
+    )
+    emp = monte_carlo_predict(
+        model.expression(),
+        bindings,
+        n_samples=args.samples,
+        rng=args.seed,
+        precision=target,
+    )
+    print(
+        f"SOR {args.size}^2 x {args.iterations} iters on platform 1 "
+        f"at t={args.at:.0f} s (seed {args.seed})"
+    )
+    print(f"prediction: {emp.to_stochastic()} s   p95={float(emp.quantile(0.95)):.3f} s")
+    outcome = getattr(emp, "outcome", None)
+    if outcome is None:
+        print(f"draws: {emp.samples.size} (fixed budget)")
+    else:
+        print(
+            f"target: {outcome.target.describe()}  ->  "
+            f"{'converged' if outcome.converged else 'hit the cap unconverged'}"
+        )
+        print(
+            f"draws: {outcome.draws}/{outcome.budget} "
+            f"(saved {outcome.saved_fraction:.0%}); achieved half-width "
+            f"{outcome.half_width:.4f} vs tolerance {outcome.tolerance:.4f}"
+        )
+        for vote in outcome.votes:
+            print(
+                f"  rule {vote.rule}: {'yes' if vote.converged else 'no'} "
+                f"(stat {vote.stat:.4f} vs threshold {vote.threshold:.4f})"
+            )
+    return 0
+
+
 def _serving_workload(args):
     from repro.serving import ClosedLoop, OpenLoop
 
@@ -316,13 +372,27 @@ def _serving_workload(args):
 
 
 def _cmd_serve(args) -> int:
-    from repro.serving import AdmissionPolicy, LoadDriver, ServerConfig, demo_server
+    from repro.serving import (
+        DEFAULT_PRECISION_LADDER,
+        AdmissionPolicy,
+        LoadDriver,
+        ServerConfig,
+        demo_server,
+    )
+    from repro.structural.repeaters import PrecisionTarget
 
+    precision = None
+    if args.precision is not None:
+        precision = PrecisionTarget.parse(args.precision, max_samples=args.samples)
     config = ServerConfig(
         mode=args.mode,
         batch_max=args.batch_max,
         n_samples=args.samples,
-        admission=AdmissionPolicy(max_queue=args.max_queue),
+        admission=AdmissionPolicy(
+            max_queue=args.max_queue,
+            precision_ladder=DEFAULT_PRECISION_LADDER if args.precision_shedding else (),
+        ),
+        precision=precision,
     )
     server, _, _ = demo_server(config=config, rng=args.seed)
     driver = LoadDriver(
@@ -335,6 +405,21 @@ def _cmd_serve(args) -> int:
     )
     report = driver.run()
     print(report.summary())
+    if precision is not None:
+        counters = server.metrics.snapshot()["counters"]
+        used = counters.get("draws_used_total", 0)
+        budget = counters.get("draws_budget_total", 0)
+        saved = 1.0 - used / budget if budget else 0.0
+        degraded = sum(
+            1
+            for r in report.responses
+            if r.ok and r.precision is not None and r.precision.degraded
+        )
+        print(
+            f"adaptive sampling [{precision.describe()}]: "
+            f"{int(used)}/{int(budget)} draws (saved {saved:.0%}), "
+            f"{degraded} precision-degraded answers"
+        )
     if args.json:
         import json
 
@@ -602,6 +687,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corruption-rate", type=float, default=1 / 90.0)
     p.set_defaults(func=_cmd_chaos)
 
+    p = sub.add_parser(
+        "predict",
+        help="one SOR prediction on Platform 1, optionally with an "
+        "adaptive precision target",
+    )
+    p.add_argument("--size", type=int, default=1000)
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--at", type=float, default=600.0, help="decision time in the trace")
+    p.add_argument("--samples", type=int, default=2000,
+                   help="fixed draw budget (the adaptive cap with --precision)")
+    p.add_argument("--precision", default=None, metavar="METRIC:TOL[:RULE]",
+                   help="stop sampling once METRIC converges to TOL, e.g. "
+                   "'p95:2%%', 'mean:0.05', 'p99:1%%:composite'")
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=_cmd_predict)
+
     p = sub.add_parser("serve", help="drive the Platform 1 prediction server")
     p.add_argument("--requests", type=int, default=500)
     p.add_argument("--clients", type=int, default=8)
@@ -614,6 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-max", type=int, default=64)
     p.add_argument("--samples", type=int, default=400)
     p.add_argument("--max-queue", type=int, default=256)
+    p.add_argument("--precision", default=None, metavar="METRIC:TOL[:RULE]",
+                   help="adaptive sampling target for every request, e.g. "
+                   "'p95:2%%' or 'mean:0.05:composite'")
+    p.add_argument("--precision-shedding", action="store_true",
+                   help="with --precision: loosen tolerances under queue "
+                   "pressure (tagged on responses) before shedding requests")
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--json", action="store_true", help="dump the full server snapshot")
     p.set_defaults(func=_cmd_serve)
@@ -661,7 +768,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=11)
     p.set_defaults(func=_cmd_bench_cluster)
 
-    p = sub.add_parser("bench-serve", help="batched vs per-request serving throughput")
+    p = sub.add_parser(
+        "bench-serve",
+        help="serving throughput: the vectorised batched path (fused "
+        "multi-request evaluations on cached plans) vs the per-request "
+        "reference loop",
+    )
     p.add_argument("--requests", type=int, default=2000)
     p.add_argument("--clients", type=int, default=64)
     p.add_argument("--ref-divisor", type=int, default=8,

@@ -26,6 +26,7 @@ from repro.core.intervals import PredictionQuality, assess_predictions
 from repro.core.stochastic import StochasticValue
 from repro.sor.decomposition import equal_strips
 from repro.sor.distributed import simulate_sor
+from repro.structural.expr import DEFAULT_MC_SAMPLES
 from repro.structural.montecarlo import monte_carlo_predict
 from repro.structural.parameters import param_name
 from repro.structural.sor_model import SORModel, bindings_for_platform
@@ -116,7 +117,7 @@ def run_platform1(
     platform: PlatformPreset | None = None,
     run_spacing: float = 300.0,
     predictor: str = "closed",
-    mc_samples: int = 2000,
+    mc_samples: int = DEFAULT_MC_SAMPLES,
 ) -> Platform1Result:
     """Run the Platform 1 experiment across ``sizes``.
 

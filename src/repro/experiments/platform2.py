@@ -29,6 +29,7 @@ from repro.experiments.platform1 import _availability_clip, _check_predictor
 from repro.nws.service import NetworkWeatherService
 from repro.sor.decomposition import equal_strips
 from repro.sor.distributed import simulate_sor
+from repro.structural.expr import DEFAULT_MC_SAMPLES
 from repro.structural.montecarlo import monte_carlo_predict
 from repro.structural.sor_model import SORModel, bindings_for_platform
 from repro.util.rng import as_generator
@@ -103,7 +104,7 @@ def run_platform2(
     platform: PlatformPreset | None = None,
     representative_machine: int = 0,
     predictor: str = "closed",
-    mc_samples: int = 2000,
+    mc_samples: int = DEFAULT_MC_SAMPLES,
 ) -> Platform2Result:
     """Run the bursty-platform experiment for one problem size.
 

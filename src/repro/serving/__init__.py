@@ -10,9 +10,12 @@ pipeline into a long-running service:
   staleness-aware refresh over the live NWS;
 * :mod:`repro.serving.server` — the event-loop server: request
   batching onto cached compiled plans, one vectorised Monte Carlo
-  evaluation per batch, quality tags on every answer;
+  evaluation per batch, quality tags on every answer; batches with
+  per-request precision targets evaluate chunk-wise with early
+  stopping (see ``docs/adaptive.md``);
 * :mod:`repro.serving.admission` — bounded queue, per-client token
-  buckets, deadline-aware shedding;
+  buckets, deadline-aware shedding, and the precision-shedding ladder
+  (degrade tolerances before turning requests away);
 * :mod:`repro.serving.metrics` — counters/gauges/histograms snapshotable
   as JSON;
 * :mod:`repro.serving.driver` — seeded open/closed-loop load generation;
@@ -37,7 +40,12 @@ simulated-time spans (see ``docs/observability.md``); without one the
 behaviour is bit-identical to untraced code.
 """
 
-from repro.serving.admission import AdmissionController, AdmissionPolicy, TokenBucket
+from repro.serving.admission import (
+    DEFAULT_PRECISION_LADDER,
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
 from repro.serving.cluster import ClusterConfig, ServingCluster
 from repro.serving.demo import demo_cluster, demo_server
 from repro.serving.driver import ClosedLoop, DriveReport, LoadDriver, OpenLoop
@@ -61,8 +69,10 @@ from repro.serving.schedules import (
     schedule_from_spec,
 )
 from repro.serving.protocol import (
+    DEGRADED_QUEUE_PRESSURE,
     ErrorResponse,
     OverloadedResponse,
+    PrecisionInfo,
     PredictRequest,
     PredictResponse,
     Response,
@@ -104,9 +114,12 @@ __all__ = [
     "MetricsRegistry",
     "PredictRequest",
     "PredictResponse",
+    "PrecisionInfo",
     "OverloadedResponse",
     "ErrorResponse",
     "Response",
+    "DEFAULT_PRECISION_LADDER",
+    "DEGRADED_QUEUE_PRESSURE",
     "ModelSpec",
     "PredictionServer",
     "ServerConfig",

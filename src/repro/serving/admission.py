@@ -15,6 +15,14 @@ mechanisms, all deterministic in simulated time:
   a vectorised evaluation on an answer nobody is waiting for only delays
   the answers somebody *is* waiting for.
 
+A fourth, gentler mechanism rides on adaptive sampling: **precision
+shedding**.  When the queue fills past the rungs of a
+``precision_ladder``, the server multiplies the tolerance of every
+adaptive precision target it serves — cheaper answers drain the backlog
+faster — *before* any request is turned away.  Degradation is tagged on
+the response's :class:`~repro.serving.protocol.PrecisionInfo` block
+(``degraded``/``shed_factor``/``reason``), never silent.
+
 Shedding is a typed :class:`~repro.serving.protocol.OverloadedResponse`,
 never an exception — admission is a quality-of-service decision, not an
 error.
@@ -26,7 +34,16 @@ from dataclasses import dataclass
 
 from repro.util.validation import check_nonnegative, check_positive
 
-__all__ = ["AdmissionPolicy", "TokenBucket", "AdmissionController"]
+__all__ = [
+    "AdmissionPolicy",
+    "TokenBucket",
+    "AdmissionController",
+    "DEFAULT_PRECISION_LADDER",
+]
+
+#: A reasonable precision-shedding ladder: loosen tolerances 2x once the
+#: queue is half full, 4x at three quarters, 8x when nearly full.
+DEFAULT_PRECISION_LADDER = ((0.5, 2.0), (0.75, 4.0), (0.9, 8.0))
 
 
 @dataclass(frozen=True)
@@ -43,17 +60,38 @@ class AdmissionPolicy:
     client_burst:
         Token-bucket capacity — how many back-to-back requests a client
         may land before the rate limit bites.
+    precision_ladder:
+        Precision-shedding rungs: ``(queue_fraction, factor)`` pairs,
+        ascending in both coordinates.  At batch-formation time the
+        highest rung whose fraction the queue has crossed sets the
+        tolerance multiplier applied to adaptive precision targets
+        (``()`` — the default — disables precision shedding entirely).
+        See :data:`DEFAULT_PRECISION_LADDER`.
     """
 
     max_queue: int = 256
     client_rate: float = 0.0
     client_burst: float = 8.0
+    precision_ladder: tuple = ()
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
         check_nonnegative(self.client_rate, "client_rate")
         check_positive(self.client_burst, "client_burst")
+        ladder = tuple((float(f), float(m)) for f, m in self.precision_ladder)
+        object.__setattr__(self, "precision_ladder", ladder)
+        prev_frac, prev_mult = 0.0, 1.0
+        for frac, mult in ladder:
+            if not 0.0 < frac <= 1.0:
+                raise ValueError(f"ladder queue fractions must lie in (0, 1], got {frac}")
+            if frac <= prev_frac:
+                raise ValueError(f"ladder queue fractions must ascend, got {ladder}")
+            if mult <= prev_mult:
+                raise ValueError(
+                    f"ladder factors must ascend and exceed 1, got {ladder}"
+                )
+            prev_frac, prev_mult = frac, mult
 
 
 class TokenBucket:
@@ -117,6 +155,22 @@ class AdmissionController:
             if not bucket.allow(now):
                 return SHED_THROTTLED
         return None
+
+    def precision_factor(self, queue_depth: int) -> float:
+        """Tolerance multiplier for the current queue pressure.
+
+        ``1.0`` (no degradation) below the first ladder rung or with no
+        ladder configured; otherwise the factor of the highest rung the
+        queue fraction has reached.
+        """
+        factor = 1.0
+        if not self.policy.precision_ladder:
+            return factor
+        fraction = queue_depth / self.policy.max_queue
+        for rung_fraction, rung_factor in self.policy.precision_ladder:
+            if fraction >= rung_fraction:
+                factor = rung_factor
+        return factor
 
     def retry_after(self, queue_depth: int, drain_rate: float) -> float:
         """Advice for a shed client: seconds for the backlog to drain.

@@ -777,6 +777,20 @@ class ServingCluster:
             "batch_size",
             (w.metrics.histogram("batch_size", _BATCH_BUCKETS) for w in self.workers.values()),
         )
+        aggregated = {
+            "latency_s": merged_latency.stats(),
+            "batch_size": merged_batch.stats(),
+        }
+        # Adaptive-sampling metrics exist only on workers that actually
+        # served an adaptive batch; peek so the merge neither creates
+        # empty histograms nor adds snapshot keys to fixed-budget runs.
+        draws_hists = [
+            h
+            for w in self.workers.values()
+            if (h := w.metrics.peek_histogram("draws_used")) is not None
+        ]
+        if draws_hists:
+            aggregated["draws_used"] = Histogram.merged("draws_used", draws_hists).stats()
         return _sanitise(
             {
                 "now": self._clock,
@@ -790,10 +804,7 @@ class ServingCluster:
                     for name, worker in self.workers.items()
                 },
                 "cluster": self.metrics.snapshot(),
-                "aggregated": {
-                    "latency_s": merged_latency.stats(),
-                    "batch_size": merged_batch.stats(),
-                },
+                "aggregated": aggregated,
                 "shards": self.router.placement(self._shards.values()),
                 "forecast_ledger": self.ledger.stats(),
                 "plan_cache": plan_cache_stats(),

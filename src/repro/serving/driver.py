@@ -156,6 +156,11 @@ class LoadDriver:
         the original uniform seeded choice, draw-for-draw.  This is how
         the scenario suite builds *hot-key* workloads where one shard
         soaks most of the offered load.
+    precision:
+        Optional :class:`~repro.structural.repeaters.PrecisionTarget`
+        stamped on every submitted request — the adaptive-sampling
+        workload.  ``None`` (default) submits fixed-budget requests,
+        draw-for-draw identical to earlier drivers.
     """
 
     #: Hard cap on drain time after submissions stop, in ticks.
@@ -173,6 +178,7 @@ class LoadDriver:
         tick: float = 0.05,
         rng=None,
         model_weights: dict | None = None,
+        precision=None,
     ):
         if not isinstance(workload, (OpenLoop, ClosedLoop)):
             raise TypeError(f"workload must be OpenLoop or ClosedLoop, got {workload!r}")
@@ -189,6 +195,7 @@ class LoadDriver:
         self.max_requests = max_requests
         self.duration = duration
         self.deadline = deadline
+        self.precision = precision
         self.tick = tick
         self._rng = as_generator(rng)
         self._start = server.now
@@ -252,6 +259,7 @@ class LoadDriver:
             model=model,
             submitted=submitted,
             deadline=deadline,
+            precision=self.precision,
         )
 
     def run(self) -> DriveReport:

@@ -195,6 +195,16 @@ class MetricsRegistry:
         self._histograms[name] = Histogram(name, bounds)
         return self._histograms[name]
 
+    def peek_histogram(self, name: str) -> Histogram | None:
+        """The histogram under ``name`` if it exists, else ``None``.
+
+        Unlike :meth:`histogram`, peeking never creates the metric — the
+        accessor for aggregation code (e.g. a cluster merging per-worker
+        views) that must not conjure empty metrics on instances that
+        never observed the phenomenon.
+        """
+        return self._histograms.get(name)
+
     def _check_fresh(self, name: str) -> None:
         if name in self._counters or name in self._gauges or name in self._histograms:
             raise ValueError(f"metric name {name!r} already registered with another type")

@@ -30,11 +30,13 @@ from dataclasses import dataclass, field
 
 from repro.core.stochastic import StochasticValue
 from repro.nws.service import QUALITIES
+from repro.structural.repeaters import PrecisionTarget
 from repro.util.validation import check_finite
 
 __all__ = [
     "PredictRequest",
     "PredictResponse",
+    "PrecisionInfo",
     "OverloadedResponse",
     "ErrorResponse",
     "Response",
@@ -45,6 +47,7 @@ __all__ = [
     "SHED_THROTTLED",
     "SHED_DEADLINE",
     "SHED_UNAVAILABLE",
+    "DEGRADED_QUEUE_PRESSURE",
 ]
 
 #: Response statuses.
@@ -60,6 +63,11 @@ SHED_DEADLINE = "deadline"
 #: (every replica of the shard is crashed at routing time).
 SHED_UNAVAILABLE = "unavailable"
 _SHED_REASONS = (SHED_QUEUE_FULL, SHED_THROTTLED, SHED_DEADLINE, SHED_UNAVAILABLE)
+
+#: Why a response's precision was degraded below what was requested:
+#: the server loosened the tolerance under queue pressure (*precision
+#: shedding* — trade accuracy for capacity before shedding requests).
+DEGRADED_QUEUE_PRESSURE = "queue_pressure"
 
 
 @dataclass(frozen=True)
@@ -85,6 +93,16 @@ class PredictRequest:
         request only* on top of the server's live NWS forecasts — e.g. a
         what-if query pinning one machine's load.  Values are floats or
         :class:`~repro.core.stochastic.StochasticValue`.
+    precision:
+        Optional per-request
+        :class:`~repro.structural.repeaters.PrecisionTarget` ("the p95
+        to ±2%"): the server samples adaptively and stops as soon as the
+        target converges, instead of burning its full fixed draw budget.
+        The server clamps the target to its own limits (draw cap,
+        minimum tolerance) and reports what it actually did in the
+        response's :class:`PrecisionInfo` block.  ``None`` keeps the
+        fixed-budget behaviour (unless the server configures a default
+        target of its own).
     """
 
     request_id: int
@@ -93,12 +111,17 @@ class PredictRequest:
     submitted: float
     deadline: float | None = None
     overrides: dict = field(default_factory=dict)
+    precision: PrecisionTarget | None = None
 
     def __post_init__(self) -> None:
         check_finite(self.submitted, "submitted")
         if self.deadline is not None and self.deadline < self.submitted:
             raise ValueError(
                 f"deadline ({self.deadline}) must be >= submitted ({self.submitted})"
+            )
+        if self.precision is not None and not isinstance(self.precision, PrecisionTarget):
+            raise TypeError(
+                f"precision must be a PrecisionTarget or None, got {self.precision!r}"
             )
 
 
@@ -128,6 +151,88 @@ class Response:
 
 
 @dataclass(frozen=True)
+class PrecisionInfo:
+    """What the adaptive sampler actually did for one answer.
+
+    Present on every :class:`PredictResponse` served adaptively (absent
+    — ``None`` — on fixed-budget answers).  Mirrors the quality tags:
+    any gap between what the client asked for and what it got is stated
+    here, never silent.
+
+    Attributes
+    ----------
+    metric, rule:
+        The converged-upon metric and the stopping rule that judged it.
+    requested:
+        The precision target after server-side clamping, in
+        :meth:`~repro.structural.repeaters.PrecisionTarget.describe`
+        form (e.g. ``p95±2%@0.95/ci``) — what the client's contract
+        became under this server's limits.
+    effective:
+        The target actually evaluated.  Equal to ``requested`` unless
+        the server *precision-shed*: under queue pressure it multiplies
+        the tolerance (``shed_factor``) instead of shedding the request.
+    draws, budget:
+        Monte Carlo draws spent vs the fixed budget the server would
+        have burned without adaptivity (its configured ``n_samples``).
+    half_width, tolerance:
+        Achieved confidence-interval half-width of the metric at stop
+        time, and the tolerance it had to beat.
+    converged:
+        False when the hard draw cap hit before the rule was satisfied
+        (the answer is still delivered, at the achieved precision).
+    degraded:
+        True when ``effective`` is looser than ``requested``; then
+        ``shed_factor`` (>1) and ``reason`` say how much and why.
+    """
+
+    metric: str = "p95"
+    rule: str = "ci"
+    requested: str = ""
+    effective: str = ""
+    draws: int = 0
+    budget: int = 0
+    half_width: float = 0.0
+    tolerance: float = 0.0
+    converged: bool = False
+    degraded: bool = False
+    shed_factor: float = 1.0
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.draws < 0 or self.budget < 0:
+            raise ValueError("draws and budget must be >= 0")
+        if self.degraded and self.shed_factor <= 1.0:
+            raise ValueError(
+                f"degraded precision requires shed_factor > 1, got {self.shed_factor}"
+            )
+        if self.degraded and not self.reason:
+            raise ValueError("degraded precision must carry a reason (never silent)")
+
+    @property
+    def saved_fraction(self) -> float:
+        """Fraction of the fixed budget left unspent."""
+        return 1.0 - self.draws / self.budget if self.budget else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "rule": self.rule,
+            "requested": self.requested,
+            "effective": self.effective,
+            "draws": self.draws,
+            "budget": self.budget,
+            "half_width": self.half_width,
+            "tolerance": self.tolerance,
+            "converged": self.converged,
+            "degraded": self.degraded,
+            "shed_factor": self.shed_factor,
+            "reason": self.reason,
+            "saved_fraction": self.saved_fraction,
+        }
+
+
+@dataclass(frozen=True)
 class PredictResponse(Response):
     """An answered prediction.
 
@@ -154,6 +259,10 @@ class PredictResponse(Response):
         tag of at least ``stale``.
     model:
         Name of the model the prediction was evaluated against.
+    precision:
+        :class:`PrecisionInfo` for adaptively sampled answers — draws
+        used, achieved half-width, and any precision shedding applied —
+        or ``None`` for fixed-budget answers.
     """
 
     value: StochasticValue = StochasticValue.point(0.0)
@@ -164,6 +273,7 @@ class PredictResponse(Response):
     batch_size: int = 1
     failover: bool = False
     model: str = ""
+    precision: PrecisionInfo | None = None
 
     def __post_init__(self) -> None:
         if self.quality not in QUALITIES:

@@ -31,7 +31,7 @@ same report, so these run as regression tests and as the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 try:  # pragma: no cover - exercised only where PyYAML is absent
@@ -40,12 +40,14 @@ except ImportError:  # pragma: no cover
     yaml = None
 
 from repro.faults.plan import FaultPlan
+from repro.serving.admission import DEFAULT_PRECISION_LADDER
 from repro.serving.cluster import ClusterConfig
 from repro.serving.demo import demo_cluster
 from repro.serving.driver import DriveReport, LoadDriver, OpenLoop
 from repro.serving.elastic import ElasticConfig, policy_by_name
 from repro.serving.schedules import RateSchedule, schedule_from_spec
 from repro.serving.server import ServerConfig
+from repro.structural.repeaters import PrecisionTarget
 
 __all__ = [
     "Scenario",
@@ -262,6 +264,9 @@ class ScenarioReport:
     peak_workers: int = 0
     qualities: dict = field(default_factory=dict)
     violations: list = field(default_factory=list)
+    #: Adaptive-sampling stats — zero when the run was fixed-budget.
+    precision_degraded: int = 0
+    draws_saved_fraction: float = 0.0
 
     @property
     def passed(self) -> bool:
@@ -334,7 +339,11 @@ def _check_invariants(
 
 
 def run_scenario(
-    scenario: Scenario | str, policy: str = "forecast", *, tracer=None
+    scenario: Scenario | str,
+    policy: str = "forecast",
+    *,
+    tracer=None,
+    precision: PrecisionTarget | str | None = None,
 ) -> ScenarioReport:
     """Play ``scenario`` under ``policy`` and judge its invariants.
 
@@ -342,11 +351,31 @@ def run_scenario(
     :func:`load_scenario`; ``policy`` is one of :data:`POLICIES`.  The
     run is fully seeded from the scenario — identical inputs produce an
     identical report.
+
+    ``precision`` (a
+    :class:`~repro.structural.repeaters.PrecisionTarget` or a
+    ``"p95:2%"``-style string) turns on adaptive sampling: every worker
+    gets the target as its server-wide default *and* the
+    :data:`~repro.serving.admission.DEFAULT_PRECISION_LADDER`, so under
+    overload the cluster loosens tolerances (tagged on responses) before
+    shedding requests.  The report then carries ``precision_degraded``
+    and ``draws_saved_fraction``.
     """
     if isinstance(scenario, str):
         scenario = load_scenario(scenario)
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+    if isinstance(precision, str):
+        precision = PrecisionTarget.parse(precision)
+    worker = SCENARIO_WORKER
+    if precision is not None:
+        worker = replace(
+            worker,
+            precision=precision,
+            admission=replace(
+                worker.admission, precision_ladder=DEFAULT_PRECISION_LADDER
+            ),
+        )
 
     faults = scenario.fault_plan(scenario.warmup)
     cluster, _, _ = demo_cluster(
@@ -355,7 +384,7 @@ def run_scenario(
         config=ClusterConfig(
             n_workers=scenario.workers,
             replication=scenario.replication,
-            worker=SCENARIO_WORKER,
+            worker=worker,
         ),
         faults=faults,
         warmup=scenario.warmup,
@@ -389,6 +418,17 @@ def run_scenario(
         failovers=int(counters.get("failovers_total", 0)),
         qualities=dict(drive.qualities),
     )
+    if precision is not None:
+        report.precision_degraded = sum(
+            1
+            for r in drive.responses
+            if r.ok and r.precision is not None and r.precision.degraded
+        )
+        used = budget = 0
+        for w in snap["workers"].values():
+            used += int(w["metrics"]["counters"].get("draws_used_total", 0))
+            budget += int(w["metrics"]["counters"].get("draws_budget_total", 0))
+        report.draws_saved_fraction = 1.0 - used / budget if budget else 0.0
     if snap["elastic"] is not None:
         report.scale_ups = int(counters.get("scale_ups_total", 0))
         report.scale_downs = int(counters.get("scale_downs_total", 0))

@@ -37,21 +37,23 @@ quality tags every answer carries.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.empirical import EmpiricalValue
 from repro.core.stochastic import StochasticValue, as_stochastic
 from repro.nws.service import QUALITIES, NetworkWeatherService, QualifiedForecast
-from repro.obs.tracer import STAGE_SERVING, as_tracer
+from repro.obs.tracer import STAGE_SERVING, STAGE_STRUCTURAL, as_tracer
 from repro.serving.admission import AdmissionController, AdmissionPolicy
 from repro.serving.forecasts import ForecastCache, SharedRefreshLedger
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.protocol import (
+    DEGRADED_QUEUE_PRESSURE,
     SHED_DEADLINE,
     ErrorResponse,
     OverloadedResponse,
+    PrecisionInfo,
     PredictRequest,
     PredictResponse,
     Response,
@@ -64,6 +66,12 @@ from repro.structural.engine import (
 )
 from repro.structural.expr import EvalPolicy, Expr
 from repro.structural.parameters import Bindings
+from repro.structural.repeaters import (
+    PrecisionTarget,
+    SampleBufferPool,
+    SequentialProbe,
+    chunk_schedule,
+)
 from repro.util.rng import as_generator
 from repro.util.validation import check_positive
 
@@ -74,6 +82,9 @@ _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 #: Staleness-at-answer histogram bucket bounds (seconds).
 _STALENESS_BUCKETS = (1.0, 5.0, 15.0, 60.0, 300.0, 1800.0)
+
+#: Draws-per-request histogram bucket bounds (adaptive sampling).
+_DRAWS_BUCKETS = (16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0)
 
 
 @dataclass(frozen=True)
@@ -159,7 +170,20 @@ class ServerConfig:
         Maximum simulated age of a cached NWS forecast
         (:class:`~repro.serving.forecasts.ForecastCache`).
     admission:
-        Queue bound and per-client token-bucket policy.
+        Queue bound, per-client token-bucket policy, and (optionally)
+        the precision-shedding ladder.
+    precision:
+        Server-wide default
+        :class:`~repro.structural.repeaters.PrecisionTarget` applied to
+        requests that do not carry their own; ``None`` (default) keeps
+        such requests on the fixed ``n_samples`` budget, bit-identical
+        to previous releases.
+    min_rel_tol:
+        Server-side clamp on per-request relative tolerances: a client
+        asking for a tighter (smaller) ``rel_tol`` is served at this
+        floor instead (and can read the clamped contract back from the
+        response's ``precision.requested``).  Per-request ``max_samples``
+        is likewise clamped to ``n_samples``.
     """
 
     n_samples: int = 400
@@ -169,6 +193,8 @@ class ServerConfig:
     service_time_per_request: float = 0.001
     refresh_interval: float = 5.0
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    precision: PrecisionTarget | None = None
+    min_rel_tol: float = 0.001
 
     def __post_init__(self) -> None:
         if self.n_samples < 2:
@@ -180,10 +206,29 @@ class ServerConfig:
         check_positive(self.service_time_base, "service_time_base")
         check_positive(self.service_time_per_request, "service_time_per_request")
         check_positive(self.refresh_interval, "refresh_interval")
+        check_positive(self.min_rel_tol, "min_rel_tol")
+        if self.precision is not None and not isinstance(self.precision, PrecisionTarget):
+            raise TypeError(
+                f"precision must be a PrecisionTarget or None, got {self.precision!r}"
+            )
 
     def service_time(self, batch_size: int) -> float:
         """Simulated seconds one evaluation of ``batch_size`` occupies."""
         return self.service_time_base + self.service_time_per_request * batch_size
+
+    def adaptive_service_time(self, total_draws: int) -> float:
+        """Simulated seconds a chunk-wise adaptive evaluation occupies.
+
+        The per-request term scales with draws actually evaluated
+        relative to the fixed budget, so a batch whose requests converge
+        early occupies the server for a fraction of the fixed-path time
+        — this is what lets precision shedding drain an overloaded
+        queue.  At full budget (``total_draws == batch_size *
+        n_samples``) it equals :meth:`service_time` exactly.
+        """
+        return self.service_time_base + (
+            self.service_time_per_request * total_draws / self.n_samples
+        )
 
     def drain_rate(self) -> float:
         """Service capacity in requests per simulated second."""
@@ -232,6 +277,11 @@ class PredictionServer:
         self._clock = nws.now if clock is None else float(clock)
         self._busy_until = self._clock
         self._rng = as_generator(rng)
+        # Accumulation buffers for chunk-wise adaptive evaluation; reused
+        # across batches so steady-state adaptive serving allocates
+        # nothing.  (Adaptive metrics are created lazily on the first
+        # adaptive batch so fixed-budget snapshots stay byte-identical.)
+        self._pool = SampleBufferPool()
         # Open per-request trace spans, keyed (client_id, request_id);
         # only populated when a live tracer is installed.
         self._req_spans: dict[tuple[str, int], object] = {}
@@ -409,29 +459,36 @@ class PredictionServer:
             if not batch:
                 continue
             t_start = max(t_start, max(r.submitted for r in batch))
-            duration = self.config.service_time(len(batch))
-            t_done = t_start + duration
-            if self.tracer.enabled:
-                # A batch serves several request traces at once, so it
-                # gets a trace of its own; request spans link to it via
-                # the request_ids attribute and their batch events.
-                with self.tracer.span(
-                    "serving.batch",
-                    t_start,
-                    stage=STAGE_SERVING,
-                    new_trace=True,
-                    model=batch[0].model,
-                    batch_size=len(batch),
-                    request_ids=[r.request_id for r in batch],
-                ) as sp:
-                    responses = self._serve_batch(batch, t_start, t_done)
-                    sp.finish(t_done)
-                for req in batch:
-                    rsp = self._req_spans.get((req.client_id, req.request_id))
-                    if rsp is not None:
-                        rsp.set(batch_span=sp.span_id)
+            targets = self._precision_targets(batch)
+            if targets is not None:
+                # Chunk-wise adaptive evaluation: the batch's duration
+                # depends on draws actually spent, so evaluation runs
+                # first and t_done falls out of it.
+                responses, t_done = self._serve_adaptive(batch, targets, t_start)
             else:
-                responses = self._serve_batch(batch, t_start, t_done)
+                duration = self.config.service_time(len(batch))
+                t_done = t_start + duration
+                if self.tracer.enabled:
+                    # A batch serves several request traces at once, so it
+                    # gets a trace of its own; request spans link to it via
+                    # the request_ids attribute and their batch events.
+                    with self.tracer.span(
+                        "serving.batch",
+                        t_start,
+                        stage=STAGE_SERVING,
+                        new_trace=True,
+                        model=batch[0].model,
+                        batch_size=len(batch),
+                        request_ids=[r.request_id for r in batch],
+                    ) as sp:
+                        responses = self._serve_batch(batch, t_start, t_done)
+                        sp.finish(t_done)
+                    for req in batch:
+                        rsp = self._req_spans.get((req.client_id, req.request_id))
+                        if rsp is not None:
+                            rsp.set(batch_span=sp.span_id)
+                else:
+                    responses = self._serve_batch(batch, t_start, t_done)
             self._done.extend(responses)
             self._busy_until = t_done
             self.metrics.counter("batches_total").inc()
@@ -618,6 +675,298 @@ class PredictionServer:
                 )
             )
         return responses
+
+    # ------------------------------------------------------------------
+    # Adaptive (precision-targeted) evaluation
+    # ------------------------------------------------------------------
+    def _precision_targets(self, batch: list[PredictRequest]) -> list | None:
+        """Clamped per-request precision targets, or ``None`` for fixed.
+
+        A request's own target wins over the server default
+        (``config.precision``); each is clamped to the server's limits.
+        ``None`` means *no* request in the batch is adaptive — the fixed
+        path runs, byte-identical to previous releases.  Adaptive
+        serving needs the batched (vectorised) mode and a sane draw
+        budget; otherwise targets are ignored and answers simply lack a
+        ``precision`` block.
+        """
+        cfg = self.config
+        if cfg.mode != "batched" or cfg.n_samples < 8:
+            return None
+        targets = [
+            req.precision if req.precision is not None else cfg.precision
+            for req in batch
+        ]
+        if all(t is None for t in targets):
+            return None
+        return [None if t is None else self._clamp_target(t) for t in targets]
+
+    def _clamp_target(self, target: PrecisionTarget) -> PrecisionTarget:
+        """Apply server-side limits to a client's precision target."""
+        cfg = self.config
+        changes: dict = {}
+        if target.max_samples > cfg.n_samples:
+            changes["max_samples"] = cfg.n_samples
+        max_samples = changes.get("max_samples", target.max_samples)
+        if target.min_samples > max_samples:
+            changes["min_samples"] = max_samples
+        if target.rel_tol is not None and target.rel_tol < cfg.min_rel_tol:
+            changes["rel_tol"] = cfg.min_rel_tol
+        return replace(target, **changes) if changes else target
+
+    def _serve_adaptive(
+        self, batch: list[PredictRequest], targets: list, t_start: float
+    ) -> tuple[list[Response], float]:
+        """Serve one batch chunk-wise; returns (responses, t_done)."""
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "serving.batch",
+                t_start,
+                stage=STAGE_SERVING,
+                new_trace=True,
+                model=batch[0].model,
+                batch_size=len(batch),
+                request_ids=[r.request_id for r in batch],
+                adaptive=True,
+            ) as sp:
+                responses, t_done, total_draws = self._serve_batch_adaptive(
+                    batch, targets, t_start
+                )
+                sp.set(draws=total_draws)
+                sp.finish(t_done)
+            for req in batch:
+                rsp = self._req_spans.get((req.client_id, req.request_id))
+                if rsp is not None:
+                    rsp.set(batch_span=sp.span_id)
+        else:
+            responses, t_done, _ = self._serve_batch_adaptive(batch, targets, t_start)
+        return responses, t_done
+
+    def _serve_batch_adaptive(
+        self, batch: list[PredictRequest], targets: list, t_start: float
+    ) -> tuple[list[Response], float, int]:
+        """Adaptive analogue of :meth:`_serve_batch` + :meth:`_evaluate`.
+
+        Precision shedding happens here: the remaining queue depth at
+        evaluation time sets a tolerance multiplier from the admission
+        ladder, applied to every target *before* sampling and tagged on
+        every response — the server never silently loosens a contract.
+        """
+        cfg = self.config
+        spec = self._models[batch[0].model]
+        factor = self.admission.precision_factor(len(self._queue))
+        effective = [None if t is None else t.degraded(factor) for t in targets]
+        try:
+            self.forecasts.ingest_to(t_start)
+            shared = {
+                param: self.forecasts.get(resource, t_start)
+                for param, resource in sorted(spec.resources.items())
+                if param in spec.sampled
+            }
+            samples_list, outcomes, total_draws = self._propagate_adaptive(
+                spec, batch, shared, effective
+            )
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            self.metrics.counter("errors_total").inc(len(batch))
+            t_done = t_start + cfg.service_time(len(batch))
+            return (
+                [
+                    ErrorResponse(
+                        request_id=r.request_id,
+                        client_id=r.client_id,
+                        completed=t_done,
+                        message=f"evaluation failed: {type(exc).__name__}: {exc}",
+                    )
+                    for r in batch
+                ],
+                t_done,
+                0,
+            )
+
+        t_done = t_start + cfg.adaptive_service_time(total_draws)
+        degraded = factor > 1.0
+        self.metrics.counter("adaptive_batches_total").inc()
+        self.metrics.counter("draws_used_total").inc(total_draws)
+        self.metrics.counter("draws_budget_total").inc(len(batch) * cfg.n_samples)
+        if degraded:
+            self.metrics.counter("precision_degraded_total").inc(
+                sum(1 for t in targets if t is not None)
+            )
+        draws_hist = self.metrics.histogram("draws_used", _DRAWS_BUCKETS)
+
+        responses: list[Response] = []
+        for k, req in enumerate(batch):
+            consulted = [f for p, f in shared.items() if p not in req.overrides]
+            quality = _worst_quality(f.quality for f in consulted)
+            staleness = max((f.staleness for f in consulted), default=0.0)
+            emp = EmpiricalValue(samples_list[k])
+            info = None
+            if outcomes[k] is not None:
+                outcome = outcomes[k]
+                draws_hist.observe(outcome.draws)
+                info = PrecisionInfo(
+                    metric=outcome.target.metric,
+                    rule=outcome.target.rule,
+                    requested=targets[k].describe(),
+                    effective=outcome.target.describe(),
+                    draws=outcome.draws,
+                    budget=outcome.budget,
+                    half_width=outcome.half_width,
+                    tolerance=outcome.tolerance,
+                    converged=outcome.converged,
+                    degraded=degraded,
+                    shed_factor=factor,
+                    reason=DEGRADED_QUEUE_PRESSURE if degraded else "",
+                )
+            responses.append(
+                PredictResponse(
+                    request_id=req.request_id,
+                    client_id=req.client_id,
+                    completed=t_done,
+                    value=emp.to_stochastic(),
+                    p95=float(emp.quantile(0.95)),
+                    quality=quality,
+                    staleness=staleness,
+                    latency=t_done - req.submitted,
+                    batch_size=len(batch),
+                    model=req.model,
+                    precision=info,
+                )
+            )
+        return responses, t_done, total_draws
+
+    def _propagate_adaptive(
+        self,
+        spec: ModelSpec,
+        batch: list[PredictRequest],
+        shared: dict[str, QualifiedForecast],
+        targets: list,
+    ) -> tuple[list[np.ndarray], list, int]:
+        """Chunk-wise fused evaluation with shrinking index masks.
+
+        All requests advance through one shared geometric chunk schedule;
+        each chunk concatenates fresh draws for the *still-active*
+        requests only, flows once through the compiled plan, and scatters
+        back into pooled per-request buffers.  A request leaves the
+        active set when its stopping rule converges (or its cap fills);
+        requests without a target ride along at the fixed budget.
+        Returns (per-request samples, per-request outcomes or ``None``,
+        total draws evaluated).
+        """
+        cfg = self.config
+        n_budget = cfg.n_samples
+        k_total = len(batch)
+        caps = [n_budget if t is None else t.max_samples for t in targets]
+        probes = [
+            None if t is None else SequentialProbe(t, self._rng) for t in targets
+        ]
+
+        try:
+            plan = compile_expr(
+                spec.expression, spec.sampled, policy=spec.policy, tracer=self.tracer
+            )
+        except (UnsupportedPolicyError, UnsupportedExpressionError) as exc:
+            # No vectorised plan: fall back to the full-budget reference
+            # loop and assess once so provenance is still truthful
+            # (draws == budget, no savings).
+            if self.tracer.enabled and self.tracer.active is not None:
+                self.tracer.active.set(fallback=type(exc).__name__)
+            samples_list = self._propagate_reference(spec, batch, shared)
+            outcomes = []
+            for k, probe in enumerate(probes):
+                if probe is None:
+                    outcomes.append(None)
+                    continue
+                probe.assess(samples_list[k])
+                outcomes.append(probe.outcome(budget=n_budget))
+            return samples_list, outcomes, k_total * n_budget
+        if self.tracer.enabled and self.tracer.active is not None:
+            self.tracer.active.set(engine="vectorised")
+
+        adaptive = [t for t in targets if t is not None]
+        first = min(t.min_samples for t in adaptive)
+        growth = min(t.growth for t in adaptive)
+        totals = sorted(set(chunk_schedule(first, max(caps), growth)) | set(caps))
+
+        bufs = [self._pool.acquire(cap) for cap in caps]
+        try:
+            filled = [0] * k_total
+            active = list(range(k_total))
+            total_draws = 0
+            for total in totals:
+                members = []
+                counts = []
+                for k in active:
+                    need = min(caps[k], total) - filled[k]
+                    if need > 0:
+                        members.append(k)
+                        counts.append(need)
+                if not members:
+                    continue
+                m = sum(counts)
+                draws: dict[str, np.ndarray] = {}
+                for param in spec.sampled:
+                    bounds = spec.clip.get(param) if spec.clip else None
+                    arr = np.empty(m)
+                    off = 0
+                    for k, need in zip(members, counts):
+                        sv = self._effective(spec, batch[k], param, shared)
+                        arr[off : off + need] = self._draw(sv, need, bounds)
+                        off += need
+                    draws[param] = arr
+                out = plan.evaluate(draws, spec.bindings, n_samples=m)
+                off = 0
+                for k, need in zip(members, counts):
+                    bufs[k][filled[k] : filled[k] + need] = out[off : off + need]
+                    filled[k] += need
+                    off += need
+                total_draws += m
+
+                still = []
+                for k in active:
+                    target, probe = targets[k], probes[k]
+                    done = filled[k] >= caps[k]
+                    if probe is not None and filled[k] >= target.min_samples:
+                        record = probe.assess(bufs[k][: filled[k]])
+                        if record.converged:
+                            done = True
+                        if done and self.tracer.enabled:
+                            self.tracer.start_span(
+                                "mc.converged",
+                                stage=STAGE_STRUCTURAL,
+                                request_id=batch[k].request_id,
+                                metric=target.metric,
+                                rule=target.rule,
+                                draws=record.draws,
+                                budget=n_budget,
+                                converged=record.converged,
+                                half_width=record.half_width,
+                                tolerance=record.tolerance,
+                                votes={v.rule: v.converged for v in record.votes},
+                            ).finish()
+                    if not done:
+                        still.append(k)
+                if self.tracer.enabled:
+                    self.tracer.start_span(
+                        "mc.chunk",
+                        stage=STAGE_STRUCTURAL,
+                        draws=total,
+                        chunk=m,
+                        batch_size=k_total,
+                        active=len(still),
+                    ).finish()
+                active = still
+                if not active:
+                    break
+
+            samples_list = [bufs[k][: filled[k]].copy() for k in range(k_total)]
+        finally:
+            for buf in bufs:
+                self._pool.release(buf)
+        outcomes = [
+            None if probe is None else probe.outcome(budget=n_budget) for probe in probes
+        ]
+        return samples_list, outcomes, total_draws
 
     def _draw(self, sv: StochasticValue, n: int, clip_bounds) -> np.ndarray:
         if sv.is_point:

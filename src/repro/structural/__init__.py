@@ -31,13 +31,25 @@ from repro.structural.engine import (
     plan_cache_stats,
 )
 from repro.structural.generic import model_from_program, phase_component, program_bindings
+from repro.structural.expr import DEFAULT_MC_SAMPLES
 from repro.structural.montecarlo import (
+    AdaptiveEmpirical,
     ClipSaturationWarning,
     compare_with_closed_form,
     monte_carlo_predict,
     monte_carlo_predict_reference,
 )
 from repro.structural.parameters import Bindings, ResolveTime, param_name
+from repro.structural.repeaters import (
+    STOPPING_RULES,
+    AdaptiveOutcome,
+    ChunkRecord,
+    PrecisionTarget,
+    RuleVote,
+    SampleBufferPool,
+    SequentialProbe,
+    chunk_schedule,
+)
 from repro.structural.skew import max_skew_delay, skew_widened_prediction
 from repro.structural.sor_model import SORModel, bindings_for_platform
 
@@ -76,7 +88,17 @@ __all__ = [
     "monte_carlo_predict",
     "monte_carlo_predict_reference",
     "compare_with_closed_form",
+    "AdaptiveEmpirical",
     "ClipSaturationWarning",
+    "DEFAULT_MC_SAMPLES",
+    "PrecisionTarget",
+    "AdaptiveOutcome",
+    "ChunkRecord",
+    "RuleVote",
+    "SequentialProbe",
+    "SampleBufferPool",
+    "chunk_schedule",
+    "STOPPING_RULES",
     "CompiledExpr",
     "compile_expr",
     "clear_plan_cache",

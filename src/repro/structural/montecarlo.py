@@ -32,31 +32,71 @@ first-order spread is not trusted (:mod:`repro.scheduling.qos`).
 from __future__ import annotations
 
 import warnings
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.empirical import EmpiricalValue
 from repro.core.group_ops import MaxStrategy
 from repro.core.stochastic import StochasticValue
+from repro.obs.tracer import STAGE_STRUCTURAL, as_tracer
 from repro.structural.engine import (
     UnsupportedExpressionError,
     UnsupportedPolicyError,
     compile_expr,
 )
-from repro.structural.expr import EvalPolicy, Expr
+from repro.structural.expr import DEFAULT_MC_SAMPLES, EvalPolicy, Expr
 from repro.structural.parameters import Bindings
+from repro.structural.repeaters import (
+    AdaptiveOutcome,
+    PrecisionTarget,
+    SampleBufferPool,
+    SequentialProbe,
+    chunk_schedule,
+)
 
 __all__ = [
     "monte_carlo_predict",
     "monte_carlo_predict_reference",
     "compare_with_closed_form",
+    "AdaptiveEmpirical",
     "ClipSaturationWarning",
+    "adaptive_pool_stats",
 ]
 
 #: Point-evaluation policy: with every parameter a point value, the
 #: relatedness and Max-strategy choices are irrelevant (all rules agree),
 #: so any policy yields the exact arithmetic.
 _POINT_POLICY = EvalPolicy(max_strategy=MaxStrategy.BY_MEAN)
+
+
+#: Shared scratch-buffer pool for adaptive (chunked) evaluation — after
+#: warm-up, repeated adaptive predictions at the same ``max_samples``
+#: reuse the same accumulation buffers and allocate nothing.
+_ADAPTIVE_POOL = SampleBufferPool()
+
+
+def adaptive_pool_stats() -> dict:
+    """Buffer-pool reuse diagnostics for the adaptive evaluation path."""
+    return _ADAPTIVE_POOL.stats()
+
+
+@dataclass(frozen=True)
+class AdaptiveEmpirical(EmpiricalValue):
+    """An :class:`~repro.core.empirical.EmpiricalValue` with provenance.
+
+    What :func:`monte_carlo_predict` returns when a ``precision`` target
+    is given: the usual sample-cloud value plus the
+    :class:`~repro.structural.repeaters.AdaptiveOutcome` recording draws
+    used, the achieved half-width, and every chunk's rule votes.
+    """
+
+    outcome: AdaptiveOutcome = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.outcome is None:
+            raise ValueError("AdaptiveEmpirical requires an AdaptiveOutcome")
 
 
 class ClipSaturationWarning(UserWarning):
@@ -134,11 +174,13 @@ def monte_carlo_predict(
     expression: Expr,
     bindings: Bindings,
     *,
-    n_samples: int = 2000,
+    n_samples: int = DEFAULT_MC_SAMPLES,
     rng=None,
     clip: dict[str, tuple[float, float]] | None = None,
     policy: EvalPolicy | None = None,
     engine: str = "vectorised",
+    precision: PrecisionTarget | None = None,
+    tracer=None,
 ) -> EmpiricalValue:
     """Sample the run-time parameters and propagate exactly.
 
@@ -151,7 +193,8 @@ def monte_carlo_predict(
         ``bind_runtime``) and carrying nonzero spread are sampled — the
         rest stay at their bound values.
     n_samples:
-        Monte Carlo draws.
+        Monte Carlo draws (fixed budget; ignored when ``precision`` is
+        given — the target's ``max_samples`` is the cap then).
     clip:
         Optional per-parameter ``(lo, hi)`` bounds applied to draws
         (availability parameters must stay positive to be divisible).
@@ -169,6 +212,19 @@ def monte_carlo_predict(
         seeded results; the vectorised engine transparently falls back
         to the loop for policies it cannot compile
         (``MaxStrategy.MONTE_CARLO``).
+    precision:
+        Optional :class:`~repro.structural.repeaters.PrecisionTarget`.
+        When given, evaluation proceeds in geometrically growing chunks
+        and stops at the first chunk boundary where the target's
+        stopping rule reports the requested metric converged (hard cap:
+        ``precision.max_samples``), and the return value is an
+        :class:`AdaptiveEmpirical` carrying draws-used and achieved
+        half-width provenance.  ``None`` (default) runs the fixed-budget
+        path, bit-identical to previous releases.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; the adaptive path
+        then emits one ``mc.chunk`` span per chunk boundary (with every
+        rule vote) and a closing ``mc.converged`` span.
     """
     if n_samples < 2:
         raise ValueError(f"n_samples must be >= 2, got {n_samples}")
@@ -176,6 +232,11 @@ def monte_carlo_predict(
         raise ValueError(f"engine must be 'vectorised' or 'reference', got {engine!r}")
     gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
     pol = policy if policy is not None else _POINT_POLICY
+
+    if precision is not None:
+        return _monte_carlo_adaptive(
+            expression, bindings, precision, gen, clip, pol, engine, tracer
+        )
 
     sampled_names = _sampled_names(expression, bindings)
     draws = _draw_samples(sampled_names, bindings, n_samples, gen, clip)
@@ -193,11 +254,94 @@ def monte_carlo_predict(
     return EmpiricalValue(out)
 
 
+def _monte_carlo_adaptive(
+    expression: Expr,
+    bindings: Bindings,
+    precision: PrecisionTarget,
+    gen: np.random.Generator,
+    clip: dict[str, tuple[float, float]] | None,
+    pol: EvalPolicy,
+    engine: str,
+    tracer,
+) -> AdaptiveEmpirical:
+    """Chunked evaluation with sequential stopping (one RNG stream).
+
+    Draws flow chunk by chunk through the same compiled plan (or the
+    reference loop) and accumulate in a pooled buffer; after each chunk
+    the :class:`~repro.structural.repeaters.SequentialProbe` votes.  The
+    draw stream is a strict prefix of what a fixed ``max_samples`` run
+    with the same seed would consume, so results are bit-reproducible.
+    """
+    trc = as_tracer(tracer)
+    sampled_names = _sampled_names(expression, bindings)
+    plan = None
+    if engine == "vectorised":
+        try:
+            plan = compile_expr(expression, tuple(sampled_names), policy=pol)
+        except (UnsupportedPolicyError, UnsupportedExpressionError):
+            plan = None
+
+    probe = SequentialProbe(precision, gen)
+    out = _ADAPTIVE_POOL.acquire(precision.max_samples)
+    try:
+        filled = 0
+        for total in chunk_schedule(
+            precision.min_samples, precision.max_samples, precision.growth
+        ):
+            need = total - filled
+            draws = _draw_samples(sampled_names, bindings, need, gen, clip)
+            if plan is not None:
+                chunk = plan.evaluate(draws, bindings, n_samples=need)
+            else:
+                chunk = _propagate_reference(
+                    expression, bindings, sampled_names, draws, need, pol
+                )
+            out[filled:total] = chunk
+            filled = total
+            record = probe.assess(out[:filled])
+            if trc.enabled:
+                trc.start_span(
+                    "mc.chunk",
+                    stage=STAGE_STRUCTURAL,
+                    draws=record.draws,
+                    chunk=need,
+                    metric=precision.metric,
+                    estimate=record.estimate,
+                    half_width=record.half_width,
+                    tolerance=record.tolerance,
+                    converged=record.converged,
+                    votes={v.rule: v.converged for v in record.votes},
+                ).finish()
+            if record.converged:
+                break
+        samples = out[:filled].copy()
+    finally:
+        _ADAPTIVE_POOL.release(out)
+
+    outcome = probe.outcome()
+    if trc.enabled:
+        trc.start_span(
+            "mc.converged",
+            stage=STAGE_STRUCTURAL,
+            metric=precision.metric,
+            rule=precision.rule,
+            draws=outcome.draws,
+            budget=outcome.budget,
+            converged=outcome.converged,
+            estimate=outcome.estimate,
+            half_width=outcome.half_width,
+            tolerance=outcome.tolerance,
+            saved_fraction=outcome.saved_fraction,
+            votes={v.rule: v.to_dict() for v in outcome.votes},
+        ).finish()
+    return AdaptiveEmpirical(samples, outcome)
+
+
 def monte_carlo_predict_reference(
     expression: Expr,
     bindings: Bindings,
     *,
-    n_samples: int = 2000,
+    n_samples: int = DEFAULT_MC_SAMPLES,
     rng=None,
     clip: dict[str, tuple[float, float]] | None = None,
     policy: EvalPolicy | None = None,
@@ -225,7 +369,7 @@ def compare_with_closed_form(
     bindings: Bindings,
     policy: EvalPolicy | None = None,
     *,
-    n_samples: int = 2000,
+    n_samples: int = DEFAULT_MC_SAMPLES,
     rng=None,
     clip: dict[str, tuple[float, float]] | None = None,
     engine: str = "vectorised",

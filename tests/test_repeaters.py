@@ -1,0 +1,313 @@
+"""Tests for repro.structural.repeaters — sequential stopping rules.
+
+The property tests check the headline statistical contract: when a rule
+votes converged on samples from a known closed-form distribution, the
+achieved confidence-interval half-width really is within the requested
+tolerance, and the hard ``max_samples`` cap is never exceeded.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stochastic import StochasticValue
+from repro.structural.expr import DEFAULT_MC_SAMPLES, EvalPolicy, Param
+from repro.structural.montecarlo import (
+    AdaptiveEmpirical,
+    monte_carlo_predict,
+)
+from repro.structural.parameters import Bindings
+from repro.structural.repeaters import (
+    STOPPING_RULES,
+    PrecisionTarget,
+    SampleBufferPool,
+    SequentialProbe,
+    chunk_schedule,
+)
+
+
+def adaptive_bindings():
+    b = Bindings()
+    b.bind("c", 10.0)
+    b.bind_runtime("load", StochasticValue(0.5, 0.05))
+    return b
+
+
+class TestPrecisionTarget:
+    def test_parse_relative(self):
+        t = PrecisionTarget.parse("p95:2%")
+        assert t.metric == "p95" and t.rel_tol == pytest.approx(0.02)
+        assert t.abs_tol is None and t.rule == "ci"
+
+    def test_parse_absolute_with_rule(self):
+        t = PrecisionTarget.parse("mean:0.05:composite")
+        assert t.metric == "mean" and t.abs_tol == pytest.approx(0.05)
+        assert t.rel_tol is None and t.rule == "composite"
+
+    def test_parse_overrides(self):
+        t = PrecisionTarget.parse("p99:1%", max_samples=8000, min_samples=500)
+        assert t.max_samples == 8000 and t.min_samples == 500
+
+    @pytest.mark.parametrize("bad", ["", "p95", "p95:x%", "p95:2%:ci:extra", ":2%"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            PrecisionTarget.parse(bad)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"metric": "p0"},
+            {"metric": "p100"},
+            {"metric": "median"},
+            {"rel_tol": None, "abs_tol": None},
+            {"rel_tol": -0.1},
+            {"abs_tol": 0.0, "rel_tol": None},
+            {"confidence": 1.0},
+            {"rule": "magic"},
+            {"min_samples": 4},
+            {"max_samples": 10, "min_samples": 20},
+            {"growth": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PrecisionTarget(**kwargs)
+
+    def test_tolerance_takes_the_looser_bound(self):
+        t = PrecisionTarget(metric="mean", rel_tol=0.01, abs_tol=0.5)
+        assert t.tolerance(10.0) == pytest.approx(0.5)  # abs wins at small estimates
+        assert t.tolerance(100.0) == pytest.approx(1.0)  # rel wins at large ones
+
+    def test_degraded_scales_tolerances(self):
+        t = PrecisionTarget(metric="mean", rel_tol=0.01, abs_tol=0.5)
+        d = t.degraded(4.0)
+        assert d.rel_tol == pytest.approx(0.04) and d.abs_tol == pytest.approx(2.0)
+        assert t.degraded(1.0) is t
+        with pytest.raises(ValueError):
+            t.degraded(0.5)
+
+    def test_describe_and_roundtrip(self):
+        t = PrecisionTarget.parse("p95:2%:composite")
+        assert t.describe() == "p95±2%@0.95/composite"
+        assert PrecisionTarget.from_dict(t.to_dict()) == t
+
+
+class TestChunkSchedule:
+    def test_doubles_and_ends_at_cap(self):
+        assert chunk_schedule(256, 2000) == [256, 512, 1024, 2000]
+
+    def test_single_chunk_when_min_equals_max(self):
+        assert chunk_schedule(500, 500) == [500]
+
+    def test_strictly_increasing_and_capped(self):
+        sched = chunk_schedule(8, 10_000, growth=1.5)
+        assert sched == sorted(set(sched))
+        assert sched[0] == 8 and sched[-1] == 10_000
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            chunk_schedule(100, 50)
+        with pytest.raises(ValueError):
+            chunk_schedule(8, 100, growth=1.0)
+
+
+class TestSampleBufferPool:
+    def test_reuses_exact_capacity(self):
+        pool = SampleBufferPool()
+        a = pool.acquire(128)
+        pool.release(a)
+        b = pool.acquire(128)
+        assert b is a
+        assert pool.stats() == {"hits": 1, "misses": 1, "pooled": 0}
+
+    def test_different_capacities_do_not_alias(self):
+        pool = SampleBufferPool()
+        a = pool.acquire(64)
+        pool.release(a)
+        b = pool.acquire(128)
+        assert b is not a and b.shape == (128,)
+        assert pool.stats()["misses"] == 2
+
+
+class TestSequentialProbe:
+    def test_records_accumulate_and_converged_flips(self):
+        rng = np.random.default_rng(0)
+        target = PrecisionTarget(metric="mean", abs_tol=0.05, rel_tol=None, min_samples=64)
+        probe = SequentialProbe(target, rng)
+        assert not probe.converged
+        for total in chunk_schedule(64, 4096):
+            record = probe.assess(rng.normal(10.0, 1.0, size=total))
+            if record.converged:
+                break
+        assert probe.converged
+        assert len(probe.records) >= 1
+        outcome = probe.outcome(budget=4096)
+        assert outcome.converged and outcome.draws <= 4096
+
+    def test_outcome_before_assess_raises(self):
+        probe = SequentialProbe(PrecisionTarget())
+        with pytest.raises(ValueError):
+            probe.outcome()
+
+    def test_assess_requires_enough_samples(self):
+        probe = SequentialProbe(PrecisionTarget())
+        with pytest.raises(ValueError):
+            probe.assess(np.arange(4.0))
+
+    def test_rule_checks_do_not_touch_caller_stream(self):
+        # Bootstrap resampling runs on a spawned child stream: the
+        # caller's generator must be at the same state whether the rule
+        # needed randomness or not.
+        target = PrecisionTarget(metric="p95", rel_tol=0.02, rule="bootstrap")
+        samples = np.random.default_rng(1).normal(10.0, 1.0, size=512)
+        rng_a = np.random.default_rng(7)
+        SequentialProbe(target, rng_a).assess(samples)
+        rng_b = np.random.default_rng(7)
+        assert rng_a.random() == rng_b.random()
+
+    def test_deterministic_votes_under_fixed_seed(self):
+        target = PrecisionTarget(metric="p95", rel_tol=0.05, rule="composite")
+        samples = np.random.default_rng(3).normal(20.0, 2.0, size=1024)
+        rec_a = SequentialProbe(target, np.random.default_rng(9)).assess(samples)
+        rec_b = SequentialProbe(target, np.random.default_rng(9)).assess(samples)
+        assert rec_a == rec_b
+        assert {v.rule for v in rec_a.votes} == {"ci", "bootstrap", "hdi", "ks"}
+
+
+class TestStoppingRuleContract:
+    """Achieved precision vs requested, on closed-form distributions."""
+
+    @pytest.mark.parametrize("rule", STOPPING_RULES)
+    @pytest.mark.parametrize("metric", ["mean", "std", "p95"])
+    def test_half_width_within_tolerance_at_convergence(self, rule, metric):
+        rng = np.random.default_rng(42)
+        target = PrecisionTarget(
+            metric=metric, rel_tol=0.05, rule=rule, max_samples=65_536, min_samples=256
+        )
+        probe = SequentialProbe(target, rng)
+        draws = np.empty(0)
+        for total in chunk_schedule(256, 65_536):
+            draws = np.concatenate([draws, rng.normal(50.0, 5.0, size=total - draws.size)])
+            record = probe.assess(draws)
+            if record.converged:
+                break
+        assert probe.converged, f"{rule}/{metric} never converged within 65536 draws"
+        if rule == "ks":
+            # KS judges whole-distribution stability, not interval
+            # width: its contract is the statistic against the critical
+            # value at the stated confidence.
+            (vote,) = record.votes
+            assert vote.stat <= vote.threshold
+        else:
+            # Width rules: the achieved half-width is within the
+            # tolerance computed at the converged estimate.  The hdi
+            # and bootstrap statistics approximate the closed-form
+            # half-width, so allow slack between the two estimators.
+            slack = 1.0 + 1e-12 if rule in ("ci", "composite") else 1.5
+            assert record.half_width <= record.tolerance * slack
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        rel_tol=st.floats(0.01, 0.2),
+        rule=st.sampled_from(["ci", "bootstrap", "hdi"]),
+    )
+    def test_width_rules_never_exceed_cap_and_honour_tolerance(self, seed, rel_tol, rule):
+        rng = np.random.default_rng(seed)
+        target = PrecisionTarget(
+            metric="mean", rel_tol=rel_tol, rule=rule, max_samples=16_384, min_samples=64
+        )
+        probe = SequentialProbe(target, rng)
+        draws = np.empty(0)
+        for total in chunk_schedule(64, target.max_samples, target.growth):
+            assert total <= target.max_samples
+            draws = np.concatenate([draws, rng.normal(10.0, 1.0, size=total - draws.size)])
+            if probe.assess(draws).converged:
+                break
+        outcome = probe.outcome()
+        assert outcome.draws <= target.max_samples
+        if outcome.converged and rule == "ci":
+            # For the closed-form rule, the decision statistic IS the
+            # reported half-width, so the contract is exact.
+            assert outcome.half_width <= outcome.tolerance
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_ks_converges_on_stationary_stream(self, seed):
+        rng = np.random.default_rng(seed)
+        target = PrecisionTarget(
+            metric="mean", rel_tol=0.5, rule="ks", max_samples=8192, min_samples=512
+        )
+        probe = SequentialProbe(target, rng)
+        record = probe.assess(rng.normal(5.0, 0.5, size=4096))
+        # One stationary stream split in halves: KS should accept at the
+        # 95% level for the vast majority of seeds; assert the statistic
+        # is at least computed against the right threshold.
+        (vote,) = record.votes
+        assert vote.rule == "ks" and vote.threshold > 0.0
+        assert vote.converged == (vote.stat <= vote.threshold)
+
+
+class TestAdaptiveMonteCarloPredict:
+    def test_returns_outcome_and_respects_cap(self):
+        expr = Param("c") / Param("load")
+        target = PrecisionTarget.parse("p95:5%", min_samples=64, max_samples=2000)
+        emp = monte_carlo_predict(
+            expr, adaptive_bindings(), rng=5, precision=target
+        )
+        assert isinstance(emp, AdaptiveEmpirical)
+        assert emp.outcome.draws == emp.samples.size <= 2000
+        assert emp.outcome.budget == 2000
+        assert emp.outcome.chunks[-1].draws == emp.outcome.draws
+
+    def test_adaptive_run_is_bit_reproducible(self):
+        expr = Param("c") / Param("load")
+        target = PrecisionTarget.parse("p95:2%", min_samples=64)
+        a = monte_carlo_predict(expr, adaptive_bindings(), rng=6, precision=target)
+        b = monte_carlo_predict(expr, adaptive_bindings(), rng=6, precision=target)
+        assert np.array_equal(a.samples, b.samples)
+        assert a.outcome.to_dict() == b.outcome.to_dict()
+
+    def test_precision_none_is_bit_identical_to_fixed(self):
+        expr = Param("c") / Param("load")
+        fixed = monte_carlo_predict(expr, adaptive_bindings(), n_samples=777, rng=8)
+        again = monte_carlo_predict(
+            expr, adaptive_bindings(), n_samples=777, rng=8, precision=None
+        )
+        assert not isinstance(fixed, AdaptiveEmpirical)
+        assert np.array_equal(fixed.samples, again.samples)
+
+    def test_unconverged_target_stops_at_cap_with_provenance(self):
+        expr = Param("c") / Param("load")
+        target = PrecisionTarget(
+            metric="p95", rel_tol=1e-6, max_samples=512, min_samples=64
+        )
+        emp = monte_carlo_predict(expr, adaptive_bindings(), rng=9, precision=target)
+        assert emp.samples.size == 512
+        assert not emp.outcome.converged
+        assert emp.outcome.half_width > emp.outcome.tolerance
+
+
+class TestMcSamplesDefaultUnification:
+    """One documented constant behind every fixed-budget entry point."""
+
+    def test_constant_value(self):
+        assert DEFAULT_MC_SAMPLES == 2000
+
+    def test_eval_policy_default(self):
+        assert EvalPolicy().mc_samples == DEFAULT_MC_SAMPLES
+
+    def test_monte_carlo_predict_default(self):
+        sig = inspect.signature(monte_carlo_predict)
+        assert sig.parameters["n_samples"].default == DEFAULT_MC_SAMPLES
+
+    def test_experiment_runner_defaults(self):
+        from repro.experiments.platform1 import run_platform1
+        from repro.experiments.platform2 import run_platform2
+
+        for fn in (run_platform1, run_platform2):
+            sig = inspect.signature(fn)
+            assert sig.parameters["mc_samples"].default == DEFAULT_MC_SAMPLES, fn
