@@ -1,17 +1,35 @@
-"""E-C (methodology study): NWS query-window calibration.
+"""Calibration benchmarks: the NWS window study and the serving loop.
 
-Justifies the Platform 2 experiments' 90-second query window: on the
-bursty regime, short windows are overconfident (coverage far below the
-claimed ~95%) while windows past the burst time scale approach or exceed
-it; on the single-mode regime every window is roughly calibrated.
-Sharpness degrades monotonically with window length — the trade the
-experimenter is choosing on.
+Two layers share this module (and the shared scorer arithmetic in
+:mod:`repro.calib.scorer`):
+
+* **E-C (methodology study)** — NWS query-window calibration.
+  Justifies the Platform 2 experiments' 90-second query window: on the
+  bursty regime, short windows are overconfident (coverage far below
+  the claimed ~95%) while windows past the burst time scale approach or
+  exceed it; on the single-mode regime every window is roughly
+  calibrated.  Sharpness degrades monotonically with window length —
+  the trade the experimenter is choosing on.
+
+* **Online calibration loop gates** — the ``repro.calib`` subsystem
+  serving distribution-first answers must (a) detect and repair a
+  miscalibrated model in a spread-distorted world (2σ coverage back to
+  >= 0.90 from < 0.75 uncorrected, CRPS within 1.1x an oracle that
+  knows the true spread), and (b) cost at most 10% serving throughput
+  with scoring enabled.  Results land in
+  ``benchmarks/out/BENCH_calibration.json``.
 """
+
+import json
 
 from conftest import emit
 
+from repro.calib import CalibrationConfig
 from repro.experiments.calibration import run_calibration_study
 from repro.experiments.report import write_csv
+from repro.serving.demo import demo_server
+from repro.serving.driver import ClosedLoop, LoadDriver
+from repro.serving.server import ServerConfig
 from repro.util.tables import format_table
 
 
@@ -56,3 +74,242 @@ def test_calibration_study(benchmark, out_dir):
     assert bursty[360.0].sharpness > bursty[15.0].sharpness
     # Single-mode: even short windows are roughly calibrated.
     assert single[45.0].coverage > 0.80
+
+
+# ----------------------------------------------------------------------
+# Online calibration loop (repro.calib in the serving hot path)
+# ----------------------------------------------------------------------
+
+SEED = 11
+REQUESTS = 4000
+CLIENTS = 48
+THINK = 0.05
+
+#: Chaos distortion: the world is twice as variable as the model claims
+#: (the "structural spread deliberately halved" scenario).
+DISTORTION = 2.0
+
+#: Gates on the closed loop.
+MAX_UNCORRECTED_COVERAGE = 0.75
+MIN_CORRECTED_COVERAGE = 0.90
+MAX_CRPS_VS_ORACLE = 1.1
+
+#: Overhead gate: scoring-enabled serving wall time vs calibration off.
+OVERHEAD_SEED = 7
+OVERHEAD_REQUESTS = 6000
+OVERHEAD_CLIENTS = 64
+OVERHEAD_THINK = 0.02
+OVERHEAD_REPEATS = 5
+MAX_OVERHEAD = 0.10
+
+
+def _drive(calibration, *, requests=REQUESTS, clients=CLIENTS, think=THINK, seed=SEED):
+    """One seeded closed-loop drive; returns ``(report, server)``."""
+    server, _plat, _nws = demo_server(
+        config=ServerConfig(calibration=calibration), rng=seed
+    )
+    report = LoadDriver(
+        server,
+        list(server.models),
+        ClosedLoop(clients=clients, think_time=think),
+        max_requests=requests,
+        rng=seed,
+    ).run()
+    return report, server
+
+
+def _merge_payload(out_dir, section: str, payload: dict) -> None:
+    """Read-modify-write one section of ``BENCH_calibration.json``."""
+    path = out_dir / "BENCH_calibration.json"
+    doc = json.loads(path.read_text()) if path.exists() else {}
+    doc[section] = payload
+    path.write_text(json.dumps(doc, indent=2))
+
+
+def test_calibration_closes_loop_after_chaos(out_dir):
+    """Miscalibrated-model chaos: the recalibrator restores coverage.
+
+    Three legs share one seeded world whose outcomes have ``DISTORTION``
+    times the spread the model claims:
+
+    * **uncorrected** — scoring only: 2σ coverage collapses well below
+      nominal (the failure the loop must detect);
+    * **corrected** — the conformal recalibrator widens served spreads
+      from realised residuals: rolling coverage returns to the SLO;
+    * **oracle** — a fixed ``initial_scale=DISTORTION`` widening (knows
+      the true spread): the CRPS floor the corrected leg must approach.
+    """
+    legs = {
+        "uncorrected": CalibrationConfig(
+            truth_spread_scale=DISTORTION, recalibrate=False
+        ),
+        "corrected": CalibrationConfig(truth_spread_scale=DISTORTION),
+        "oracle": CalibrationConfig(
+            truth_spread_scale=DISTORTION,
+            recalibrate=False,
+            initial_scale=DISTORTION,
+        ),
+    }
+    summaries = {}
+    for name, ccfg in legs.items():
+        _report, server = _drive(ccfg)
+        summaries[name] = server.calibration_summary()
+
+    models = sorted(summaries["uncorrected"]["scores"]["models"])
+    rows = []
+    for m in models:
+        unc = summaries["uncorrected"]["scores"]["models"][m]
+        cor = summaries["corrected"]["scores"]["models"][m]
+        orc = summaries["oracle"]["scores"]["models"][m]
+        scale = summaries["corrected"]["recalibration"]["scales"][m]
+        rows.append(
+            [
+                m,
+                f"{unc['coverage']:.1%}",
+                f"{cor['rolling_coverage']:.1%}",
+                f"{orc['rolling_coverage']:.1%}",
+                f"{cor['rolling_crps']:.4f}",
+                f"{orc['rolling_crps']:.4f}",
+                f"{scale:.2f}",
+            ]
+        )
+    events = summaries["corrected"]["recalibration"]["events"]
+    emit(
+        f"Calibration loop vs {DISTORTION}x spread distortion "
+        f"({REQUESTS} requests, seed {SEED})",
+        format_table(
+            [
+                "model",
+                "uncorrected cov",
+                "corrected roll cov",
+                "oracle roll cov",
+                "corrected CRPS",
+                "oracle CRPS",
+                "final scale",
+            ],
+            rows,
+        )
+        + "\nrecalibration events: "
+        + ", ".join(
+            f"{e['model']}:{e['reason']}@{e['at_observation']}"
+            f"->{e['new_scale']:.2f}"
+            for e in events
+        ),
+    )
+
+    _merge_payload(
+        out_dir,
+        "chaos",
+        {
+            "seed": SEED,
+            "requests": REQUESTS,
+            "clients": CLIENTS,
+            "distortion": DISTORTION,
+            "models": {
+                m: {
+                    "uncorrected_coverage": summaries["uncorrected"]["scores"]["models"][m]["coverage"],
+                    "corrected_rolling_coverage": summaries["corrected"]["scores"]["models"][m]["rolling_coverage"],
+                    "corrected_rolling_crps": summaries["corrected"]["scores"]["models"][m]["rolling_crps"],
+                    "oracle_rolling_crps": summaries["oracle"]["scores"]["models"][m]["rolling_crps"],
+                    "final_scale": summaries["corrected"]["recalibration"]["scales"][m],
+                }
+                for m in models
+            },
+            "events": events,
+            "gates": {
+                "max_uncorrected_coverage": MAX_UNCORRECTED_COVERAGE,
+                "min_corrected_coverage": MIN_CORRECTED_COVERAGE,
+                "max_crps_vs_oracle": MAX_CRPS_VS_ORACLE,
+            },
+        },
+    )
+
+    for m in models:
+        unc = summaries["uncorrected"]["scores"]["models"][m]
+        cor = summaries["corrected"]["scores"]["models"][m]
+        orc = summaries["oracle"]["scores"]["models"][m]
+        # The failure is real: uncorrected coverage collapses.
+        assert unc["coverage"] < MAX_UNCORRECTED_COVERAGE, m
+        # The loop repairs it.
+        assert cor["rolling_coverage"] >= MIN_CORRECTED_COVERAGE, m
+        # Honest widening, not a blanket blow-up: CRPS stays within
+        # reach of the oracle that knows the true spread.
+        assert cor["rolling_crps"] <= MAX_CRPS_VS_ORACLE * orc["rolling_crps"], m
+        # Every model was widened, and the adjustment was recorded.
+        assert summaries["corrected"]["recalibration"]["scales"][m] > 1.0, m
+        assert any(e["model"] == m and e["reason"] == "widen" for e in events), m
+
+
+def test_calibration_overhead_within_budget(out_dir):
+    """Scoring-enabled serving costs <= MAX_OVERHEAD wall time.
+
+    Interleaved (off, on) pairs with the min on/off ratio as the
+    estimator (see ``bench_tracing`` for the methodology: back-to-back
+    pairing cancels machine drift, the minimum rejects per-run scheduler
+    noise, and a real regression inflates every pair).
+    """
+    _drive(None, requests=600, clients=OVERHEAD_CLIENTS,
+           think=OVERHEAD_THINK, seed=OVERHEAD_SEED)  # warm-up
+
+    pairs = []
+    report_on = report_off = None
+    for _ in range(OVERHEAD_REPEATS):
+        report_off, _ = _drive(
+            None,
+            requests=OVERHEAD_REQUESTS,
+            clients=OVERHEAD_CLIENTS,
+            think=OVERHEAD_THINK,
+            seed=OVERHEAD_SEED,
+        )
+        report_on, _ = _drive(
+            CalibrationConfig(),
+            requests=OVERHEAD_REQUESTS,
+            clients=OVERHEAD_CLIENTS,
+            think=OVERHEAD_THINK,
+            seed=OVERHEAD_SEED,
+        )
+        pairs.append((report_off.wall_seconds, report_on.wall_seconds))
+    overhead = min(on / off for off, on in pairs) - 1.0
+
+    emit(
+        f"Calibration overhead on {OVERHEAD_REQUESTS} requests, "
+        f"{OVERHEAD_CLIENTS} clients (seed {OVERHEAD_SEED}, "
+        f"{OVERHEAD_REPEATS} interleaved pairs)",
+        format_table(
+            ["pair", "off (s)", "on (s)", "ratio"],
+            [
+                [i, f"{off:.3f}", f"{on:.3f}", f"{on / off - 1:+.1%}"]
+                for i, (off, on) in enumerate(pairs)
+            ],
+        )
+        + f"\noverhead (min ratio): {overhead:+.1%} (gate: <= {MAX_OVERHEAD:.0%})",
+    )
+
+    _merge_payload(
+        out_dir,
+        "overhead",
+        {
+            "seed": OVERHEAD_SEED,
+            "requests": OVERHEAD_REQUESTS,
+            "clients": OVERHEAD_CLIENTS,
+            "repeats": OVERHEAD_REPEATS,
+            "pairs": [{"wall_off_s": off, "wall_on_s": on} for off, on in pairs],
+            "overhead": overhead,
+            "max_overhead": MAX_OVERHEAD,
+        },
+    )
+
+    # Calibration observes the pipeline without touching its draws:
+    # means match the calibration-off run bit for bit, and any spread
+    # change is a tagged recalibration scaling — never silent.
+    assert report_on.ok == report_off.ok
+    assert all(r.distribution is not None for r in report_on.responses)
+    assert all(r.distribution is None for r in report_off.responses)
+    for r_on, r_off in zip(report_on.responses, report_off.responses):
+        assert r_on.value.mean == r_off.value.mean
+        if r_on.distribution.recalibrated:
+            assert r_on.value.spread == r_off.value.spread * r_on.distribution.scale
+        else:
+            assert r_on.value == r_off.value
+
+    assert overhead <= MAX_OVERHEAD

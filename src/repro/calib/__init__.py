@@ -1,0 +1,71 @@
+"""Distribution-first answers and the online calibration loop.
+
+The paper validates its predictions once, offline: "~80% of runs fall
+inside mean ± 2σ".  This package runs that check continuously, per
+model, against live outcomes — and serves the whole predictive
+distribution instead of two moments:
+
+* :mod:`repro.calib.sketch` — a deterministic, exactly-mergeable
+  DDSketch-style quantile sketch over the Monte Carlo draw cloud
+  (relative error ``alpha``, insert-order independent);
+* :mod:`repro.calib.distribution` — :class:`DistributionInfo`, the
+  quantile-grid block every calibrated answer carries (CRPS/PIT/
+  coverage queryable per answer, optional GMM mode summaries);
+* :mod:`repro.calib.scorer` — the repo's single calibration-scoring
+  implementation: batch ``(forecast, outcome)`` reports (used by the
+  NWS window study) and streaming per-model / per-quality-cohort
+  online scores (CRPS, PIT histogram, rolling 2σ-coverage);
+* :mod:`repro.calib.recalibrate` — the conformal control law: widen
+  spreads when rolling coverage drops below the SLO band, shrink back
+  on overshoot, flag for re-fit past ``max_scale`` — every adjustment
+  tagged on the response, never silent;
+* :mod:`repro.calib.loop` — the in-server glue: draw-cloud capture,
+  simulated realised outcomes (with chaos distortion knobs), scoring,
+  spans, metrics.
+
+Enable it by passing ``ServerConfig(calibration=CalibrationConfig())``;
+with ``calibration=None`` (the default) the serving path is
+byte-identical to previous releases (see ``docs/calibration.md``).
+"""
+
+from repro.calib.distribution import DEFAULT_GRID_SIZE, DistributionInfo, grid_levels
+from repro.calib.loop import CalibrationConfig, CalibrationLoop
+from repro.calib.recalibrate import (
+    REASON_REFIT,
+    REASON_SHRINK,
+    REASON_WIDEN,
+    RecalibrationEvent,
+    RecalibrationPolicy,
+    Recalibrator,
+)
+from repro.calib.scorer import (
+    DEFAULT_WINDOW,
+    PIT_BINS,
+    CalibrationReport,
+    CalibrationScorer,
+    ModelScore,
+    score_pairs,
+)
+from repro.calib.sketch import DEFAULT_SKETCH_ALPHA, QuantileSketch
+
+__all__ = [
+    "QuantileSketch",
+    "DEFAULT_SKETCH_ALPHA",
+    "DistributionInfo",
+    "DEFAULT_GRID_SIZE",
+    "grid_levels",
+    "CalibrationReport",
+    "score_pairs",
+    "ModelScore",
+    "CalibrationScorer",
+    "PIT_BINS",
+    "DEFAULT_WINDOW",
+    "RecalibrationPolicy",
+    "RecalibrationEvent",
+    "Recalibrator",
+    "REASON_WIDEN",
+    "REASON_SHRINK",
+    "REASON_REFIT",
+    "CalibrationConfig",
+    "CalibrationLoop",
+]

@@ -1,0 +1,445 @@
+"""Online calibration scoring: CRPS, PIT, and rolling coverage.
+
+This module is the single home of calibration scoring for the whole
+repo (the window study in :mod:`repro.experiments.calibration` and the
+online serving loop both use it):
+
+* :class:`CalibrationReport` + :func:`score_pairs` — the batch scorer
+  the NWS evaluation layer has always exposed (coverage vs nominal,
+  sharpness, MAE over ``(forecast, outcome)`` pairs), relocated here
+  verbatim and re-exported from :mod:`repro.nws.evaluation`;
+* :class:`ModelScore` — streaming state for one scoring key: online
+  CRPS, a PIT histogram, cumulative and rolling 2σ-coverage, and the
+  rolling z-score window the conformal
+  :class:`~repro.calib.recalibrate.Recalibrator` reads its widening
+  quantile from;
+* :class:`CalibrationScorer` — a keyed registry of scores per model
+  and per forecast-quality cohort (``fresh``/``stale``/``fallback`` —
+  the NWS forecaster tournament's output grade), mergeable across
+  cluster workers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calib.distribution import DistributionInfo
+from repro.core.normal import TWO_SIGMA_COVERAGE
+from repro.core.stochastic import StochasticValue
+
+__all__ = [
+    "CalibrationReport",
+    "score_pairs",
+    "ModelScore",
+    "CalibrationScorer",
+    "PIT_BINS",
+    "DEFAULT_WINDOW",
+]
+
+#: Bins of the probability-integral-transform histogram.
+PIT_BINS = 10
+
+#: Default rolling-window length (observations) for coverage/CRPS/z.
+DEFAULT_WINDOW = 160
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """How well claimed intervals match observed behaviour.
+
+    Attributes
+    ----------
+    coverage:
+        Fraction of outcomes inside the claimed ranges.
+    nominal:
+        Coverage the ranges claim (~0.954 for 2-sigma normals).
+    sharpness:
+        Mean interval width relative to the outcome magnitude (smaller
+        is more informative, all else equal).
+    mae:
+        Mean absolute error of the forecast means.
+    n:
+        Number of scored forecasts.
+    """
+
+    coverage: float
+    nominal: float
+    sharpness: float
+    mae: float
+    n: int
+
+    @property
+    def calibration_gap(self) -> float:
+        """``coverage - nominal``: positive = conservative, negative = overconfident."""
+        return self.coverage - self.nominal
+
+    def summary(self) -> str:
+        """One-line report."""
+        return (
+            f"coverage={self.coverage:.1%} (nominal {self.nominal:.1%})  "
+            f"sharpness={self.sharpness:.2f}  MAE={self.mae:.4f}  n={self.n}"
+        )
+
+
+def score_pairs(pairs: list[tuple[StochasticValue, float]]) -> CalibrationReport:
+    """Score a batch of ``(forecast, outcome)`` pairs.
+
+    Coverage counts outcomes inside each forecast's claimed ~95% range;
+    sharpness is the mean interval width relative to the outcome.
+    """
+    if not pairs:
+        raise ValueError("no forecasts were scored")
+    hits = sum(1 for f, v in pairs if f.contains(v))
+    widths = [2.0 * f.spread / max(abs(v), 1e-12) for f, v in pairs]
+    errs = [abs(f.mean - v) for f, v in pairs]
+    return CalibrationReport(
+        coverage=hits / len(pairs),
+        nominal=TWO_SIGMA_COVERAGE,
+        sharpness=float(np.mean(widths)),
+        mae=float(np.mean(errs)),
+        n=len(pairs),
+    )
+
+
+class ModelScore:
+    """Streaming calibration state for one scoring key.
+
+    Maintains O(window) state: cumulative totals (coverage, CRPS, MAE,
+    sharpness, PIT bin counts) plus bounded rolling windows of
+    coverage, CRPS, and base z-scores.  ``observe`` scores the *served*
+    distribution (post-recalibration — the claim the client saw) while
+    the z-score is recorded against the *unscaled* spread, so the
+    recalibrator can solve for the absolute scale that would restore
+    nominal coverage rather than compounding its own corrections.
+    """
+
+    __slots__ = (
+        "key",
+        "nominal",
+        "window",
+        "n",
+        "covered_n",
+        "crps_total",
+        "mae_total",
+        "sharp_total",
+        "pit_counts",
+        "_cover_win",
+        "_crps_win",
+        "_z_win",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        *,
+        nominal: float = TWO_SIGMA_COVERAGE,
+        window: int = DEFAULT_WINDOW,
+    ):
+        if not 0.0 < nominal < 1.0:
+            raise ValueError(f"nominal must be in (0, 1), got {nominal}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.key = key
+        self.nominal = float(nominal)
+        self.window = int(window)
+        self.n = 0
+        self.covered_n = 0
+        self.crps_total = 0.0
+        self.mae_total = 0.0
+        self.sharp_total = 0.0
+        self.pit_counts = [0] * PIT_BINS
+        self._cover_win: deque[bool] = deque(maxlen=window)
+        self._crps_win: deque[float] = deque(maxlen=window)
+        self._z_win: deque[float] = deque(maxlen=window)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, dist: DistributionInfo, outcome: float) -> bool:
+        """Score one ``(served distribution, realised outcome)`` pair.
+
+        Returns whether the outcome fell inside the served ``mean ± 2σ``.
+        """
+        covered = dist.contains(outcome)
+        crps = dist.crps(outcome)
+        pit = dist.pit(outcome)
+        # z relative to the pre-recalibration spread: |y - mean| in
+        # units of the *raw* predictive sigma.
+        sigma_base = max(dist.std / dist.scale, 1e-12)
+        z = abs(outcome - dist.mean) / sigma_base
+        self._ingest(dist, outcome, covered, crps, pit, z)
+        return covered
+
+    def _ingest(
+        self,
+        dist: DistributionInfo,
+        outcome: float,
+        covered: bool,
+        crps: float,
+        pit: float,
+        z: float,
+    ) -> None:
+        """Fold one pre-scored pair into the streaming state.
+
+        Split from :meth:`observe` so :class:`CalibrationScorer` can
+        score a pair once and ingest it into both the per-model and the
+        per-cohort state (the scoring arithmetic is the expensive part).
+        """
+        self.n += 1
+        self.covered_n += int(covered)
+        self.crps_total += crps
+        self.mae_total += abs(outcome - dist.mean)
+        self.sharp_total += 2.0 * dist.spread / max(abs(outcome), 1e-12)
+        self.pit_counts[min(int(pit * PIT_BINS), PIT_BINS - 1)] += 1
+        self._cover_win.append(covered)
+        self._crps_win.append(crps)
+        self._z_win.append(z)
+
+    def ingest_many(self, covered, crps, pit_bins, z, mae, sharp) -> None:
+        """Fold a pre-scored batch into the streaming state.
+
+        Array counterpart of :meth:`_ingest` for the deferred flush
+        path: one call updates totals with array sums and extends the
+        rolling windows in order (``deque(maxlen=...)`` keeps the
+        newest entries, exactly as sequential appends would).  Totals
+        use NumPy's pairwise summation, so they can differ from the
+        sequential path in the last float ulp.
+        """
+        self.n += len(crps)
+        self.covered_n += int(np.count_nonzero(covered))
+        self.crps_total += float(crps.sum())
+        self.mae_total += float(mae.sum())
+        self.sharp_total += float(sharp.sum())
+        counts = np.bincount(pit_bins, minlength=PIT_BINS).tolist()
+        self.pit_counts = [a + b for a, b in zip(self.pit_counts, counts)]
+        self._cover_win.extend(covered.tolist())
+        self._crps_win.extend(crps.tolist())
+        self._z_win.extend(z.tolist())
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def coverage(self) -> float:
+        """Cumulative fraction of outcomes inside the served ranges."""
+        return self.covered_n / self.n if self.n else 0.0
+
+    @property
+    def rolling_coverage(self) -> float:
+        """Coverage over the last ``window`` observations."""
+        if not self._cover_win:
+            return 0.0
+        return sum(self._cover_win) / len(self._cover_win)
+
+    @property
+    def mean_crps(self) -> float:
+        """Cumulative mean CRPS (lower is better)."""
+        return self.crps_total / self.n if self.n else 0.0
+
+    @property
+    def rolling_crps(self) -> float:
+        """Mean CRPS over the last ``window`` observations."""
+        if not self._crps_win:
+            return 0.0
+        return sum(self._crps_win) / len(self._crps_win)
+
+    @property
+    def last_crps(self) -> float:
+        """CRPS of the most recent observation (0 before any)."""
+        return self._crps_win[-1] if self._crps_win else 0.0
+
+    @property
+    def mae(self) -> float:
+        """Cumulative mean absolute error of the served means."""
+        return self.mae_total / self.n if self.n else 0.0
+
+    @property
+    def sharpness(self) -> float:
+        """Cumulative mean relative interval width (served claims)."""
+        return self.sharp_total / self.n if self.n else 0.0
+
+    @property
+    def rolling_n(self) -> int:
+        """Observations currently inside the rolling window."""
+        return len(self._cover_win)
+
+    def z_quantile(self, q: float) -> float:
+        """Empirical quantile of the rolling base z-scores.
+
+        ``method="higher"`` gives the conservative (never-too-narrow)
+        order statistic conformal recalibration wants.
+        """
+        if not self._z_win:
+            raise ValueError(f"no z-scores observed for {self.key!r}")
+        return float(np.quantile(np.asarray(self._z_win), q, method="higher"))
+
+    def pit_histogram(self) -> list[float]:
+        """PIT bin fractions (sums to 1 once observations exist)."""
+        if not self.n:
+            return [0.0] * PIT_BINS
+        return [c / self.n for c in self.pit_counts]
+
+    def report(self) -> CalibrationReport:
+        """The cumulative state as a shared :class:`CalibrationReport`."""
+        if not self.n:
+            raise ValueError(f"no observations for {self.key!r}")
+        return CalibrationReport(
+            coverage=self.coverage,
+            nominal=self.nominal,
+            sharpness=self.sharpness,
+            mae=self.mae,
+            n=self.n,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary."""
+        return {
+            "n": self.n,
+            "coverage": self.coverage,
+            "rolling_coverage": self.rolling_coverage,
+            "nominal": self.nominal,
+            "crps": self.mean_crps,
+            "rolling_crps": self.rolling_crps,
+            "mae": self.mae,
+            "sharpness": self.sharpness,
+            "pit": self.pit_histogram(),
+        }
+
+    # ------------------------------------------------------------------
+    # Merge (cluster aggregation)
+    # ------------------------------------------------------------------
+    def merge(self, other: "ModelScore") -> "ModelScore":
+        """Fold another worker's score for the same key into this one.
+
+        Cumulative totals add exactly; rolling windows concatenate in
+        merge order and keep the newest ``window`` entries (workers
+        don't share a global observation order, so any deterministic
+        convention is as good as another).
+        """
+        if other.key != self.key:
+            raise ValueError(f"cannot merge {other.key!r} into {self.key!r}")
+        if other.nominal != self.nominal:
+            raise ValueError("cannot merge scores with different nominal coverage")
+        self.n += other.n
+        self.covered_n += other.covered_n
+        self.crps_total += other.crps_total
+        self.mae_total += other.mae_total
+        self.sharp_total += other.sharp_total
+        for i, c in enumerate(other.pit_counts):
+            self.pit_counts[i] += c
+        self._cover_win.extend(other._cover_win)
+        self._crps_win.extend(other._crps_win)
+        self._z_win.extend(other._z_win)
+        return self
+
+
+class CalibrationScorer:
+    """Keyed calibration scores per model and per forecast-quality cohort."""
+
+    def __init__(
+        self,
+        *,
+        nominal: float = TWO_SIGMA_COVERAGE,
+        window: int = DEFAULT_WINDOW,
+    ):
+        self.nominal = float(nominal)
+        self.window = int(window)
+        self.by_model: dict[str, ModelScore] = {}
+        self.by_cohort: dict[str, ModelScore] = {}
+
+    def score(self, model: str) -> ModelScore:
+        """The (created-on-first-use) score for ``model``."""
+        sc = self.by_model.get(model)
+        if sc is None:
+            sc = self.by_model[model] = ModelScore(
+                model, nominal=self.nominal, window=self.window
+            )
+        return sc
+
+    def cohort(self, quality: str) -> ModelScore:
+        """The (created-on-first-use) score for a forecast-quality cohort."""
+        sc = self.by_cohort.get(quality)
+        if sc is None:
+            sc = self.by_cohort[quality] = ModelScore(
+                quality, nominal=self.nominal, window=self.window
+            )
+        return sc
+
+    def observe(
+        self, model: str, quality: str, dist: DistributionInfo, outcome: float
+    ) -> ModelScore:
+        """Score one served answer; returns the model's updated score.
+
+        The pair is scored once (CRPS/PIT/coverage/z) and ingested into
+        both the per-model and the per-forecast-quality cohort state.
+        """
+        covered = dist.contains(outcome)
+        crps = dist.crps(outcome)
+        pit = dist.pit(outcome)
+        sigma_base = max(dist.std / dist.scale, 1e-12)
+        z = abs(outcome - dist.mean) / sigma_base
+        sc = self.score(model)
+        sc._ingest(dist, outcome, covered, crps, pit, z)
+        self.cohort(quality)._ingest(dist, outcome, covered, crps, pit, z)
+        return sc
+
+    def observe_scored(
+        self,
+        model: str,
+        quality: str,
+        dist: DistributionInfo,
+        outcome: float,
+        *,
+        covered: bool,
+        crps: float,
+        pit: float,
+        z: float,
+    ) -> ModelScore:
+        """Ingest one externally scored pair.
+
+        The vectorised flush path (:class:`~repro.calib.loop.CalibrationLoop`)
+        computes CRPS/PIT/coverage/z for a whole queue in a few array
+        operations and hands the scalars in here; the streaming state
+        update is identical to :meth:`observe`.
+        """
+        sc = self.score(model)
+        sc._ingest(dist, outcome, covered, crps, pit, z)
+        self.cohort(quality)._ingest(dist, outcome, covered, crps, pit, z)
+        return sc
+
+    @property
+    def n(self) -> int:
+        """Total observations scored across models."""
+        return sum(sc.n for sc in self.by_model.values())
+
+    def summary(self) -> dict:
+        """JSON-serialisable per-model and per-cohort summaries."""
+        return {
+            "n": self.n,
+            "nominal": self.nominal,
+            "models": {k: sc.to_dict() for k, sc in sorted(self.by_model.items())},
+            "cohorts": {k: sc.to_dict() for k, sc in sorted(self.by_cohort.items())},
+        }
+
+    @classmethod
+    def merged(cls, scorers) -> "CalibrationScorer":
+        """One scorer holding the union of several workers' scores."""
+        scorers = [s for s in scorers if s is not None]
+        if not scorers:
+            raise ValueError("merged() needs at least one scorer")
+        out = cls(nominal=scorers[0].nominal, window=scorers[0].window)
+        for s in scorers:
+            for registry, target in (
+                (s.by_model, out.by_model),
+                (s.by_cohort, out.by_cohort),
+            ):
+                for key, sc in registry.items():
+                    if key in target:
+                        target[key].merge(sc)
+                    else:
+                        fresh = ModelScore(key, nominal=sc.nominal, window=sc.window)
+                        target[key] = fresh.merge(sc)
+        return out

@@ -371,6 +371,90 @@ def _serving_workload(args):
     return ClosedLoop(clients=args.clients, think_time=args.think_time)
 
 
+def _serving_calibration(args):
+    """The CalibrationConfig a serve command asked for, or ``None``."""
+    if not getattr(args, "calibrate", False):
+        return None
+    from repro.calib import CalibrationConfig
+
+    return CalibrationConfig(truth_spread_scale=args.truth_spread)
+
+
+def _print_shutdown_summary(source) -> None:
+    """End-of-run operational recap for serve/serve-cluster.
+
+    ``source`` is a server or cluster: anything with ``metrics`` and
+    ``calibration_summary()``.  Prints the plan-cache hit rate, the
+    draw budget actually spent, and — when the calibration loop ran —
+    per-model coverage/CRPS with every recalibration event.
+    """
+    from repro.structural.engine import plan_cache_stats
+
+    print("\n--- end-of-run summary ---")
+    cache = plan_cache_stats()
+    lookups = cache["hits"] + cache["misses"]
+    if lookups:
+        print(
+            f"plan cache: {cache['hit_rate']:.1%} hit rate "
+            f"({cache['hits']} hits / {cache['misses']} misses, "
+            f"{cache['size']} cached plans)"
+        )
+    counters = source.metrics.snapshot()["counters"]
+    used = counters.get("draws_used_total", 0)
+    budget = counters.get("draws_budget_total", 0)
+    if budget:
+        print(
+            f"draw budget: {int(used)}/{int(budget)} draws used "
+            f"(saved {1.0 - used / budget:.0%})"
+        )
+    calib = source.calibration_summary()
+    if calib is None:
+        return
+    spread = calib.get("truth_spread_scale", 1.0)
+    scales = calib.get("recalibration", {}).get("scales", {})
+    flagged = set(calib.get("recalibration", {}).get("flagged", ()))
+    rows = []
+    for model, sc in sorted(calib["scores"]["models"].items()):
+        rows.append(
+            [
+                model,
+                sc["n"],
+                f"{sc['coverage']:.1%}",
+                f"{sc['rolling_coverage']:.1%}",
+                f"{sc['crps']:.4f}",
+                f"{sc['rolling_crps']:.4f}",
+                f"{scales[model]:.2f}" if model in scales else "-",
+                "refit" if model in flagged else "",
+            ]
+        )
+    print(
+        format_table(
+            ["model", "n", "coverage", "rolling", "CRPS", "rolling", "scale", "flag"],
+            rows,
+            title=(
+                f"calibration scores (nominal "
+                f"{calib['scores']['nominal']:.1%}"
+                + (f", truth spread x{spread:g}" if spread != 1.0 else "")
+                + ")"
+            ),
+        )
+    )
+    events = calib.get("recalibration", {}).get("events", ())
+    if events:
+        kinds: dict[str, int] = {}
+        for e in events:
+            kinds[e["reason"]] = kinds.get(e["reason"], 0) + 1
+        detail = ", ".join(f"{k} {v}" for k, v in sorted(kinds.items()))
+        print(f"recalibration events: {len(events)} ({detail})")
+        for e in events:
+            print(
+                f"  {e['model']}: {e['reason']} at observation "
+                f"{e['at_observation']} (scale {e['old_scale']:.2f} -> "
+                f"{e['new_scale']:.2f}, rolling coverage "
+                f"{e['rolling_coverage']:.1%})"
+            )
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import (
         DEFAULT_PRECISION_LADDER,
@@ -393,6 +477,7 @@ def _cmd_serve(args) -> int:
             precision_ladder=DEFAULT_PRECISION_LADDER if args.precision_shedding else (),
         ),
         precision=precision,
+        calibration=_serving_calibration(args),
     )
     server, _, _ = demo_server(config=config, rng=args.seed)
     driver = LoadDriver(
@@ -433,6 +518,7 @@ def _cmd_serve(args) -> int:
                 title="server counters",
             )
         )
+        _print_shutdown_summary(server)
     return 0 if report.errors == 0 else 1
 
 
@@ -454,6 +540,7 @@ def _cmd_serve_cluster(args) -> int:
             batch_max=args.batch_max,
             n_samples=args.samples,
             admission=AdmissionPolicy(max_queue=args.max_queue),
+            calibration=_serving_calibration(args),
         ),
     )
     cluster, _, _ = demo_cluster(config=config, faults=faults, rng=args.seed)
@@ -492,6 +579,102 @@ def _cmd_serve_cluster(args) -> int:
                 title="shard placement (primary first)",
             )
         )
+        _print_shutdown_summary(cluster)
+    return 0 if report.errors == 0 else 1
+
+
+def _cmd_calib(args) -> int:
+    """Drive the calibration loop and report distribution-first scores."""
+    from repro.calib import CalibrationConfig
+    from repro.serving import ClosedLoop, LoadDriver, ServerConfig, demo_server
+
+    ccfg = CalibrationConfig(
+        truth_spread_scale=args.truth_spread,
+        recalibrate=not args.no_recalibrate,
+        mixture_components=args.mixture,
+    )
+    server, _, _ = demo_server(config=ServerConfig(calibration=ccfg), rng=args.seed)
+    report = LoadDriver(
+        server,
+        server.models,
+        ClosedLoop(clients=args.clients, think_time=args.think_time),
+        max_requests=args.requests,
+        rng=args.seed,
+    ).run()
+    summary = server.calibration_summary()
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2))
+        return 0 if report.errors == 0 else 1
+
+    print(report.summary())
+    sample = next((r for r in report.responses if r.ok and r.distribution), None)
+    if sample is not None:
+        d = sample.distribution
+        picks = []
+        for w in (0.05, 0.25, 0.5, 0.75, 0.95):
+            i = min(range(len(d.levels)), key=lambda k: abs(d.levels[k] - w))
+            if (d.levels[i], d.quantiles[i]) not in picks:
+                picks.append((d.levels[i], d.quantiles[i]))
+        grid = "  ".join(f"p{lv * 100:04.1f}={q:.3f}" for lv, q in picks)
+        tag = f" [recalibrated x{d.scale:.2f}]" if d.recalibrated else ""
+        print(
+            f"\nexample served distribution ({sample.model}): "
+            f"{d.count} draws, mean {d.mean:.3f} s, std {d.std:.3f} s{tag}\n  {grid}"
+        )
+        if d.modes:
+            mix = ", ".join(
+                f"{m.weight:.0%} N({m.mean:.3f}, {m.std:.3f})" for m in d.modes
+            )
+            print(f"  mixture: {mix}")
+
+    spread = summary.get("truth_spread_scale", 1.0)
+    scales = summary.get("recalibration", {}).get("scales", {})
+    flagged = set(summary.get("recalibration", {}).get("flagged", ()))
+
+    def score_rows(section):
+        return [
+            [
+                name,
+                sc["n"],
+                f"{sc['coverage']:.1%}",
+                f"{sc['rolling_coverage']:.1%}",
+                f"{sc['crps']:.4f}",
+                f"{sc['rolling_crps']:.4f}",
+                f"{scales[name]:.2f}" if name in scales else "-",
+                "refit" if name in flagged else "",
+            ]
+            for name, sc in sorted(section.items())
+        ]
+
+    header = ["model", "n", "coverage", "rolling", "CRPS", "rolling", "scale", "flag"]
+    title = f"calibration scores (nominal {summary['scores']['nominal']:.1%}"
+    if spread != 1.0:
+        title += f", truth spread x{spread:g}"
+    print(format_table(header, score_rows(summary["scores"]["models"]), title=title + ")"))
+    cohorts = summary["scores"].get("cohorts", {})
+    if cohorts:
+        header[0] = "cohort"
+        print(
+            format_table(
+                header,
+                score_rows(cohorts),
+                title="forecaster cohorts (answer quality at serve time)",
+            )
+        )
+    events = summary.get("recalibration", {}).get("events", ())
+    if events:
+        print(f"recalibration events ({len(events)}):")
+        for e in events:
+            print(
+                f"  {e['model']}: {e['reason']} at observation "
+                f"{e['at_observation']} (scale {e['old_scale']:.2f} -> "
+                f"{e['new_scale']:.2f}, rolling coverage "
+                f"{e['rolling_coverage']:.1%})"
+            )
+    elif not args.no_recalibrate:
+        print("recalibration events: none (coverage stayed inside the SLO band)")
     return 0 if report.errors == 0 else 1
 
 
@@ -722,6 +905,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --precision: loosen tolerances under queue "
                    "pressure (tagged on responses) before shedding requests")
     p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--calibrate", action="store_true",
+                   help="serve distribution-first answers and score them "
+                   "against realised outcomes (see docs/calibration.md)")
+    p.add_argument("--truth-spread", type=float, default=1.0,
+                   help="with --calibrate: chaos knob multiplying the "
+                   "spread outcomes are drawn with (2.0 = the world is "
+                   "twice as variable as the model claims)")
     p.add_argument("--json", action="store_true", help="dump the full server snapshot")
     p.set_defaults(func=_cmd_serve)
 
@@ -744,8 +934,37 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("WORKER", "START", "END"),
                    help="crash WORKER from START to END simulated seconds (repeatable)")
     p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--calibrate", action="store_true",
+                   help="serve distribution-first answers and score them "
+                   "on every worker (merged in the shutdown summary)")
+    p.add_argument("--truth-spread", type=float, default=1.0,
+                   help="with --calibrate: chaos knob multiplying the "
+                   "spread outcomes are drawn with")
     p.add_argument("--json", action="store_true", help="dump the full cluster snapshot")
     p.set_defaults(func=_cmd_serve_cluster)
+
+    p = sub.add_parser(
+        "calib",
+        help="drive the online calibration loop: distribution-first "
+        "answers scored against realised outcomes, with conformal "
+        "recalibration when coverage drifts",
+    )
+    p.add_argument("--requests", type=int, default=800)
+    p.add_argument("--clients", type=int, default=16)
+    p.add_argument("--think-time", type=float, default=0.05)
+    p.add_argument("--truth-spread", type=float, default=1.0,
+                   help="chaos knob: outcomes are drawn with this factor "
+                   "on every spread (2.0 stages the miscalibrated-model "
+                   "scenario the recalibrator must repair)")
+    p.add_argument("--no-recalibrate", action="store_true",
+                   help="score only; leave served spreads untouched")
+    p.add_argument("--mixture", type=int, default=0,
+                   help="also fit a Gaussian mixture with this many "
+                   "components onto every served distribution")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--json", action="store_true",
+                   help="dump the calibration summary as JSON")
+    p.set_defaults(func=_cmd_calib)
 
     p = sub.add_parser(
         "scenarios", help="run chaos scenarios against the elastic cluster"

@@ -8,14 +8,19 @@ the next ~run duration) on both load regimes: coverage should approach
 (and with conservative windows exceed) the nominal 2-sigma level as the
 window grows past the burst time scale, while sharpness degrades — the
 classic coverage/sharpness trade.
+
+Scoring shares :mod:`repro.calib.scorer` with the online serving loop:
+the window study and production calibration read the same coverage /
+sharpness / MAE arithmetic (:class:`~repro.calib.scorer.CalibrationReport`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.calib.scorer import CalibrationReport
 from repro.core.stochastic import StochasticValue
-from repro.nws.evaluation import CalibrationReport, calibrate_query
+from repro.nws.evaluation import calibrate_query
 from repro.util.rng import as_generator
 from repro.workload.loadgen import bursty_trace, single_mode_trace
 from repro.workload.modes import PLATFORM1_MODES, PLATFORM2_MODES

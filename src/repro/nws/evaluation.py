@@ -6,74 +6,28 @@ This module replays a measurement series through a query function and
 scores the claimed intervals: observed coverage vs nominal, sharpness
 (mean relative width), and the mean absolute forecast error — the
 numbers behind choosing a query horizon in the Platform 2 experiments.
+
+The scoring itself lives in :mod:`repro.calib.scorer` (one shared
+implementation for this offline window study and the online serving
+loop); :class:`CalibrationReport` and the pair scorer are re-exported
+here for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from repro.core.normal import TWO_SIGMA_COVERAGE
+from repro.calib.scorer import CalibrationReport, score_pairs
 from repro.core.stochastic import StochasticValue
 from repro.nws.predictor import AdaptivePredictor
 from repro.util.validation import check_array_1d
 
-__all__ = ["CalibrationReport", "calibrate_one_step", "calibrate_query"]
+__all__ = ["CalibrationReport", "score_pairs", "calibrate_one_step", "calibrate_query"]
 
-
-@dataclass(frozen=True)
-class CalibrationReport:
-    """How well claimed intervals match observed behaviour.
-
-    Attributes
-    ----------
-    coverage:
-        Fraction of outcomes inside the claimed ranges.
-    nominal:
-        Coverage the ranges claim (~0.954 for 2-sigma normals).
-    sharpness:
-        Mean interval width relative to the outcome magnitude (smaller
-        is more informative, all else equal).
-    mae:
-        Mean absolute error of the forecast means.
-    n:
-        Number of scored forecasts.
-    """
-
-    coverage: float
-    nominal: float
-    sharpness: float
-    mae: float
-    n: int
-
-    @property
-    def calibration_gap(self) -> float:
-        """``coverage - nominal``: positive = conservative, negative = overconfident."""
-        return self.coverage - self.nominal
-
-    def summary(self) -> str:
-        """One-line report."""
-        return (
-            f"coverage={self.coverage:.1%} (nominal {self.nominal:.1%})  "
-            f"sharpness={self.sharpness:.2f}  MAE={self.mae:.4f}  n={self.n}"
-        )
-
-
-def _score(pairs: list[tuple[StochasticValue, float]]) -> CalibrationReport:
-    if not pairs:
-        raise ValueError("no forecasts were scored")
-    hits = sum(1 for f, v in pairs if f.contains(v))
-    widths = [2.0 * f.spread / max(abs(v), 1e-12) for f, v in pairs]
-    errs = [abs(f.mean - v) for f, v in pairs]
-    return CalibrationReport(
-        coverage=hits / len(pairs),
-        nominal=TWO_SIGMA_COVERAGE,
-        sharpness=float(np.mean(widths)),
-        mae=float(np.mean(errs)),
-        n=len(pairs),
-    )
+# Internal alias kept for callers that used the historical name.
+_score = score_pairs
 
 
 def calibrate_one_step(

@@ -18,6 +18,7 @@ from repro.obs.export import trace_to_chrome, trace_to_dict, write_chrome, write
 from repro.obs.pipeline import traced_cluster_run, traced_server_run
 from repro.obs.tracer import (
     NULL_TRACER,
+    STAGE_CALIB,
     STAGE_CLUSTER,
     STAGE_ELASTIC,
     STAGE_NWS,
@@ -44,6 +45,7 @@ __all__ = [
     "STAGE_SERVING",
     "STAGE_CLUSTER",
     "STAGE_ELASTIC",
+    "STAGE_CALIB",
     "trace_to_dict",
     "trace_to_chrome",
     "write_json",

@@ -49,17 +49,19 @@ __all__ = [
     "STAGE_SERVING",
     "STAGE_CLUSTER",
     "STAGE_ELASTIC",
+    "STAGE_CALIB",
     "STAGES",
 ]
 
 #: Pipeline stages, in data-flow order.  Free-form strings are allowed;
-#: these four are what the built-in instrumentation emits.
+#: these are what the built-in instrumentation emits.
 STAGE_NWS = "nws"
 STAGE_STRUCTURAL = "structural"
 STAGE_SERVING = "serving"
 STAGE_CLUSTER = "cluster"
 STAGE_ELASTIC = "elastic"
-STAGES = (STAGE_NWS, STAGE_STRUCTURAL, STAGE_SERVING, STAGE_CLUSTER, STAGE_ELASTIC)
+STAGE_CALIB = "calib"
+STAGES = (STAGE_NWS, STAGE_STRUCTURAL, STAGE_SERVING, STAGE_CLUSTER, STAGE_ELASTIC, STAGE_CALIB)
 
 
 @dataclass

@@ -33,6 +33,13 @@ pipeline into a long-running service:
 * :mod:`repro.serving.demo` — ready-made Platform 1 deployments (one
   server or a whole cluster).
 
+With ``ServerConfig(calibration=...)`` (:mod:`repro.calib`) every
+answer additionally carries its full predictive distribution (a
+mergeable quantile sketch over the Monte Carlo draws) and the server
+scores itself online — CRPS, PIT histograms, rolling 2σ-coverage per
+model — widening drifting models via the conformal recalibrator, with
+every adjustment tagged on the response (see ``docs/calibration.md``).
+
 Every serving component accepts an optional ``tracer``
 (:mod:`repro.obs`): with one installed, a request's admission, batch,
 forecast lookups and failover hops are recorded as deterministic
@@ -40,6 +47,8 @@ simulated-time spans (see ``docs/observability.md``); without one the
 behaviour is bit-identical to untraced code.
 """
 
+from repro.calib.distribution import DistributionInfo
+from repro.calib.loop import CalibrationConfig
 from repro.serving.admission import (
     DEFAULT_PRECISION_LADDER,
     AdmissionController,
@@ -115,6 +124,8 @@ __all__ = [
     "PredictRequest",
     "PredictResponse",
     "PrecisionInfo",
+    "DistributionInfo",
+    "CalibrationConfig",
     "OverloadedResponse",
     "ErrorResponse",
     "Response",

@@ -223,7 +223,7 @@ class ServingCluster:
 
         # Elastic state.  All empty/inert when elasticity is off.
         self.elastic = elastic
-        self._specs: list[ModelSpec] = []
+        self._specs: list[tuple[ModelSpec, ModelSpec | None]] = []
         self._next_worker_idx = self.config.n_workers
         self._provisioning: list[tuple[str, PredictionServer, float]] = []
         self._draining: dict[str, float] = {}  # name -> force deadline
@@ -252,20 +252,22 @@ class ServingCluster:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register_model(self, spec: ModelSpec) -> None:
+    def register_model(self, spec: ModelSpec, *, truth: ModelSpec | None = None) -> None:
         """Register ``spec`` cluster-wide and place its shard.
 
         Every worker registers the model (any of them may have to stand
         in as a replica), but routing sends its traffic to the shard's
-        owners, so only they keep its working set hot.
+        owners, so only they keep its working set hot.  ``truth`` is
+        forwarded to each worker's calibration loop (see
+        :meth:`PredictionServer.register_model`).
         """
         if spec.name in self._shards:
             raise ValueError(f"model {spec.name!r} already registered")
         for worker in self.workers.values():
-            worker.register_model(spec)
+            worker.register_model(spec, truth=truth)
         for _, server, _ in self._provisioning:
-            server.register_model(spec)
-        self._specs.append(spec)
+            server.register_model(spec, truth=truth)
+        self._specs.append((spec, truth))
         shard = f"{spec.name}|{bindings_fingerprint(spec.bindings)}"
         self._shards[spec.name] = shard
         self.router.owners(shard)  # place eagerly, in registration order
@@ -563,8 +565,8 @@ class ServingCluster:
             tracer=self.tracer,
             clock=ready,
         )
-        for spec in self._specs:
-            server.register_model(spec)
+        for spec, truth in self._specs:
+            server.register_model(spec, truth=truth)
         self._provisioning.append((name, server, ready))
         self.metrics.counter("scale_ups_total").inc()
         if self.tracer.enabled:
@@ -763,6 +765,57 @@ class ServingCluster:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def calibration_summary(self) -> dict | None:
+        """Cluster-wide calibration scores, merged across workers.
+
+        Per-model scores fold exactly (counts add; rolling windows
+        concatenate in worker-name order); recalibration scales are
+        reported per worker — each worker controls its own shard
+        traffic — alongside the worst (widest) scale per model, and
+        events carry their originating ``worker``.  Any answers still
+        queued for deferred scoring are flushed first, so end-of-run
+        reports cover everything that was served.  Returns ``None``
+        when calibration is off.
+        """
+        from repro.calib.scorer import CalibrationScorer
+
+        loops = {
+            name: w.calib for name, w in sorted(self.workers.items()) if w.calib is not None
+        }
+        scorers = []
+        for lp in loops.values():
+            lp.flush()
+            if lp.scorer is not None:
+                scorers.append(lp.scorer)
+        if not scorers:
+            return None
+        doc: dict = {
+            "scores": CalibrationScorer.merged(scorers).summary(),
+            "truth_spread_scale": next(iter(loops.values())).config.truth_spread_scale,
+        }
+        scales: dict[str, float] = {}
+        flagged: set[str] = set()
+        events: list[dict] = []
+        for name, lp in loops.items():
+            if lp.recalibrator is None:
+                continue
+            summary = lp.recalibrator.summary()
+            events.extend({**e, "worker": name} for e in summary["events"])
+            flagged.update(summary["flagged"])
+            for model, scale in summary["scales"].items():
+                scales[model] = max(scales.get(model, 1.0), scale)
+        doc["recalibration"] = {
+            "scales": dict(sorted(scales.items())),
+            "flagged": sorted(flagged),
+            "events": events,
+            "per_worker": {
+                name: lp.recalibrator.summary()["scales"]
+                for name, lp in loops.items()
+                if lp.recalibrator is not None
+            },
+        }
+        return doc
+
     def snapshot(self) -> dict:
         """Cluster-wide operational state, JSON-serialisable.
 
@@ -791,6 +844,9 @@ class ServingCluster:
         ]
         if draws_hists:
             aggregated["draws_used"] = Histogram.merged("draws_used", draws_hists).stats()
+        calibration = self.calibration_summary()
+        if calibration is not None:
+            aggregated["calibration"] = calibration
         return _sanitise(
             {
                 "now": self._clock,

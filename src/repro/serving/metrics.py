@@ -85,6 +85,13 @@ class Histogram:
             raise ValueError(f"histogram {self.name!r} cannot observe NaN")
         self._values.append(value)
 
+    def observe_many(self, values) -> None:
+        """Record a batch of observations in order (one NaN check)."""
+        arr = np.asarray(values, dtype=float).ravel()
+        if np.isnan(arr).any():
+            raise ValueError(f"histogram {self.name!r} cannot observe NaN")
+        self._values.extend(arr.tolist())
+
     @property
     def count(self) -> int:
         return len(self._values)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.calib.distribution import DistributionInfo
 from repro.core.stochastic import StochasticValue
 from repro.nws.service import QUALITIES
 from repro.structural.repeaters import PrecisionTarget
@@ -263,6 +264,14 @@ class PredictResponse(Response):
         :class:`PrecisionInfo` for adaptively sampled answers — draws
         used, achieved half-width, and any precision shedding applied —
         or ``None`` for fixed-budget answers.
+    distribution:
+        The full predictive distribution
+        (:class:`~repro.calib.distribution.DistributionInfo`: quantile
+        grid + mergeable sketch over the Monte Carlo draws) when the
+        server runs a calibration loop, else ``None``.  When the online
+        recalibrator has widened this model's spread, the block carries
+        ``recalibrated=True`` and the applied ``scale`` — and ``value``
+        / ``p95`` reflect the widened claim (never silent).
     """
 
     value: StochasticValue = StochasticValue.point(0.0)
@@ -274,6 +283,7 @@ class PredictResponse(Response):
     failover: bool = False
     model: str = ""
     precision: PrecisionInfo | None = None
+    distribution: DistributionInfo | None = None
 
     def __post_init__(self) -> None:
         if self.quality not in QUALITIES:

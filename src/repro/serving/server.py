@@ -41,6 +41,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.calib.loop import CalibrationConfig, CalibrationLoop
 from repro.core.empirical import EmpiricalValue
 from repro.core.stochastic import StochasticValue, as_stochastic
 from repro.nws.service import QUALITIES, NetworkWeatherService, QualifiedForecast
@@ -184,6 +185,16 @@ class ServerConfig:
         floor instead (and can read the clamped contract back from the
         response's ``precision.requested``).  Per-request ``max_samples``
         is likewise clamped to ``n_samples``.
+    calibration:
+        Optional :class:`~repro.calib.loop.CalibrationConfig`.  When
+        set, every answer carries a full predictive distribution
+        (quantile sketch over its Monte Carlo draws) and the server
+        runs the online calibration loop: realised outcomes are
+        simulated from each model's truth distribution, scored (CRPS,
+        PIT, rolling 2σ-coverage), and drifting models are widened by
+        the conformal recalibrator — every adjustment tagged on the
+        response.  ``None`` (default) is byte-identical to previous
+        releases (see ``docs/calibration.md``).
     """
 
     n_samples: int = 400
@@ -195,6 +206,7 @@ class ServerConfig:
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
     precision: PrecisionTarget | None = None
     min_rel_tol: float = 0.001
+    calibration: CalibrationConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_samples < 2:
@@ -210,6 +222,12 @@ class ServerConfig:
         if self.precision is not None and not isinstance(self.precision, PrecisionTarget):
             raise TypeError(
                 f"precision must be a PrecisionTarget or None, got {self.precision!r}"
+            )
+        if self.calibration is not None and not isinstance(
+            self.calibration, CalibrationConfig
+        ):
+            raise TypeError(
+                f"calibration must be a CalibrationConfig or None, got {self.calibration!r}"
             )
 
     def service_time(self, batch_size: int) -> float:
@@ -282,6 +300,18 @@ class PredictionServer:
         # nothing.  (Adaptive metrics are created lazily on the first
         # adaptive batch so fixed-budget snapshots stay byte-identical.)
         self._pool = SampleBufferPool()
+        # The calibration loop scores answers against simulated realised
+        # outcomes on an RNG child *spawned* from the serving generator,
+        # so enabling it never shifts the serving draw sequence; its
+        # metrics are likewise created lazily on the first scored batch.
+        self.calib: CalibrationLoop | None = None
+        if self.config.calibration is not None:
+            self.calib = CalibrationLoop(
+                self.config.calibration,
+                self._rng,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         # Open per-request trace spans, keyed (client_id, request_id);
         # only populated when a live tracer is installed.
         self._req_spans: dict[tuple[str, int], object] = {}
@@ -301,8 +331,13 @@ class PredictionServer:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register_model(self, spec: ModelSpec) -> None:
-        """Make ``spec`` addressable; resources must exist in the NWS."""
+    def register_model(self, spec: ModelSpec, *, truth: ModelSpec | None = None) -> None:
+        """Make ``spec`` addressable; resources must exist in the NWS.
+
+        ``truth`` (calibration only) is the model realised outcomes are
+        simulated from — defaults to ``spec`` itself; a different spec
+        stages a model-is-wrong chaos scenario.
+        """
         if spec.name in self._models:
             raise ValueError(f"model {spec.name!r} already registered")
         known = set(self.nws.resources)
@@ -312,6 +347,8 @@ class PredictionServer:
                 f"model {spec.name!r} maps unregistered NWS resources {sorted(missing)}"
             )
         self._models[spec.name] = spec
+        if self.calib is not None:
+            self.calib.register(spec, truth)
         self.metrics.gauge("models_registered").set(len(self._models))
 
     @property
@@ -654,27 +691,80 @@ class PredictionServer:
         else:
             samples = self._propagate_reference(spec, batch, shared)
 
+        scale, dists, base_eff = self._calibration_blocks(spec, samples, shared)
         responses: list[Response] = []
         for k, req in enumerate(batch):
             consulted = [f for p, f in shared.items() if p not in req.overrides]
             quality = _worst_quality(f.quality for f in consulted)
             staleness = max((f.staleness for f in consulted), default=0.0)
             emp = EmpiricalValue(samples[k])
+            value = emp.to_stochastic()
+            p95 = float(emp.quantile(0.95))
+            dist = None
+            if dists is not None:
+                dist = dists[k]
+                if scale != 1.0:
+                    value = StochasticValue(value.mean, value.spread * scale)
+                    p95 = value.mean + (p95 - value.mean) * scale
             responses.append(
                 PredictResponse(
                     request_id=req.request_id,
                     client_id=req.client_id,
                     completed=t_done,
-                    value=emp.to_stochastic(),
-                    p95=float(emp.quantile(0.95)),
+                    value=value,
+                    p95=p95,
                     quality=quality,
                     staleness=staleness,
                     latency=t_done - req.submitted,
                     batch_size=len(batch),
                     model=req.model,
+                    distribution=dist,
                 )
             )
+            if dist is not None:
+                eff = (
+                    {p: self._effective(spec, req, p, shared) for p in spec.sampled}
+                    if req.overrides
+                    else base_eff
+                )
+                self.calib.enqueue(spec.name, quality, dist, eff, t_done)
         return responses
+
+    # ------------------------------------------------------------------
+    # Calibration loop (distribution blocks + online scoring)
+    # ------------------------------------------------------------------
+    def _calibration_blocks(
+        self,
+        spec: ModelSpec,
+        samples_list: list,
+        shared: dict[str, QualifiedForecast],
+    ) -> tuple:
+        """Distribution blocks for a batch, or ``(1.0, None, None)``.
+
+        Returns ``(scale, dists, base_effective)``: the recalibration
+        scale read once for the batch (control decisions apply from the
+        *next* flush), one distribution per request (already widened —
+        and tagged — when the scale is active), and the resolved
+        per-parameter forecasts shared by every request without
+        overrides (what outcome simulation replays).  Annotation
+        failures never break serving: on any exception the batch is
+        answered un-annotated and ``calib_errors_total`` counts it.
+        """
+        if self.calib is None:
+            return 1.0, None, None
+        try:
+            scale = self.calib.scale(spec.name)
+            dists = self.calib.distributions(samples_list)
+            if scale != 1.0:
+                dists = [d.widened(scale) for d in dists]
+            base_eff = {
+                p: (shared[p].value if p in shared else spec.bindings.resolve(p))
+                for p in spec.sampled
+            }
+            return scale, dists, base_eff
+        except Exception:  # noqa: BLE001 - scoring must never break serving
+            self.metrics.counter("calib_errors_total").inc()
+            return 1.0, None, None
 
     # ------------------------------------------------------------------
     # Adaptive (precision-targeted) evaluation
@@ -794,12 +884,21 @@ class PredictionServer:
             )
         draws_hist = self.metrics.histogram("draws_used", _DRAWS_BUCKETS)
 
+        scale, dists, base_eff = self._calibration_blocks(spec, samples_list, shared)
         responses: list[Response] = []
         for k, req in enumerate(batch):
             consulted = [f for p, f in shared.items() if p not in req.overrides]
             quality = _worst_quality(f.quality for f in consulted)
             staleness = max((f.staleness for f in consulted), default=0.0)
             emp = EmpiricalValue(samples_list[k])
+            value = emp.to_stochastic()
+            p95 = float(emp.quantile(0.95))
+            dist = None
+            if dists is not None:
+                dist = dists[k]
+                if scale != 1.0:
+                    value = StochasticValue(value.mean, value.spread * scale)
+                    p95 = value.mean + (p95 - value.mean) * scale
             info = None
             if outcomes[k] is not None:
                 outcome = outcomes[k]
@@ -823,16 +922,24 @@ class PredictionServer:
                     request_id=req.request_id,
                     client_id=req.client_id,
                     completed=t_done,
-                    value=emp.to_stochastic(),
-                    p95=float(emp.quantile(0.95)),
+                    value=value,
+                    p95=p95,
                     quality=quality,
                     staleness=staleness,
                     latency=t_done - req.submitted,
                     batch_size=len(batch),
                     model=req.model,
                     precision=info,
+                    distribution=dist,
                 )
             )
+            if dist is not None:
+                eff = (
+                    {p: self._effective(spec, req, p, shared) for p in spec.sampled}
+                    if req.overrides
+                    else base_eff
+                )
+                self.calib.enqueue(spec.name, quality, dist, eff, t_done)
         return responses, t_done, total_draws
 
     def _propagate_adaptive(
@@ -1039,17 +1146,24 @@ class PredictionServer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def calibration_summary(self) -> dict | None:
+        """Per-model calibration scores + recalibration state (or ``None``)."""
+        if self.calib is None:
+            return None
+        return self.calib.summary()
+
     def snapshot(self) -> dict:
         """Operational state: metrics + caches, JSON-serialisable."""
         from repro.serving.metrics import _sanitise
 
-        return _sanitise(
-            {
-                "now": self._clock,
-                "queue_depth": len(self._queue),
-                "models": self.models,
-                "metrics": self.metrics.snapshot(),
-                "forecast_cache": self.forecasts.stats(),
-                "plan_cache": plan_cache_stats(),
-            }
-        )
+        doc = {
+            "now": self._clock,
+            "queue_depth": len(self._queue),
+            "models": self.models,
+            "metrics": self.metrics.snapshot(),
+            "forecast_cache": self.forecasts.stats(),
+            "plan_cache": plan_cache_stats(),
+        }
+        if self.calib is not None:
+            doc["calibration"] = self.calib.summary()
+        return _sanitise(doc)

@@ -1,0 +1,162 @@
+"""Regression test for the miscalibrated-model chaos scenario.
+
+The world is twice as variable as the model claims
+(``truth_spread_scale=2.0`` — the "structural spread deliberately
+halved" scenario), staged on the demo Platform 1 servers whose live
+forecasts carry real spread.  The contract (ISSUE 8, satellite 6):
+
+* uncorrected, 2σ-coverage collapses well below the 0.90 SLO floor and
+  every answer stays untagged (the claim is wrong, honestly wrong);
+* with the recalibrator on, the first widen event lands within two
+  control intervals of eligibility, the scale settles above 1.5, and
+  rolling coverage recovers to the SLO band;
+* every answer served after the widening carries the ``recalibrated``
+  tag and its scale — never silent.
+"""
+
+import pytest
+
+from repro.calib import (
+    REASON_REFIT,
+    REASON_WIDEN,
+    CalibrationConfig,
+    RecalibrationPolicy,
+)
+from repro.serving import ClosedLoop, LoadDriver, ServerConfig, demo_server
+
+#: Control cadence under test; flushes align with it so decisions are
+#: made at the earliest eligible observation.
+INTERVAL = 40
+
+#: The SLO floor rolling coverage must recover to (policy default).
+SLO_LOW = 0.90
+
+#: The staged distortion: the world's spread vs the model's claim.
+DISTORTION = 2.0
+
+REQUESTS = 1200
+SEED = 7
+
+
+def _drive(*, recalibrate):
+    calib = CalibrationConfig(
+        truth_spread_scale=DISTORTION,
+        recalibrate=recalibrate,
+        flush_every=INTERVAL,
+        policy=RecalibrationPolicy(
+            control_interval=INTERVAL, min_observations=INTERVAL
+        ),
+    )
+    server, _, _ = demo_server(
+        duration=600.0, config=ServerConfig(calibration=calib), rng=SEED
+    )
+    driver = LoadDriver(
+        server,
+        server.models,
+        ClosedLoop(clients=16, think_time=0.05),
+        max_requests=REQUESTS,
+        rng=5,
+    )
+    report = driver.run()
+    assert report.errors == 0
+    return server.calibration_summary(), [r for r in report.responses if r.ok]
+
+
+@pytest.fixture(scope="module")
+def uncorrected():
+    return _drive(recalibrate=False)
+
+
+@pytest.fixture(scope="module")
+def corrected():
+    return _drive(recalibrate=True)
+
+
+def _merged_coverage(summary) -> float:
+    models = summary["scores"]["models"].values()
+    return sum(m["coverage"] * m["n"] for m in models) / sum(m["n"] for m in models)
+
+
+class TestUncorrected:
+    def test_coverage_collapses_below_slo(self, uncorrected):
+        summary, responses = uncorrected
+        assert summary["scores"]["n"] == len(responses) == REQUESTS
+        # mean +- 2sigma against a world at 2x the claimed sigma covers
+        # ~68%; anything near the SLO floor would mean the chaos knob
+        # stopped working.
+        assert _merged_coverage(summary) < 0.80
+        for score in summary["scores"]["models"].values():
+            assert score["rolling_coverage"] < SLO_LOW
+
+    def test_no_silent_tags(self, uncorrected):
+        _, responses = uncorrected
+        for r in responses:
+            assert not r.distribution.recalibrated
+            assert r.distribution.scale == 1.0
+
+    def test_no_control_state(self, uncorrected):
+        summary, _ = uncorrected
+        assert "recalibration" not in summary
+
+
+class TestCorrected:
+    def test_widens_within_two_control_intervals(self, corrected):
+        summary, _ = corrected
+        events = summary["recalibration"]["events"]
+        assert events, "recalibrator never acted under 2x truth spread"
+        first_by_model: dict[str, dict] = {}
+        for e in events:
+            first_by_model.setdefault(e["model"], e)
+        assert set(first_by_model) == set(summary["scores"]["models"])
+        for first in first_by_model.values():
+            assert first["reason"] in (REASON_WIDEN, REASON_REFIT)
+            assert first["at_observation"] <= 2 * INTERVAL
+            assert first["new_scale"] > first["old_scale"]
+
+    def test_scale_settles_near_the_truth_distortion(self, corrected):
+        summary, _ = corrected
+        for model, scale in summary["recalibration"]["scales"].items():
+            # The conformal solve should land near the true 2x distortion.
+            assert 1.5 < scale <= 4.0, (model, scale)
+
+    def test_rolling_coverage_recovers_to_slo(self, corrected):
+        summary, _ = corrected
+        for model, score in summary["scores"]["models"].items():
+            assert score["rolling_coverage"] >= SLO_LOW, (
+                model,
+                score["rolling_coverage"],
+            )
+
+    def test_coverage_beats_uncorrected(self, corrected, uncorrected):
+        on, _ = corrected
+        off, _ = uncorrected
+        assert _merged_coverage(on) > _merged_coverage(off) + 0.1
+
+    def test_post_widen_answers_are_tagged(self, corrected):
+        summary, responses = corrected
+        first_at = {}
+        for e in summary["recalibration"]["events"]:
+            first_at.setdefault(e["model"], e["at_observation"])
+        seen: dict[str, int] = {}
+        tagged = 0
+        for r in responses:
+            d = r.distribution
+            # Never silent, in both directions.
+            assert d.recalibrated == (d.scale != 1.0)
+            i = seen.get(r.model, 0)
+            seen[r.model] = i + 1
+            # Decisions apply from the serving batch after the flush
+            # that made them; one flush-worth of answers was already in
+            # flight untagged.
+            if r.model in first_at and i >= first_at[r.model] + INTERVAL:
+                assert d.recalibrated and d.scale > 1.0
+                # value carries the same widened claim as the block.
+                assert r.value.spread == pytest.approx(d.spread, rel=1e-12)
+                tagged += 1
+        assert tagged > REQUESTS // 2
+
+    def test_flagging_reserved_for_unfixable_models(self, corrected):
+        summary, _ = corrected
+        # A 2x distortion is inside max_scale=4: widening suffices and
+        # no model should be flagged for re-fit.
+        assert summary["recalibration"]["flagged"] == []

@@ -7,6 +7,7 @@ import pytest
 
 import repro
 import repro.batch
+import repro.calib
 import repro.core
 import repro.distributions
 import repro.faults
@@ -59,6 +60,7 @@ class TestPublicApi:
         [
             repro,
             repro.batch,
+            repro.calib,
             repro.core,
             repro.distributions,
             repro.faults,
@@ -79,6 +81,7 @@ class TestPublicApi:
         "module",
         [
             repro.batch,
+            repro.calib,
             repro.core,
             repro.distributions,
             repro.faults,
