@@ -522,6 +522,50 @@ def _cmd_serve(args) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _cmd_soak(args) -> int:
+    from repro.serving import (
+        AdmissionPolicy,
+        ClusterConfig,
+        ColumnarLoadDriver,
+        ServerConfig,
+        demo_cluster,
+        demo_server,
+    )
+
+    worker = ServerConfig(
+        batch_max=args.batch_max,
+        n_samples=args.samples,
+        admission=AdmissionPolicy(max_queue=args.max_queue),
+    )
+    if args.workers == 1:
+        target, _, _ = demo_server(config=worker, rng=args.seed)
+    else:
+        target, _, _ = demo_cluster(
+            config=ClusterConfig(n_workers=args.workers, worker=worker), rng=args.seed
+        )
+    marks: list[str] = []
+
+    def progress(answered: int, wall: float) -> None:
+        qps = answered / wall if wall > 0 else 0.0
+        marks.append(f"  {answered:>12,} answered  {wall:8.2f} s  {qps:10,.0f} q/s wall")
+
+    driver = ColumnarLoadDriver(
+        target,
+        target.models,
+        rate=args.rate,
+        max_requests=args.requests,
+        deadline=args.deadline,
+        rng=args.seed,
+        progress=progress,
+        progress_every=max(1, args.requests // 10),
+    )
+    report = driver.run()
+    print("\n".join(marks))
+    print(report.summary())
+    print(f"delivery: lost={report.lost} duplicates={report.duplicates}")
+    return 0 if report.errors == 0 and report.lost == 0 and report.duplicates == 0 else 1
+
+
 def _cmd_serve_cluster(args) -> int:
     from repro.faults import FaultPlan
     from repro.serving import AdmissionPolicy, ClusterConfig, LoadDriver, ServerConfig, demo_cluster
@@ -942,6 +986,24 @@ def build_parser() -> argparse.ArgumentParser:
                    "spread outcomes are drawn with")
     p.add_argument("--json", action="store_true", help="dump the full cluster snapshot")
     p.set_defaults(func=_cmd_serve_cluster)
+
+    p = sub.add_parser(
+        "soak",
+        help="columnar soak: pour open-loop load through the array-native "
+        "hot path (see docs/serving.md) and prove lossless delivery",
+    )
+    p.add_argument("--requests", type=int, default=100_000)
+    p.add_argument("--rate", type=float, default=2500.0,
+                   help="open-loop arrival rate in req/s")
+    p.add_argument("--workers", type=int, default=4,
+                   help="cluster size; 1 drives a single server")
+    p.add_argument("--batch-max", type=int, default=512)
+    p.add_argument("--samples", type=int, default=16)
+    p.add_argument("--max-queue", type=int, default=8192)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="relative per-request deadline in simulated seconds")
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=_cmd_soak)
 
     p = sub.add_parser(
         "calib",

@@ -16,6 +16,10 @@ pipeline into a long-running service:
 * :mod:`repro.serving.admission` — bounded queue, per-client token
   buckets, deadline-aware shedding, and the precision-shedding ladder
   (degrade tolerances before turning requests away);
+* :mod:`repro.serving.columnar` — struct-of-arrays request/response
+  batches with lazy protocol views and vectorised admission: the
+  array-native hot path behind ``submit_batch``/``step_batch`` (see
+  ``docs/serving.md``);
 * :mod:`repro.serving.metrics` — counters/gauges/histograms snapshotable
   as JSON;
 * :mod:`repro.serving.driver` — seeded open/closed-loop load generation;
@@ -56,8 +60,15 @@ from repro.serving.admission import (
     TokenBucket,
 )
 from repro.serving.cluster import ClusterConfig, ServingCluster
+from repro.serving.columnar import RequestBatch, ResponseBatch, admit_batch
 from repro.serving.demo import demo_cluster, demo_server
-from repro.serving.driver import ClosedLoop, DriveReport, LoadDriver, OpenLoop
+from repro.serving.driver import (
+    ClosedLoop,
+    ColumnarLoadDriver,
+    DriveReport,
+    LoadDriver,
+    OpenLoop,
+)
 from repro.serving.elastic import (
     Autoscaler,
     ElasticConfig,
@@ -116,6 +127,7 @@ __all__ = [
     "OpenLoop",
     "DriveReport",
     "LoadDriver",
+    "ColumnarLoadDriver",
     "ForecastCache",
     "Counter",
     "Gauge",
@@ -133,6 +145,9 @@ __all__ = [
     "DEGRADED_QUEUE_PRESSURE",
     "ModelSpec",
     "PredictionServer",
+    "RequestBatch",
+    "ResponseBatch",
+    "admit_batch",
     "ServerConfig",
     "demo_server",
 ]

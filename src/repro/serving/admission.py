@@ -39,6 +39,7 @@ __all__ = [
     "TokenBucket",
     "AdmissionController",
     "DEFAULT_PRECISION_LADDER",
+    "SPEND_EPS",
 ]
 
 #: A reasonable precision-shedding ladder: loosen tolerances 2x once the
@@ -94,10 +95,31 @@ class AdmissionPolicy:
             prev_frac, prev_mult = frac, mult
 
 
-class TokenBucket:
-    """A classic token bucket metered against simulated time."""
+#: Spend-check slack absorbing one rounding step of ``rate * dt``: a
+#: client submitting at exactly its allowed cadence can compute a refill
+#: ulps short of a full token (``3 * (1/3) == 0.9999999999999998``) and
+#: must not be shed at its own contract rate for it.
+SPEND_EPS = 1e-9
 
-    __slots__ = ("rate", "burst", "_tokens", "_last")
+
+class TokenBucket:
+    """A token bucket metered against simulated time, with exact accounting.
+
+    State is an *anchor*: the token balance at a reference instant.  The
+    balance at any later ``now`` is one multiply away —
+    ``min(burst, tokens + rate * (now - anchor))`` — so one rounding step
+    is the worst-case error no matter how often the bucket is consulted.
+    The naive alternative (add ``rate * dt`` to a running balance on
+    every call) compounds that rounding: each refill of a client
+    submitting at exactly its allowed rate lands ulps short, the deficit
+    accumulates, and the client is eventually shed at the rate its
+    contract allows.  The anchor advances only on a spend and a denied
+    probe leaves state untouched, so polling cannot perturb the balance;
+    the residual single-multiply rounding at the spend boundary is
+    absorbed by :data:`SPEND_EPS`.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_anchor")
 
     def __init__(self, rate: float, burst: float, *, now: float = 0.0):
         check_nonnegative(rate, "rate")
@@ -105,25 +127,22 @@ class TokenBucket:
         self.rate = rate
         self.burst = burst
         self._tokens = burst
-        self._last = now
-
-    def _refill(self, now: float) -> None:
-        if now > self._last:
-            self._tokens = min(self.burst, self._tokens + self.rate * (now - self._last))
-            self._last = now
-
-    def allow(self, now: float) -> bool:
-        """Spend one token if available; refills lazily up to ``now``."""
-        self._refill(now)
-        if self._tokens >= 1.0:
-            self._tokens -= 1.0
-            return True
-        return False
+        self._anchor = now
 
     def tokens(self, now: float) -> float:
-        """Tokens available at ``now`` (after lazy refill)."""
-        self._refill(now)
-        return self._tokens
+        """Tokens available at ``now`` (pure — no state change)."""
+        if now <= self._anchor:
+            return self._tokens
+        return min(self.burst, self._tokens + self.rate * (now - self._anchor))
+
+    def allow(self, now: float) -> bool:
+        """Spend one token if available at ``now``."""
+        avail = self.tokens(now)
+        if avail >= 1.0 - SPEND_EPS:
+            self._tokens = max(0.0, avail - 1.0)
+            self._anchor = max(self._anchor, now)
+            return True
+        return False
 
 
 class AdmissionController:

@@ -61,14 +61,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.faults.plan import FaultPlan
 from repro.nws.service import QUALITIES, NetworkWeatherService
 from repro.obs.tracer import STAGE_CLUSTER, STAGE_ELASTIC, as_tracer
 from repro.serving.admission import TokenBucket
+from repro.serving.columnar import RequestBatch, ResponseBatch
 from repro.serving.elastic import Autoscaler, ElasticConfig
 from repro.serving.forecasts import SharedRefreshLedger
 from repro.serving.metrics import Histogram, MetricsRegistry, _sanitise
 from repro.serving.protocol import (
+    SHED_DEADLINE,
     SHED_THROTTLED,
     SHED_UNAVAILABLE,
     ErrorResponse,
@@ -378,6 +382,155 @@ class ServingCluster:
         return {name for name, up in self._up.items() if up}
 
     # ------------------------------------------------------------------
+    # Columnar hot path (see docs/serving.md, "The columnar hot path")
+    # ------------------------------------------------------------------
+    @property
+    def columnar_fast_path(self) -> bool:
+        """True when whole batches can route without per-request objects.
+
+        Anything that makes routing or delivery stateful per request —
+        a fault schedule (crash migration needs the in-flight
+        registry), elasticity, the cluster token bucket, tracing, or a
+        worker feature off the columnar path — falls back to the scalar
+        submit/step surface.
+        """
+        return (
+            not self.faults.machine_crashes
+            and self.autoscaler is None
+            and not self._provisioning
+            and not self._draining
+            and self._bucket is None
+            and not self.tracer.enabled
+            and all(w.columnar_fast_path for w in self.workers.values())
+        )
+
+    def submit_batch(self, batch: RequestBatch) -> ResponseBatch:
+        """Route a whole :class:`RequestBatch` to its shard owners.
+
+        The columnar twin of :meth:`submit`: rows are routed per model
+        (one routing decision per *distinct* model in the batch, not per
+        row), handed to each target worker as one sub-batch, and the
+        immediate responses come back as one :class:`ResponseBatch`.
+        On the fast path no in-flight registry entries are kept — with
+        no faults and no elasticity nothing can strand a request, which
+        is exactly what makes the hot path allocation-free.
+        """
+        if len(batch) == 0:
+            return ResponseBatch.empty()
+        if not self.columnar_fast_path:
+            return ResponseBatch.from_responses(
+                [r for r in map(self.submit, batch) if r is not None]
+            )
+        n = len(batch)
+        self.metrics.counter("requests_total").inc(n)
+        model_counts = np.bincount(batch.model, minlength=len(batch.models))
+
+        parts: list[ResponseBatch] = []
+        healthy = self._healthy_set()
+        target_of: dict[int, str] = {}
+        unknown: list[int] = []
+        for code, model in enumerate(batch.models):
+            if not model_counts[code]:
+                continue
+            shard = self._shards.get(model)
+            if shard is None:
+                unknown.append(code)
+                continue
+            self.shard_arrivals[shard] = (
+                self.shard_arrivals.get(shard, 0) + int(model_counts[code])
+            )
+            # Healthy fleet, no failover possible: the primary serves.
+            target_of[code] = self.router.route(shard, healthy)[0]
+
+        if unknown:
+            bad = np.isin(batch.model, unknown)
+            sub = batch.select(bad)
+            self.metrics.counter("errors_total").inc(len(sub))
+            now = np.maximum(sub.submitted, self._clock)
+            parts.append(
+                ResponseBatch.from_responses(
+                    [
+                        ErrorResponse(
+                            request_id=req.request_id,
+                            client_id=req.client_id,
+                            completed=float(at),
+                            message=(
+                                f"unknown model {req.model!r}; "
+                                f"registered: {self.models}"
+                            ),
+                        )
+                        for req, at in zip(sub, now)
+                    ]
+                )
+            )
+            batch = batch.select(~bad)
+
+        targets = sorted(set(target_of.values()))
+        for name in targets:
+            codes = [c for c, t in target_of.items() if t == name]
+            group = (
+                batch
+                if len(targets) == 1 and not len(parts)
+                else batch.select(np.isin(batch.model, codes))
+            )
+            if not len(group):
+                continue
+            immediate = self.workers[name].submit_batch(group)
+            if len(immediate):
+                parts.append(self._account_batch(immediate.with_worker(name)))
+        return ResponseBatch.concat(parts)
+
+    def step_batch(self, to: float) -> ResponseBatch:
+        """Columnar event loop: step every worker, deliver in one pass.
+
+        With no faults and no elasticity the window has no boundaries to
+        cut, so each worker steps straight to ``to`` through its own
+        columnar loop; deliveries are stamped with worker attribution
+        batch-wise and returned in completion order.
+        """
+        if not self.columnar_fast_path:
+            return ResponseBatch.from_responses(self.step(to))
+        if to < self._clock:
+            raise ValueError(f"cannot step the cluster backwards from {self._clock} to {to}")
+        parts: list[ResponseBatch] = []
+        for name in sorted(self.workers):
+            delivered = self.workers[name].step_batch(to)
+            if len(delivered):
+                if self._inflight:
+                    # Requests admitted through the scalar surface keep
+                    # registry entries; pop them so mixed use stays sane.
+                    for i in range(len(delivered)):
+                        self._inflight.pop(
+                            (
+                                delivered.clients[delivered.client[i]],
+                                int(delivered.request_id[i]),
+                            ),
+                            None,
+                        )
+                parts.append(self._account_batch(delivered.with_worker(name)))
+        self._clock = to
+        depth_hist = self.metrics.histogram("worker_queue_depth", _DEPTH_BUCKETS)
+        for worker in self.workers.values():
+            depth_hist.observe(worker.queue_depth)
+        return ResponseBatch.concat(parts).sorted_by_completion()
+
+    def _account_batch(self, rb: ResponseBatch) -> ResponseBatch:
+        """Vectorised mirror of :meth:`_account` for a response batch."""
+        counts = rb.status_counts()
+        if counts["ok"]:
+            self.metrics.counter("responses_ok").inc(counts["ok"])
+            for quality, c in rb.quality_counts().items():
+                self.metrics.counter(f"quality_{quality}").inc(c)
+            self.metrics.histogram("latency_s").observe_many(rb.latency[rb.ok_mask])
+        if counts["overloaded"]:
+            self.metrics.counter("shed_total").inc(counts["overloaded"])
+            for reason, c in rb.reason_counts().items():
+                self.metrics.counter(f"shed_{reason}").inc(c)
+        if counts["error"]:
+            self.metrics.counter("errors_total").inc(counts["error"])
+        return rb
+
+    # ------------------------------------------------------------------
     # Event loop
     # ------------------------------------------------------------------
     def step(self, to: float) -> list[Response]:
@@ -500,6 +653,17 @@ class ServingCluster:
         moved_shards = set()
         for key in stranded:
             entry = self._inflight.pop(key)
+            deadline = entry.request.deadline
+            if deadline is not None and deadline < t:
+                # Same inclusive boundary as worker-side shedding
+                # (PredictRequest.deadline): a deadline equal to the
+                # migration instant is still servable; a strictly
+                # earlier one is dead on arrival, so re-routing it
+                # would only have a replica shed it later with a
+                # misleading timestamp.
+                out.append(self._shed(entry.request, SHED_DEADLINE, t))
+                shed += 1
+                continue
             shard = self._shards[entry.request.model]
             target, failover = self.router.route(shard, healthy)
             if target is None:

@@ -31,12 +31,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serving.columnar import RequestBatch
 from repro.serving.protocol import PredictRequest, Response
 from repro.serving.schedules import RateSchedule
 from repro.util.rng import as_generator
 from repro.util.validation import check_nonnegative, check_positive
 
-__all__ = ["OpenLoop", "ClosedLoop", "DriveReport", "LoadDriver"]
+__all__ = ["OpenLoop", "ClosedLoop", "DriveReport", "LoadDriver", "ColumnarLoadDriver"]
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,10 @@ class DriveReport:
     latency_p50: float = float("nan")
     latency_p99: float = float("nan")
     latency_max: float = float("nan")
+    #: Delivery-accounting violations, tracked by the columnar driver:
+    #: a drive is lossless iff both stay zero.
+    duplicates: int = 0
+    lost: int = 0
 
     @property
     def qps_sim(self) -> float:
@@ -344,3 +349,234 @@ class LoadDriver:
         if self.duration is not None and self.server.now > self._start + self.duration:
             return False
         return True
+
+
+class ColumnarLoadDriver:
+    """Open-loop load through the columnar ``submit_batch`` surface.
+
+    The array-native twin of :class:`LoadDriver`, built for soak runs
+    of a million-plus requests where the scalar driver's per-request
+    object churn *is* the benchmark noise.  Three things change:
+
+    * Arrival instants are drawn as vectorised exponential cumulative
+      sums (chunked, still a plain seeded Poisson process) instead of
+      one Python-level draw per request.
+    * Requests are built directly as :class:`RequestBatch` columns —
+      no :class:`~repro.serving.protocol.PredictRequest` is ever
+      materialised on the hot path.  Each simulated ``window`` the
+      arrivals that fell due are submitted as one batch and the server
+      is stepped once via ``step_batch``.
+    * Responses are accounted column-wise (status/reason/quality
+      bincounts, latency columns pooled for percentiles), and every
+      ``request_id`` is checked off against a bitmap, so the report can
+      *prove* the drive was lossless: ``duplicates`` counts ids
+      answered twice and ``lost`` counts ids never answered.
+
+    The report's ``responses`` list stays empty — that is the point.
+    Works against any server exposing ``submit_batch`` / ``step_batch``
+    / ``now`` / ``queue_depth`` (a single
+    :class:`~repro.serving.server.PredictionServer` or a
+    :class:`~repro.serving.cluster.ServingCluster`); when the target's
+    columnar fast path is gated off it transparently degrades to the
+    scalar path inside ``submit_batch``, slower but identical in
+    outcome.
+
+    Parameters
+    ----------
+    server:
+        Target exposing the columnar batch surface.
+    models:
+        Model names traffic draws from (uniformly unless
+        ``model_weights`` skews it), seeded.
+    rate:
+        Constant open-loop arrival rate, requests per simulated second.
+    clients:
+        Round-robin client-identity population (``client-0`` …).
+    max_requests / duration:
+        Submission budget — at least one must be given.
+    deadline:
+        Relative per-request deadline; ``None`` waits forever.
+    window:
+        Simulated seconds per drive step.  Coarser than the scalar
+        driver's ``tick`` because a whole window of arrivals is one
+        batch; it bounds how much simulated time can pass between
+        server steps, not answer accuracy.
+    rng:
+        Seed for arrivals and model choice.
+    progress / progress_every:
+        Optional soak-run instrumentation: ``progress(answered,
+        wall_seconds)`` is called each time another ``progress_every``
+        responses have been accounted (and once at the end), letting a
+        benchmark build a wall-QPS step summary from a single run.
+    """
+
+    #: Hard cap on drain windows after submissions stop.
+    DRAIN_WINDOWS = 200_000
+
+    def __init__(
+        self,
+        server,
+        models: list[str],
+        *,
+        rate: float,
+        clients: int = 8,
+        max_requests: int | None = None,
+        duration: float | None = None,
+        deadline: float | None = None,
+        window: float = 0.25,
+        rng=None,
+        model_weights: dict | None = None,
+        progress=None,
+        progress_every: int = 100_000,
+    ):
+        if not models:
+            raise ValueError("models must be non-empty")
+        if max_requests is None and duration is None:
+            raise ValueError("need max_requests and/or duration to bound the drive")
+        check_positive(rate, "rate")
+        check_positive(window, "window")
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        if deadline is not None:
+            check_positive(deadline, "deadline")
+        self.server = server
+        self.models = tuple(models)
+        self.rate = float(rate)
+        self.clients = clients
+        self.max_requests = max_requests
+        self.duration = duration
+        self.deadline = deadline
+        self.window = float(window)
+        self.progress = progress
+        self.progress_every = int(progress_every)
+        if self.progress_every < 1:
+            raise ValueError(f"progress_every must be >= 1, got {progress_every}")
+        self._rng = as_generator(rng)
+        self._cum_weights = None
+        if model_weights is not None:
+            unknown = set(model_weights) - set(self.models)
+            if unknown:
+                raise ValueError(
+                    f"model_weights name unknown models {sorted(unknown)}; "
+                    f"drive models: {list(self.models)}"
+                )
+            raw = np.array([float(model_weights.get(m, 0.0)) for m in self.models])
+            if np.any(raw < 0.0) or raw.sum() <= 0.0:
+                raise ValueError("model_weights must be non-negative with a positive sum")
+            self._cum_weights = np.cumsum(raw / raw.sum())
+
+    # ------------------------------------------------------------------
+    def _arrivals(self, start: float) -> np.ndarray:
+        """All arrival instants, drawn in vectorised chunks."""
+        horizon = start + (self.duration if self.duration is not None else float("inf"))
+        budget = self.max_requests
+        chunks: list[np.ndarray] = []
+        t = start
+        total = 0
+        chunk = 1 << 16
+        while budget is None or total < budget:
+            m = chunk if budget is None else min(chunk, budget - total)
+            seg = t + np.cumsum(self._rng.exponential(1.0 / self.rate, size=m))
+            if seg[-1] > horizon:
+                seg = seg[seg <= horizon]
+                if seg.size:
+                    chunks.append(seg)
+                break
+            chunks.append(seg)
+            total += m
+            t = float(seg[-1])
+        return np.concatenate(chunks) if chunks else np.empty(0)
+
+    def _model_codes(self, n: int) -> np.ndarray:
+        if self._cum_weights is None:
+            return self._rng.integers(0, len(self.models), size=n).astype(np.int32)
+        idx = np.searchsorted(self._cum_weights, self._rng.random(n), side="right")
+        return np.minimum(idx, len(self.models) - 1).astype(np.int32)
+
+    def run(self) -> DriveReport:
+        """Play the workload to completion and summarise it."""
+        server = self.server
+        report = DriveReport()
+        wall0 = time.perf_counter()
+        start = server.now
+
+        times = self._arrivals(start)
+        n = times.shape[0]
+        report.submitted = n
+        request_id = np.arange(n, dtype=np.int64)
+        client = (request_id % self.clients).astype(np.int32)
+        clients_table = tuple(f"client-{c}" for c in range(self.clients))
+        model = self._model_codes(n)
+        deadline = (
+            np.full(n, float("inf")) if self.deadline is None else times + self.deadline
+        )
+
+        seen = np.zeros(n, dtype=bool)
+        lat_parts: list[np.ndarray] = []
+
+        def account(rb) -> int:
+            m = len(rb)
+            if m == 0:
+                return 0
+            counts = rb.status_counts()
+            report.ok += counts["ok"]
+            report.shed += counts["overloaded"]
+            report.errors += counts["error"]
+            for name, c in rb.reason_counts().items():
+                report.shed_reasons[name] = report.shed_reasons.get(name, 0) + c
+            for name, c in rb.quality_counts().items():
+                report.qualities[name] = report.qualities.get(name, 0) + c
+            if counts["ok"]:
+                lat_parts.append(rb.latency[rb.ok_mask])
+            ids = rb.request_id
+            dup = int(np.count_nonzero(seen[ids]))
+            if dup:  # pragma: no cover - the invariant under test
+                report.duplicates += dup
+            seen[ids] = True
+            return m
+
+        now = start
+        pos = 0
+        answered = 0
+        next_mark = self.progress_every
+        windows_after_stop = 0
+        while True:
+            now += self.window
+            if pos < n:
+                j = int(np.searchsorted(times, now, side="right"))
+                if j > pos:
+                    seg = RequestBatch(
+                        request_id=request_id[pos:j],
+                        client=client[pos:j],
+                        clients=clients_table,
+                        model=model[pos:j],
+                        models=self.models,
+                        submitted=times[pos:j],
+                        deadline=deadline[pos:j],
+                    )
+                    pos = j
+                    answered += account(server.submit_batch(seg))
+            answered += account(server.step_batch(now))
+            if self.progress is not None and answered >= next_mark:
+                self.progress(answered, time.perf_counter() - wall0)
+                next_mark += self.progress_every * (
+                    1 + (answered - next_mark) // self.progress_every
+                )
+            if pos >= n:
+                if answered >= n and server.queue_depth == 0:
+                    break
+                windows_after_stop += 1
+                if windows_after_stop > self.DRAIN_WINDOWS:  # pragma: no cover
+                    break
+
+        report.lost = n - int(np.count_nonzero(seen))
+        report.sim_duration = now - start
+        report.wall_seconds = time.perf_counter() - wall0
+        if self.progress is not None and answered:
+            self.progress(answered, report.wall_seconds)
+        if lat_parts:
+            lat = np.sort(np.concatenate(lat_parts))
+            report.latency_p50 = float(lat[lat.size // 2])
+            report.latency_p99 = float(lat[min(lat.size - 1, int(0.99 * lat.size))])
+            report.latency_max = float(lat[-1])
+        return report

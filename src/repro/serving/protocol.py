@@ -89,6 +89,15 @@ class PredictRequest:
         Absolute simulated time after which the answer is worthless;
         ``None`` means the client will wait forever.  Requests whose
         deadline passes while queued are shed, not evaluated.
+
+        The boundary is **inclusive** everywhere a deadline is
+        checked: a request whose deadline *equals* the instant service
+        (or cluster re-routing after a crash or drain) would begin is
+        still served; it is shed only when that instant is *strictly
+        after* the deadline (``deadline < t``).  One convention on
+        every path — worker-side shedding, the columnar queue, and
+        in-flight migration — so the same trace sheds the same
+        requests no matter which path handled them.
     overrides:
         Run-time parameter overrides (name -> value) applied *for this
         request only* on top of the server's live NWS forecasts — e.g. a

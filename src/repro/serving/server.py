@@ -36,6 +36,8 @@ quality tags every answer carries.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import deque
 from dataclasses import dataclass, field, replace
 
@@ -47,6 +49,14 @@ from repro.core.stochastic import StochasticValue, as_stochastic
 from repro.nws.service import QUALITIES, NetworkWeatherService, QualifiedForecast
 from repro.obs.tracer import STAGE_SERVING, STAGE_STRUCTURAL, as_tracer
 from repro.serving.admission import AdmissionController, AdmissionPolicy
+from repro.serving.columnar import (
+    ADMIT,
+    REASONS,
+    STATUSES,
+    RequestBatch,
+    ResponseBatch,
+    admit_batch,
+)
 from repro.serving.forecasts import ForecastCache, SharedRefreshLedger
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.protocol import (
@@ -86,6 +96,10 @@ _STALENESS_BUCKETS = (1.0, 5.0, 15.0, 60.0, 300.0, 1800.0)
 
 #: Draws-per-request histogram bucket bounds (adaptive sampling).
 _DRAWS_BUCKETS = (16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0)
+
+#: Columnar status / reason codes (indexes into the protocol tables).
+_ST_OVERLOADED = STATUSES.index("overloaded")
+_RE_DEADLINE = REASONS.index(SHED_DEADLINE)
 
 
 @dataclass(frozen=True)
@@ -288,7 +302,26 @@ class PredictionServer:
         self.admission = AdmissionController(self.config.admission)
         self._models: dict[str, ModelSpec] = {}
         self._queue: deque[PredictRequest] = deque()
-        self._done: list[Response] = []
+        # Completed-but-undelivered responses, a heap ordered by
+        # (completed, push sequence): step() pops only the entries whose
+        # completion time has been reached, so delivery is O(delivered
+        # log pending) instead of re-sorting and rebuilding the whole
+        # pending list every step.  The monotone sequence number makes
+        # the pop order identical to a *stable* sort by completion time.
+        self._done: list[tuple[float, int, Response]] = []
+        self._done_seq = itertools.count()
+        # The columnar twin of ``_queue``/``_done``: admitted
+        # RequestBatch segments (FIFO) and completed ResponseBatch parts
+        # awaiting their delivery instant (see submit_batch/step_batch).
+        self._cqueue: deque[RequestBatch] = deque()
+        self._cq_len = 0
+        self._cdone: list[ResponseBatch] = []
+        # Per-model compiled-plan memo for the columnar path.  The
+        # engine's own plan cache already dedupes compilation, but a
+        # cache *hit* still hashes the whole expression tree — at
+        # 100k+ QPS that hash is measurable.  Safe to key by name:
+        # register_model refuses re-registration.
+        self._cplans: dict[str, object] = {}
         # ``clock`` lets an elastic cluster commission a worker mid-run:
         # the newcomer's event loop starts at its ready instant instead
         # of wherever the shared NWS clock happens to stand.
@@ -363,8 +396,8 @@ class PredictionServer:
 
     @property
     def queue_depth(self) -> int:
-        """Requests admitted and waiting for service."""
-        return len(self._queue)
+        """Requests admitted and waiting for service (both paths)."""
+        return len(self._queue) + self._cq_len
 
     # ------------------------------------------------------------------
     # Submission
@@ -409,7 +442,7 @@ class PredictionServer:
                 ),
             )
 
-        reason = self.admission.admit(request.client_id, len(self._queue), now)
+        reason = self.admission.admit(request.client_id, self.queue_depth, now)
         if reason is not None:
             return self._shed(request, reason, now)
 
@@ -424,7 +457,7 @@ class PredictionServer:
                 client_id=request.client_id,
                 model=request.model,
             )
-        self.metrics.gauge("queue_depth").set(len(self._queue))
+        self.metrics.gauge("queue_depth").set(self.queue_depth)
         return None
 
     def _trace_reject(self, request: PredictRequest, at: float, why: str) -> None:
@@ -465,7 +498,7 @@ class PredictionServer:
             completed=at,
             reason=reason,
             retry_after=self.admission.retry_after(
-                len(self._queue), self.config.drain_rate()
+                self.queue_depth, self.config.drain_rate()
             ),
         )
 
@@ -489,7 +522,7 @@ class PredictionServer:
             t_start = max(self._busy_until, self._clock, self._queue[0].submitted)
             if t_start > to:
                 break
-            self._done.extend(self._shed_expired(t_start))
+            self._finish(self._shed_expired(t_start))
             if not self._queue:
                 break
             batch = self._take_batch()
@@ -526,16 +559,16 @@ class PredictionServer:
                             rsp.set(batch_span=sp.span_id)
                 else:
                     responses = self._serve_batch(batch, t_start, t_done)
-            self._done.extend(responses)
+            self._finish(responses)
             self._busy_until = t_done
             self.metrics.counter("batches_total").inc()
             self.metrics.histogram("batch_size", _BATCH_BUCKETS).observe(len(batch))
         self._clock = to
         self.forecasts.ingest_to(to)
-        self.metrics.gauge("queue_depth").set(len(self._queue))
-        self._done.sort(key=lambda r: r.completed)
-        out = [r for r in self._done if r.completed <= to]
-        self._done = [r for r in self._done if r.completed > to]
+        self.metrics.gauge("queue_depth").set(self.queue_depth)
+        out: list[Response] = []
+        while self._done and self._done[0][0] <= to:
+            out.append(heapq.heappop(self._done)[2])
         # Answer metrics are observed at *delivery*, not at compute time,
         # so work computed by a worker that crashes before delivering
         # (discarded by drain()) never appears as a served answer.
@@ -565,6 +598,11 @@ class PredictionServer:
                 sp.finish(resp.completed)
         return out
 
+    def _finish(self, responses) -> None:
+        """Park computed responses until their delivery instant."""
+        for r in responses:
+            heapq.heappush(self._done, (r.completed, next(self._done_seq), r))
+
     def _shed_expired(self, t: float) -> list[Response]:
         """Drop queued requests whose deadline passed before service."""
         kept: deque[PredictRequest] = deque()
@@ -593,6 +631,339 @@ class PredictionServer:
         return batch
 
     # ------------------------------------------------------------------
+    # Columnar hot path (see docs/serving.md, "The columnar hot path")
+    # ------------------------------------------------------------------
+    @property
+    def columnar_fast_path(self) -> bool:
+        """True when batches never need per-request materialisation.
+
+        The array-native path serves exactly the feature set the
+        benchmark hot loop uses; anything that needs per-request state —
+        tracing spans, the reference engine, calibration blocks, a
+        server-wide precision default — routes through the scalar path
+        unchanged (per-request overrides/precision payloads likewise,
+        decided row by row in :meth:`submit_batch`).
+        """
+        cfg = self.config
+        return (
+            cfg.mode == "batched"
+            and cfg.calibration is None
+            and cfg.precision is None
+            and not self.tracer.enabled
+        )
+
+    def submit_batch(self, batch: RequestBatch) -> ResponseBatch:
+        """Admit a whole :class:`RequestBatch` in a few array passes.
+
+        The columnar twin of :meth:`submit`: returns the *immediate*
+        responses (validation errors and admission sheds) as a
+        :class:`ResponseBatch`; admitted rows queue for
+        :meth:`step_batch`.  Verdicts — and the token-bucket state left
+        behind — are identical to feeding the same rows through
+        :meth:`submit` one at a time.  Rows carrying ragged payloads
+        (overrides, per-request precision) are split off and submitted
+        through the scalar path first; the dense remainder never
+        materialises a dataclass.
+        """
+        if len(batch) == 0:
+            return ResponseBatch.empty()
+        if not self.columnar_fast_path:
+            return ResponseBatch.from_responses(
+                [r for r in map(self.submit, batch) if r is not None]
+            )
+        parts: list[ResponseBatch] = []
+        ragged = batch.has_ragged
+        if ragged.any():
+            scalar_rows = [
+                r for r in map(self.submit, batch.select(ragged)) if r is not None
+            ]
+            if scalar_rows:
+                parts.append(ResponseBatch.from_responses(scalar_rows))
+            batch = batch.select(~ragged)
+            if len(batch) == 0:
+                return ResponseBatch.concat(parts)
+
+        n = len(batch)
+        self.metrics.counter("requests_total").inc(n)
+        now = np.maximum(batch.submitted, self._clock)
+
+        known = np.fromiter(
+            (m in self._models for m in batch.models),
+            dtype=bool,
+            count=len(batch.models),
+        )
+        bad = ~known[batch.model]
+        if bad.any():
+            self.metrics.counter("errors_total").inc(int(bad.sum()))
+            sub = batch.select(bad)
+            parts.append(
+                ResponseBatch.from_responses(
+                    [
+                        ErrorResponse(
+                            request_id=req.request_id,
+                            client_id=req.client_id,
+                            completed=float(t),
+                            message=(
+                                f"unknown model {req.model!r}; "
+                                f"registered: {self.models}"
+                            ),
+                        )
+                        for req, t in zip(sub, now[bad])
+                    ]
+                )
+            )
+            batch = batch.select(~bad)
+            now = now[~bad]
+            if len(batch) == 0:
+                return ResponseBatch.concat(parts)
+
+        depth0 = self.queue_depth
+        verdict = admit_batch(self.admission, batch, depth0, self._clock)
+        admitted = verdict == ADMIT
+        shed = ~admitted
+        if shed.any():
+            n_shed = int(shed.sum())
+            self.metrics.counter("shed_total").inc(n_shed)
+            reason_counts = np.bincount(verdict[shed], minlength=len(REASONS))
+            for code, name in enumerate(REASONS):
+                if name and reason_counts[code]:
+                    self.metrics.counter(f"shed_{name}").inc(int(reason_counts[code]))
+            # Scalar parity: each shed row's retry hint reads the queue
+            # depth at its own instant in the submission order.
+            depth_at = depth0 + np.cumsum(admitted) - admitted
+            drain = self.config.drain_rate()
+            sub = batch.select(shed)
+            z = np.zeros(n_shed)
+            parts.append(
+                ResponseBatch(
+                    request_id=sub.request_id,
+                    client=sub.client,
+                    clients=sub.clients,
+                    model=sub.model,
+                    models=sub.models,
+                    status=np.full(n_shed, _ST_OVERLOADED, np.int8),
+                    reason=verdict[shed],
+                    completed=now[shed],
+                    mean=z,
+                    spread=z,
+                    p95=z,
+                    quality=np.zeros(n_shed, np.int8),
+                    staleness=z,
+                    latency=z,
+                    batch_size=np.zeros(n_shed, np.int32),
+                    retry_after=depth_at[shed] / drain,
+                )
+            )
+            batch = batch.select(admitted)
+        if len(batch):
+            self._cqueue.append(batch)
+            self._cq_len += len(batch)
+        self.metrics.gauge("queue_depth").set(self.queue_depth)
+        return ResponseBatch.concat(parts)
+
+    def step_batch(self, to: float) -> ResponseBatch:
+        """Columnar event loop: serve queued rows and deliver up to ``to``.
+
+        Runs the array-native loop over the columnar queue, then the
+        scalar loop (which serves anything :meth:`submit_batch` routed
+        through the scalar path and advances the clock), and returns
+        every response whose completion instant has been reached, in
+        completion order.  Capacity is shared: both loops extend the
+        same in-service window, so a server driven through both APIs
+        still serves one batch at a time.
+        """
+        if to < self._clock:
+            raise ValueError(f"cannot step the server backwards from {self._clock} to {to}")
+        self._step_columnar(to)
+        scalar = self.step(to)
+        parts = []
+        released = self._release_columnar(to)
+        if released is not None:
+            parts.append(released)
+        if scalar:
+            parts.append(ResponseBatch.from_responses(scalar))
+        return ResponseBatch.concat(parts).sorted_by_completion()
+
+    def _step_columnar(self, to: float) -> None:
+        """The batch-serving loop over the columnar queue (no delivery)."""
+        cfg = self.config
+        while self._cq_len:
+            t_start = max(
+                self._busy_until, self._clock, float(self._cqueue[0].submitted[0])
+            )
+            if t_start > to:
+                break
+            self._cshed_expired(t_start)
+            if not self._cq_len:
+                break
+            batch = self._take_cbatch()
+            t_start = max(t_start, float(batch.submitted.max()))
+            t_done = t_start + cfg.service_time(len(batch))
+            self._cdone.append(self._serve_columnar(batch, t_start, t_done))
+            self._busy_until = t_done
+            self.metrics.counter("batches_total").inc()
+            self.metrics.histogram("batch_size", _BATCH_BUCKETS).observe(len(batch))
+
+    def _cshed_expired(self, t: float) -> None:
+        """Vectorised deadline shedding over the columnar queue.
+
+        Same inclusive boundary as :meth:`_shed_expired`: only a
+        deadline *strictly before* the service instant sheds.
+        """
+        if not any((seg.deadline < t).any() for seg in self._cqueue):
+            return
+        retry = self.admission.retry_after(self.queue_depth, self.config.drain_rate())
+        kept: list[RequestBatch] = []
+        for seg in self._cqueue:
+            expired = seg.deadline < t
+            if expired.any():
+                sub = seg.select(expired)
+                n = len(sub)
+                self.metrics.counter("shed_total").inc(n)
+                self.metrics.counter(f"shed_{SHED_DEADLINE}").inc(n)
+                z = np.zeros(n)
+                self._cdone.append(
+                    ResponseBatch(
+                        request_id=sub.request_id,
+                        client=sub.client,
+                        clients=sub.clients,
+                        model=sub.model,
+                        models=sub.models,
+                        status=np.full(n, _ST_OVERLOADED, np.int8),
+                        reason=np.full(n, _RE_DEADLINE, np.int8),
+                        completed=np.full(n, t),
+                        mean=z,
+                        spread=z,
+                        p95=z,
+                        quality=np.zeros(n, np.int8),
+                        staleness=z,
+                        latency=z,
+                        batch_size=np.zeros(n, np.int32),
+                        retry_after=np.full(n, retry),
+                    )
+                )
+                seg = seg.select(~expired)
+            if len(seg):
+                kept.append(seg)
+        self._cqueue = deque(kept)
+        self._cq_len = sum(len(s) for s in kept)
+
+    def _take_cbatch(self) -> RequestBatch:
+        """Head-of-queue model's rows, FIFO up to the cap, as one select.
+
+        The same selection rule as :meth:`_take_batch` — every queued
+        row of the head model, in arrival order, capped at
+        ``batch_max`` — expressed as a mask over the coalesced queue.
+        """
+        q = (
+            self._cqueue[0]
+            if len(self._cqueue) == 1
+            else RequestBatch.concat(list(self._cqueue))
+        )
+        idx = np.flatnonzero(q.model == q.model[0])[: self.config.batch_max]
+        keep = np.ones(len(q), dtype=bool)
+        keep[idx] = False
+        batch = q.select(idx)
+        rest = q.select(keep)
+        self._cqueue = deque([rest] if len(rest) else [])
+        self._cq_len = len(rest)
+        return batch
+
+    def _serve_columnar(
+        self, batch: RequestBatch, t_start: float, t_done: float
+    ) -> ResponseBatch:
+        """Fused evaluation of one single-model batch, answers as columns.
+
+        Every row shares the model's forecast-resolved parameter values
+        (rows with overrides never reach this path), so the whole batch
+        is one draw + one plan evaluation + axis-1 reductions; the
+        mean / spread / p95 formulas match
+        :meth:`~repro.core.empirical.EmpiricalValue.to_stochastic` and
+        :meth:`~repro.core.empirical.EmpiricalValue.quantile` exactly.
+        Any failure — unsupported plan included — falls back to the
+        scalar batch path, which already answers both cases.
+        """
+        name = batch.models[batch.model[0]]
+        spec = self._models[name]
+        k = len(batch)
+        n = self.config.n_samples
+        try:
+            plan = self._cplans.get(name)
+            if plan is None:
+                plan = compile_expr(
+                    spec.expression, spec.sampled, policy=spec.policy, tracer=self.tracer
+                )
+                self._cplans[name] = plan
+            self.forecasts.ingest_to(t_start)
+            shared = {
+                param: self.forecasts.get(resource, t_start)
+                for param, resource in sorted(spec.resources.items())
+                if param in spec.sampled
+            }
+            draws = {}
+            for param in spec.sampled:
+                bounds = spec.clip.get(param) if spec.clip else None
+                sv = shared[param].value if param in shared else spec.bindings.resolve(param)
+                draws[param] = self._draw(sv, k * n, bounds)
+            out = plan.evaluate(draws, spec.bindings, n_samples=k * n).reshape(k, n)
+            mean = out.mean(axis=1)
+            spread = 2.0 * out.std(axis=1, ddof=1)
+            p95 = np.quantile(out, 0.95, axis=1)
+        except Exception:  # noqa: BLE001 - protocol boundary
+            return ResponseBatch.from_responses(
+                self._serve_batch(batch.to_requests(), t_start, t_done)
+            )
+        quality = _worst_quality(f.quality for f in shared.values())
+        staleness = max((f.staleness for f in shared.values()), default=0.0)
+        return ResponseBatch(
+            request_id=batch.request_id,
+            client=batch.client,
+            clients=batch.clients,
+            model=batch.model,
+            models=batch.models,
+            status=np.zeros(k, np.int8),
+            reason=np.zeros(k, np.int8),
+            completed=np.full(k, t_done),
+            mean=mean,
+            spread=spread,
+            p95=p95,
+            quality=np.full(k, QUALITIES.index(quality), np.int8),
+            staleness=np.full(k, staleness),
+            latency=t_done - batch.submitted,
+            batch_size=np.full(k, k, np.int32),
+            retry_after=np.zeros(k),
+        )
+
+    def _release_columnar(self, to: float) -> ResponseBatch | None:
+        """Columnar responses whose completion instant has been reached."""
+        if not self._cdone:
+            return None
+        pending = ResponseBatch.concat(self._cdone)
+        ready = pending.completed <= to
+        if not ready.any():
+            self._cdone = [pending]
+            return None
+        if ready.all():
+            self._cdone = []
+            out = pending
+        else:
+            self._cdone = [pending.select(~ready)]
+            out = pending.select(ready)
+        out = out.sorted_by_completion()
+        # Delivery-time metrics, the vectorised mirror of step()'s.
+        ok = out.ok_mask
+        n_ok = int(ok.sum())
+        if n_ok:
+            self.metrics.counter("responses_ok").inc(n_ok)
+            for q, c in out.quality_counts().items():
+                self.metrics.counter(f"quality_{q}").inc(c)
+            self.metrics.histogram("latency_s").observe_many(out.latency[ok])
+            self.metrics.histogram("staleness_at_answer_s", _STALENESS_BUCKETS).observe_many(
+                np.minimum(out.staleness[ok], 1e9)
+            )
+        return out
+
+    # ------------------------------------------------------------------
     # Cluster lifecycle hooks
     # ------------------------------------------------------------------
     def drain(self) -> list[PredictRequest]:
@@ -607,8 +978,13 @@ class PredictionServer:
         not resume a half-finished batch.
         """
         dropped = list(self._queue)
+        for seg in self._cqueue:
+            dropped.extend(seg.to_requests())
         self._queue.clear()
         self._done.clear()
+        self._cqueue.clear()
+        self._cq_len = 0
+        self._cdone.clear()
         self._busy_until = self._clock
         self.metrics.gauge("queue_depth").set(0)
         if self.tracer.enabled:
@@ -630,6 +1006,9 @@ class PredictionServer:
             raise ValueError(f"cannot restart at {at}, before the clock ({self._clock})")
         self._queue.clear()
         self._done.clear()
+        self._cqueue.clear()
+        self._cq_len = 0
+        self._cdone.clear()
         self._clock = at
         self._busy_until = at
         self.forecasts.invalidate()
@@ -1158,7 +1537,7 @@ class PredictionServer:
 
         doc = {
             "now": self._clock,
-            "queue_depth": len(self._queue),
+            "queue_depth": self.queue_depth,
             "models": self.models,
             "metrics": self.metrics.snapshot(),
             "forecast_cache": self.forecasts.stats(),

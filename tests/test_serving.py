@@ -184,6 +184,27 @@ class TestAdmission:
         b = TokenBucket(rate=10.0, burst=2.0, now=0.0)
         assert b.tokens(100.0) == 2.0
 
+    def test_bucket_exact_at_rate_boundary_cadence(self):
+        # Float-drift regression: a client submitting at *exactly* its
+        # allowed rate must never be shed.  The old implementation
+        # accumulated `tokens += rate * dt` per call, so cadences whose
+        # step is not exactly representable (1/3 s here) under-refilled
+        # by ulps — e.g. 3 * (1/3) == 0.9999999999999998 < 1 — and
+        # spuriously throttled the well-behaved client.
+        b = TokenBucket(rate=3.0, burst=1.0, now=0.0)
+        step = 1.0 / 3.0
+        for k in range(1, 1000):
+            assert b.allow(k * step), f"shed at cadence step {k}"
+
+    def test_bucket_denied_poll_does_not_drift(self):
+        # A denied request must leave the bucket state untouched, so
+        # rapid polling between grants cannot erode the refill.
+        b = TokenBucket(rate=1.0, burst=1.0, now=0.0)
+        assert b.allow(0.0)
+        for i in range(100):
+            assert not b.allow(0.5 + i * 1e-3)
+        assert b.allow(1.0)  # exactly one second after the spend
+
     def test_queue_full_shed(self):
         server = tiny_server(
             config=ServerConfig(admission=AdmissionPolicy(max_queue=2))

@@ -146,3 +146,98 @@ class TestThrottling:
         # The bucket admits roughly burst + rate * duration requests.
         assert rep.ok <= 4 + 2.0 * (rep.sim_duration + 1.0)
         assert all(math.isfinite(r.completed) for r in rep.responses)
+
+
+class TestColumnarDriver:
+    def test_every_request_answered_losslessly(self):
+        from repro.serving import ColumnarLoadDriver
+
+        server = make_server()
+        rep = ColumnarLoadDriver(
+            server, server.models, rate=200.0, max_requests=2000, rng=3
+        ).run()
+        assert rep.submitted == 2000
+        assert rep.ok + rep.shed + rep.errors == 2000
+        assert rep.lost == 0 and rep.duplicates == 0
+        assert rep.responses == []  # columnar accounting never materialises
+
+    def test_deadlines_and_queue_bounds_shed(self):
+        from repro.serving import ColumnarLoadDriver
+
+        cfg = ServerConfig(admission=AdmissionPolicy(max_queue=32))
+        server = make_server(config=cfg)
+        rep = ColumnarLoadDriver(
+            server,
+            server.models,
+            rate=2000.0,  # far over capacity
+            max_requests=3000,
+            deadline=1.0,
+            rng=3,
+        ).run()
+        assert rep.shed > 0
+        assert set(rep.shed_reasons) <= {"queue_full", "deadline", "throttled"}
+        assert rep.lost == 0 and rep.duplicates == 0
+        assert rep.ok + rep.shed == 3000
+
+    def test_seeded_runs_reproduce_and_seeds_differ(self):
+        from repro.serving import ColumnarLoadDriver
+
+        def drive(seed):
+            server = make_server()
+            rep = ColumnarLoadDriver(
+                server, server.models, rate=100.0, duration=5.0, rng=seed
+            ).run()
+            return (rep.submitted, rep.ok, rep.shed, rep.latency_p50, rep.latency_p99)
+
+        assert drive(1) == drive(1)
+        assert drive(1) != drive(2)
+
+    def test_progress_marks_fire(self):
+        from repro.serving import ColumnarLoadDriver
+
+        server = make_server()
+        marks = []
+        ColumnarLoadDriver(
+            server,
+            server.models,
+            rate=200.0,
+            max_requests=1000,
+            rng=3,
+            progress=lambda answered, wall: marks.append(answered),
+            progress_every=250,
+        ).run()
+        assert marks[-1] == 1000
+        assert all(b >= a for a, b in zip(marks, marks[1:]))
+        assert marks[0] >= 250
+
+    def test_model_weights_skew_traffic(self):
+        from repro.serving import ColumnarLoadDriver
+
+        server = make_server()
+        hot = server.models[0]
+        drv = ColumnarLoadDriver(
+            server,
+            server.models,
+            rate=100.0,
+            max_requests=400,
+            rng=3,
+            model_weights={hot: 1.0},
+        )
+        rep = drv.run()
+        assert rep.ok == 400  # all answered, all on the hot model
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["responses_ok"] == 400
+
+    def test_validation(self):
+        from repro.serving import ColumnarLoadDriver
+
+        server = make_server()
+        with pytest.raises(ValueError, match="bound the drive"):
+            ColumnarLoadDriver(server, server.models, rate=10.0)
+        with pytest.raises(ValueError):
+            ColumnarLoadDriver(server, server.models, rate=0.0, max_requests=5)
+        with pytest.raises(ValueError, match="model_weights"):
+            ColumnarLoadDriver(
+                server, server.models, rate=10.0, max_requests=5,
+                model_weights={"nope": 1.0},
+            )
